@@ -1,0 +1,44 @@
+# DECOR reproduction — convenience targets.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench figures extensions summary clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One benchmark per paper figure plus the ablations.
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+# Regenerate the paper's evaluation tables (full parameters, ~15 s).
+figures:
+	$(GO) run ./cmd/decor-bench -fig all
+
+# The extension experiments (ablations + validations, ~10 s).
+extensions:
+	$(GO) run ./cmd/decor-bench -fig ext
+
+# Paper-vs-measured claim check.
+summary:
+	$(GO) run ./cmd/decor-bench -fig summary
+
+# The illustration figures as SVG.
+figs4to6:
+	$(GO) run ./cmd/decor-field -what points  -o fig4.svg
+	$(GO) run ./cmd/decor-field -what deploy  -o fig5.svg
+	$(GO) run ./cmd/decor-field -what failure -o fig6.svg
+
+clean:
+	rm -f fig4.svg fig5.svg fig6.svg test_output.txt bench_output.txt

@@ -1,0 +1,95 @@
+// Command decor-proto runs DECOR in its fully event-driven form on the
+// discrete-event protocol simulator: unsynchronized leader/node timers,
+// real message latency, placement notifications, base-station seeding —
+// and compares the outcome with the round-based model on the same field.
+//
+// Example:
+//
+//	decor-proto -scheme grid -k 3
+//	decor-proto -scheme voronoi -k 2 -latency 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"decor/internal/core"
+	"decor/internal/coverage"
+	"decor/internal/lowdisc"
+	"decor/internal/protocol"
+	"decor/internal/rng"
+	"decor/internal/sim"
+
+	"decor/internal/geom"
+)
+
+func main() {
+	var (
+		fieldSide = flag.Float64("field", 100, "edge length of the square field")
+		k         = flag.Int("k", 3, "coverage requirement")
+		rs        = flag.Float64("rs", 4, "sensing radius")
+		points    = flag.Int("points", 2000, "sample points")
+		initial   = flag.Int("initial", 200, "pre-deployed random sensors")
+		scheme    = flag.String("scheme", "grid", "grid | voronoi")
+		cell      = flag.Float64("cell", 5, "grid cell size")
+		rc        = flag.Float64("rc", 8, "voronoi communication radius")
+		latency   = flag.Float64("latency", 0.05, "one-hop message latency (s)")
+		period    = flag.Float64("period", 1.0, "leader wake-up period (s)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	build := func() *coverage.Map {
+		field := geom.Square(*fieldSide)
+		pts := lowdisc.Halton{}.Points(*points, field)
+		m := coverage.New(field, pts, *rs, *k)
+		r := rng.New(*seed)
+		for id := 0; id < *initial; id++ {
+			m.AddSensor(id, r.PointInRect(field))
+		}
+		return m
+	}
+
+	// Event-driven run.
+	m := build()
+	eng := sim.NewEngine(sim.Time(*latency))
+	var placedEvent, msgsEvent, seeds int
+	var virtualTime sim.Time
+	switch *scheme {
+	case "grid":
+		w := protocol.NewWorld(m, *cell, eng, sim.Time(*period))
+		seeds = protocol.RunDeployment(w)
+		placedEvent, msgsEvent = len(w.PlacementLog), w.MessagesSent
+	case "voronoi":
+		w := protocol.NewVoronoiWorld(m, *rc, eng, sim.Time(*period))
+		seeds = protocol.RunVoronoiDeployment(w)
+		placedEvent, msgsEvent = len(w.PlacementLog), w.MessagesSent
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheme %q\n", *scheme)
+		os.Exit(2)
+	}
+	virtualTime = eng.Now()
+	st := eng.Stats()
+	fmt.Printf("event-driven %s DECOR (latency %.3gs, period %.3gs):\n", *scheme, *latency, *period)
+	fmt.Printf("  placed %d sensors, %d placement messages, %d base-station seeds\n",
+		placedEvent, msgsEvent, seeds)
+	fmt.Printf("  virtual completion time: %.1fs; engine: %d delivered, %d dropped, %d timers\n",
+		float64(virtualTime), st.Delivered, st.Dropped, st.Timers)
+	fmt.Printf("  coverage: %.1f%% of points %d-covered\n\n", 100*m.CoverageFrac(*k), *k)
+
+	// Round-based comparison on an identical field.
+	m2 := build()
+	var meth core.Method
+	if *scheme == "grid" {
+		meth = core.GridDECOR{CellSize: *cell}
+	} else {
+		meth = core.VoronoiDECOR{Rc: *rc}
+	}
+	res := meth.Deploy(m2, rng.New(*seed+7), core.Options{})
+	fmt.Printf("round-based %s for comparison:\n", res.Method)
+	fmt.Printf("  placed %d sensors in %d rounds, %d messages (%.1f/cell)\n",
+		res.NumPlaced(), res.Rounds, res.Messages, res.MessagesPerCell())
+	fmt.Printf("\nevent/round placement ratio: %.2f (finer-grained knowledge propagation\n", float64(placedEvent)/float64(res.NumPlaced()))
+	fmt.Println("generally lets the asynchronous execution place fewer sensors)")
+}

@@ -1,0 +1,113 @@
+// Command decor-sim runs a single DECOR deployment/restoration scenario
+// and prints a report.
+//
+// Examples:
+//
+//	decor-sim -k 3 -method voronoi-big
+//	decor-sim -k 2 -method grid-small -fail-area 24 -restore voronoi-small
+//	decor-sim -k 1 -method centralized -ascii
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"decor"
+	"decor/internal/geom"
+	"decor/internal/tour"
+)
+
+func main() {
+	var (
+		fieldSide  = flag.Float64("field", 100, "edge length of the square field")
+		k          = flag.Int("k", 3, "coverage requirement k")
+		rs         = flag.Float64("rs", 4, "sensing radius")
+		rc         = flag.Float64("rc", 0, "communication radius (default 2*rs)")
+		points     = flag.Int("points", 2000, "low-discrepancy sample points")
+		gen        = flag.String("gen", "halton", "point generator: halton|hammersley|sobol|uniform|jittered|lhs")
+		initial    = flag.Int("initial", 200, "randomly pre-deployed sensors")
+		method     = flag.String("method", "voronoi-big", "deployment method: "+strings.Join(decor.MethodNames(), "|"))
+		seed       = flag.Uint64("seed", 1, "random seed")
+		failArea   = flag.Float64("fail-area", 0, "after deploying, destroy a disc of this radius at the field center")
+		failRandom = flag.Float64("fail-random", 0, "after deploying, destroy this fraction of nodes at random")
+		restore    = flag.String("restore", "", "method used to restore coverage after failures (default: same as -method)")
+		ascii      = flag.Bool("ascii", false, "print an ASCII rendering of the final field")
+		showTour   = flag.Bool("tour", false, "plan and report the deployment robot's tour over the placed sensors")
+	)
+	flag.Parse()
+
+	d, err := decor.NewDeployment(decor.Params{
+		FieldSide: *fieldSide, K: *k, Rs: *rs, Rc: *rc,
+		NumPoints: *points, Generator: *gen, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	d.ScatterRandom(*initial)
+	fmt.Printf("field %.0fx%.0f, %d points (%s), rs=%g, k=%d, %d initial sensors\n",
+		*fieldSide, *fieldSide, *points, *gen, *rs, *k, *initial)
+	fmt.Printf("initial coverage: %.1f%% k-covered, %.1f%% 1-covered\n",
+		100*d.Coverage(*k), 100*d.Coverage(1))
+
+	rep, err := d.Deploy(*method)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	printReport("deployment", rep, d, *k)
+	if *showTour {
+		printTour(rep)
+	}
+
+	if *failArea > 0 || *failRandom > 0 {
+		if *failArea > 0 {
+			dead := d.FailArea(decor.Point{X: *fieldSide / 2, Y: *fieldSide / 2}, *failArea)
+			fmt.Printf("\narea failure: disc r=%g destroyed %d sensors\n", *failArea, len(dead))
+		}
+		if *failRandom > 0 {
+			dead := d.FailRandom(*failRandom)
+			fmt.Printf("\nrandom failure: destroyed %d sensors (%.0f%%)\n", len(dead), 100**failRandom)
+		}
+		fmt.Printf("post-failure coverage: %.1f%% k-covered, %.1f%% 1-covered\n",
+			100*d.Coverage(*k), 100*d.Coverage(1))
+		rm := *restore
+		if rm == "" {
+			rm = *method
+		}
+		rrep, err := d.Deploy(rm)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		printReport("restoration", rrep, d, *k)
+	}
+
+	if *ascii {
+		fmt.Println()
+		fmt.Print(d.ASCII(100))
+	}
+}
+
+// printTour plans the deployment robot's route over the new sensors
+// (nearest-neighbor + 2-opt) from the field origin.
+func printTour(rep decor.Report) {
+	sites := make([]geom.Point, len(rep.Placements))
+	for i, p := range rep.Placements {
+		sites[i] = geom.Point(p)
+	}
+	t := tour.Plan(geom.Point{}, sites, 0)
+	fmt.Printf("  robot tour: %d stops, %.1f field units of travel\n",
+		len(t.Stops), t.Length())
+}
+
+func printReport(phase string, rep decor.Report, d *decor.Deployment, k int) {
+	fmt.Printf("\n%s with %s:\n", phase, rep.Method)
+	fmt.Printf("  placed %d sensors (%d total), %d rounds, %d seeded\n",
+		rep.Placed, rep.TotalSensors, rep.Rounds, rep.Seeded)
+	fmt.Printf("  messages: %d total, %.1f per cell\n", rep.Messages, rep.MessagesPerCell)
+	fmt.Printf("  coverage: %.1f%% k-covered; redundant sensors: %d\n",
+		100*d.Coverage(k), len(d.Redundant()))
+}

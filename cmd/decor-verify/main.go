@@ -1,0 +1,107 @@
+// Command decor-verify deploys a field with a chosen method and then
+// checks the result three independent ways:
+//
+//  1. the discrepancy point set (DECOR's own notion of done),
+//  2. the exact perimeter-coverage decision procedure (Huang & Tseng,
+//     the paper's reference [8]),
+//  3. a fine lattice scan,
+//
+// and reports the reliability of the resulting deployment under a given
+// sensor failure probability.
+//
+// Example:
+//
+//	decor-verify -k 3 -method voronoi-big -q 0.3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"decor"
+	"decor/internal/core"
+	"decor/internal/coverage"
+	"decor/internal/lowdisc"
+	"decor/internal/percover"
+	"decor/internal/reliability"
+	"decor/internal/rng"
+	"decor/internal/trace"
+
+	"decor/internal/geom"
+)
+
+func main() {
+	var (
+		fieldSide = flag.Float64("field", 100, "edge length of the square field")
+		k         = flag.Int("k", 3, "coverage requirement")
+		rs        = flag.Float64("rs", 4, "sensing radius")
+		points    = flag.Int("points", 2000, "sample points")
+		initial   = flag.Int("initial", 200, "pre-deployed random sensors")
+		method    = flag.String("method", "voronoi-big", strings.Join(decor.MethodNames(), "|"))
+		seed      = flag.Uint64("seed", 1, "random seed")
+		q         = flag.Float64("q", 0.3, "per-sensor failure probability for the reliability report")
+		lattice   = flag.Int("lattice", 300, "lattice resolution for the brute-force check")
+		traceOut  = flag.String("trace", "", "write a JSONL trace of the run to this file")
+	)
+	flag.Parse()
+
+	field := geom.Square(*fieldSide)
+	pts := lowdisc.Halton{}.Points(*points, field)
+	m := coverage.New(field, pts, *rs, *k)
+	r := rng.New(*seed)
+	for id := 0; id < *initial; id++ {
+		m.AddSensor(id, r.PointInRect(field))
+	}
+	meth, err := core.MethodByName(*method, *rs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	res := meth.Deploy(m, rng.New(*seed+7), core.Options{})
+	fmt.Printf("deployed %d sensors with %s (%d total)\n\n",
+		res.NumPlaced(), *method, m.NumSensors())
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := trace.Write(f, m, res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("trace written to %s\n\n", *traceOut)
+	}
+
+	// 1. Point-set check.
+	fmt.Printf("point set    : %5.2f%% of %d sample points %d-covered (DECOR target: 100%%)\n",
+		100*m.CoverageFrac(*k), m.NumPoints(), *k)
+
+	// 2. Exact perimeter-coverage decision.
+	v := percover.Verify(m, *k)
+	if v.Covered {
+		fmt.Printf("perimeter    : field PROVEN %d-covered analytically (%d midpoint checks)\n", *k, v.Checks)
+	} else {
+		fmt.Printf("perimeter    : NOT fully %d-covered; witness at %s (%d checks)\n", *k, v.Witness, v.Checks)
+	}
+
+	// 3. Lattice scan.
+	unc := percover.LatticeUncovered(m, *k, *lattice)
+	fmt.Printf("lattice %dx%d: %d under-covered lattice points (%.4f%% of the field)\n",
+		*lattice, *lattice, len(unc), 100*float64(len(unc))/float64(*lattice**lattice))
+
+	// Reliability report.
+	rep := reliability.Analyze(m, *q)
+	fmt.Printf("\nreliability at q=%.2f:\n", *q)
+	fmt.Printf("  worst point survives with p=%.4f (1-q^k floor: %.4f)\n",
+		rep.PointReliability.Min, reliability.PointReliability(*k, *q))
+	fmt.Printf("  expected 1-coverage after failures: %.2f%%\n", 100*rep.ExpectedCovered)
+	fmt.Printf("  expected %d-coverage after failures: %.2f%%\n", *k, 100*rep.ExpectedKCovered)
+	kNeeded, err := reliability.KForTarget(*q, 0.99)
+	if err == nil {
+		fmt.Printf("  k needed for 99%% point reliability at this q: %d\n", kNeeded)
+	}
+}

@@ -1,0 +1,64 @@
+package decor_test
+
+import (
+	"fmt"
+
+	"decor"
+)
+
+// The end-to-end loop from the paper: scatter an initial network,
+// restore k-coverage with distributed DECOR, survive a disaster, repair.
+func Example() {
+	d, err := decor.NewDeployment(decor.Params{
+		FieldSide: 50, K: 2, Rs: 4, NumPoints: 500, Seed: 11,
+	})
+	if err != nil {
+		panic(err)
+	}
+	d.ScatterRandom(40)
+	rep, err := d.Deploy("voronoi-big")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("fully covered:", d.FullyCovered(), "placed > 0:", rep.Placed > 0)
+
+	d.FailArea(decor.Point{X: 25, Y: 25}, 12)
+	fmt.Println("after disaster still covered:", d.FullyCovered())
+	if _, err := d.Deploy("voronoi-big"); err != nil {
+		panic(err)
+	}
+	fmt.Println("restored:", d.FullyCovered())
+	// Output:
+	// fully covered: true placed > 0: true
+	// after disaster still covered: false
+	// restored: true
+}
+
+// Choosing k from a reliability requirement (the paper's abstract).
+func ExampleKForReliability() {
+	k, err := decor.KForReliability(0.5, 0.9)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("k =", k) // 1-0.5^4 = 0.9375 >= 0.9
+	// Output:
+	// k = 4
+}
+
+// Sleep scheduling: k-coverage buys disjoint covering shifts.
+func ExampleDeployment_SleepSchedule() {
+	d, err := decor.NewDeployment(decor.Params{
+		FieldSide: 50, K: 5, Rs: 4, NumPoints: 500, Seed: 11,
+	})
+	if err != nil {
+		panic(err)
+	}
+	d.ScatterRandom(40)
+	if _, err := d.Deploy("centralized"); err != nil {
+		panic(err)
+	}
+	shifts := d.SleepSchedule()
+	fmt.Println("at least 2 shifts:", len(shifts) >= 2)
+	// Output:
+	// at least 2 shifts: true
+}

@@ -1,0 +1,93 @@
+// Lifetime: the paper's third motivating application (§1). When every
+// point is k-covered, the network can rotate disjoint sensor covers —
+// putting all but one cover to sleep — and multiply its lifetime.
+//
+// This example deploys the same field for k = 1..5, extracts disjoint
+// 1-covers with the critical-element heuristic (Slijepcevic &
+// Potkonjak, the paper's reference [16]), and converts cover counts
+// into lifetime estimates under the first-order radio model (reference
+// [6]).
+//
+// Run with: go run ./examples/lifetime
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"decor"
+	"decor/internal/coverage"
+	"decor/internal/energy"
+	"decor/internal/geom"
+	"decor/internal/lowdisc"
+	"decor/internal/schedule"
+)
+
+const (
+	fieldSide = 60.0
+	rs        = 4.0
+	numPoints = 900
+	// Duty-cycle parameters: 1-hour epochs, 10 J batteries (~coin cell),
+	// 2 heartbeats per epoch at rc = 8.
+	epochSec = 3600.0
+	capacity = 10.0
+	rc       = 8.0
+	hbCount  = 2
+)
+
+func main() {
+	model := energy.Default()
+	fmt.Println("k   sensors   disjoint covers   sleeping/epoch   est. lifetime (epochs)")
+	base := 0
+	for k := 1; k <= 5; k++ {
+		d, err := decor.NewDeployment(decor.Params{
+			FieldSide: fieldSide, K: k, Rs: rs, NumPoints: numPoints, Seed: 3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		d.ScatterRandom(60)
+		if _, err := d.Deploy("voronoi-big"); err != nil {
+			log.Fatal(err)
+		}
+		m := rebuild(d)
+		plan := schedule.Build(m)
+		if !schedule.Verify(m, plan) {
+			log.Fatalf("k=%d: invalid rotation plan", k)
+		}
+		life := schedule.Lifetime(plan, model, capacity, epochSec, rc, hbCount)
+		largest := 0
+		for _, c := range plan.Covers {
+			if len(c) > largest {
+				largest = len(c)
+			}
+		}
+		if k == 1 {
+			base = life
+		}
+		fmt.Printf("%d   %7d   %15d   %14d   %13d (%.1fx)\n",
+			k, d.NumSensors(), plan.NumCovers(), d.NumSensors()-largest,
+			life, float64(life)/float64(maxI(base, 1)))
+	}
+	fmt.Println("\nmore coverage -> more disjoint covers -> longer rotation lifetime (paper §1.3)")
+}
+
+// rebuild reconstructs the internal coverage map from the public facade
+// (the examples otherwise stay on the public API; scheduling works on
+// the full map).
+func rebuild(d *decor.Deployment) *coverage.Map {
+	field := geom.Square(fieldSide)
+	pts := lowdisc.Halton{}.Points(numPoints, field)
+	m := coverage.New(field, pts, rs, d.Params().K)
+	for _, s := range d.Sensors() {
+		m.AddSensor(s.ID, geom.Point(s.Pos))
+	}
+	return m
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,57 @@
+// Quickstart: deploy a partially-covered sensor field, restore full
+// 3-coverage with DECOR, break it with failures, and restore again.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"decor"
+)
+
+func main() {
+	// The paper's setup: a 100x100 field approximated by 2000 Halton
+	// points, sensing radius 4, reliability requirement k = 3.
+	d, err := decor.NewDeployment(decor.Params{
+		FieldSide: 100,
+		K:         3,
+		Rs:        4,
+		NumPoints: 2000,
+		Seed:      42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// An initial network of 200 randomly scattered sensors — deployment
+	// by airdrop, §1 of the paper.
+	d.ScatterRandom(200)
+	fmt.Printf("initial: %d sensors, %.1f%% of the field 3-covered\n",
+		d.NumSensors(), 100*d.Coverage(3))
+
+	// Restore full 3-coverage with the distributed Voronoi variant.
+	rep, err := d.Deploy("voronoi-big")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DECOR placed %d sensors in %d rounds (%.1f msgs/cell): %.1f%% 3-covered\n",
+		rep.Placed, rep.Rounds, rep.MessagesPerCell, 100*d.Coverage(3))
+
+	// Thanks to k=3, random failures degrade gracefully...
+	dead := d.FailRandom(0.25)
+	fmt.Printf("after %d random failures: %.1f%% of points still covered by >=1 sensor\n",
+		len(dead), 100*d.Coverage(1))
+
+	// ...and a localized disaster is repairable in-place.
+	burned := d.FailArea(decor.Point{X: 50, Y: 50}, 24)
+	fmt.Printf("disaster destroyed %d sensors: 3-coverage down to %.1f%%\n",
+		len(burned), 100*d.Coverage(3))
+	rep, err = d.Deploy("voronoi-big")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restoration placed %d sensors: %.1f%% 3-covered, %d redundant\n",
+		rep.Placed, 100*d.Coverage(3), len(d.Redundant()))
+}

@@ -1,0 +1,3 @@
+module decor
+
+go 1.22

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"decor/internal/coverage"
+	"decor/internal/geom"
+	"decor/internal/rng"
+)
+
+// Centralized is the paper's first baseline: the same greedy benefit
+// heuristic as DECOR but executed with a global view of the field. It is
+// the quality ceiling — "expected to result in a more efficient placement
+// than DECOR. However, having global knowledge of the field is not
+// possible in many cases" (§4).
+type Centralized struct {
+	// FullRescan disables the incremental benefit maintenance and
+	// recomputes every candidate's benefit from scratch at each step.
+	// Results are identical; this exists for the ablation benchmark in
+	// DESIGN.md §5.
+	FullRescan bool
+	// NewRs overrides the sensing radius of the sensors this run
+	// deploys (0 = the map's default), supporting the paper's
+	// heterogeneous setting where new hardware may out-range the
+	// original deployment.
+	NewRs float64
+}
+
+// newRadius resolves the radius of newly placed sensors for a map.
+func (c Centralized) newRadius(m *coverage.Map) float64 {
+	if c.NewRs > 0 {
+		return c.NewRs
+	}
+	return m.Rs()
+}
+
+// Name implements Method.
+func (Centralized) Name() string { return "centralized" }
+
+// Deploy implements Method.
+func (c Centralized) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
+	validateDeployInputs(m, r)
+	res := Result{Method: c.Name(), NodeMessages: map[int]int{}, Cells: 1}
+	if c.FullRescan {
+		c.deployRescan(m, opt, &res)
+	} else {
+		c.deployIncremental(m, opt, &res)
+	}
+	res.Rounds = 1
+	return res
+}
+
+// deployRescan is the straightforward O(placements · N · ball) variant.
+func (c Centralized) deployRescan(m *coverage.Map, opt Options, res *Result) {
+	id := nextSensorID(m)
+	newRs := c.newRadius(m)
+	for !m.FullyCovered() {
+		if len(res.Placed) >= opt.maxPlacements() {
+			res.Capped = true
+			return
+		}
+		// Select the deficient candidate with maximum benefit for the
+		// new sensor's footprint, lowest index on ties.
+		bestIdx, best := -1, 0
+		for i := 0; i < m.NumPoints(); i++ {
+			if m.Count(i) >= m.K() {
+				continue
+			}
+			if b := m.BenefitRadius(m.Point(i), newRs); b > best {
+				best, bestIdx = b, i
+			}
+		}
+		if bestIdx < 0 {
+			return // unreachable: a deficient point always benefits itself
+		}
+		p := m.Point(bestIdx)
+		m.AddSensorRadius(id, p, newRs)
+		res.Placed = append(res.Placed, Placement{ID: id, Pos: p})
+		id++
+	}
+}
+
+// deployIncremental maintains a benefit value per candidate point and
+// updates only the neighborhood of each placement (DESIGN.md §5), making
+// one placement O(points-in-disk²) instead of O(N · points-in-disk).
+func (c Centralized) deployIncremental(m *coverage.Map, opt Options, res *Result) {
+	n := m.NumPoints()
+	rs := c.newRadius(m)
+	benefit := make([]int, n)
+	for j := 0; j < n; j++ {
+		if d := m.Deficit(j); d > 0 {
+			pj := m.Point(j)
+			m.VisitPointsInBall(pj, rs, func(i int, _ geom.Point) bool {
+				benefit[i] += d
+				return true
+			})
+		}
+	}
+	id := nextSensorID(m)
+	for !m.FullyCovered() {
+		if len(res.Placed) >= opt.maxPlacements() {
+			res.Capped = true
+			return
+		}
+		// Select the deficient candidate with max benefit, lowest index
+		// on ties — identical criterion to bestCandidate.
+		bestIdx, best := -1, 0
+		for i := 0; i < n; i++ {
+			if m.Count(i) >= m.K() {
+				continue
+			}
+			if benefit[i] > best {
+				best, bestIdx = benefit[i], i
+			}
+		}
+		if bestIdx < 0 {
+			return
+		}
+		p := m.Point(bestIdx)
+		// Points whose deficit will shrink by this placement.
+		var affected []int
+		m.VisitPointsInBall(p, rs, func(j int, _ geom.Point) bool {
+			if m.Deficit(j) > 0 {
+				affected = append(affected, j)
+			}
+			return true
+		})
+		m.AddSensorRadius(id, p, rs)
+		for _, j := range affected {
+			m.VisitPointsInBall(m.Point(j), rs, func(i int, _ geom.Point) bool {
+				benefit[i]--
+				return true
+			})
+		}
+		res.Placed = append(res.Placed, Placement{ID: id, Pos: p})
+		id++
+	}
+}
+
+// RandomPlacement is the paper's second baseline: uniform random
+// positions until k-coverage is achieved. It needs roughly 4× the nodes
+// of any informed method and thousands of redundant sensors (Figs. 8–9).
+type RandomPlacement struct{}
+
+// Name implements Method.
+func (RandomPlacement) Name() string { return "random" }
+
+// Deploy implements Method.
+func (rp RandomPlacement) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
+	validateDeployInputs(m, r)
+	res := Result{Method: rp.Name(), NodeMessages: map[int]int{}, Cells: 1, Rounds: 1}
+	id := nextSensorID(m)
+	for !m.FullyCovered() {
+		if len(res.Placed) >= opt.maxPlacements() {
+			res.Capped = true
+			return res
+		}
+		p := r.PointInRect(m.Field())
+		m.AddSensor(id, p)
+		res.Placed = append(res.Placed, Placement{ID: id, Pos: p})
+		id++
+	}
+	return res
+}

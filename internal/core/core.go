@@ -1,0 +1,215 @@
+// Package core implements the paper's contribution: DECOR, the
+// DEpendable COverage Restoration algorithm (§3), in its Grid-based and
+// Voronoi-based distributed variants, together with the two evaluation
+// baselines (centralized greedy and random placement).
+//
+// All methods operate on a coverage.Map that may already contain sensors
+// (the partially-covered / post-failure case) or be empty (initial
+// deployment): restoration and deployment are the same operation, which
+// the paper calls out as a benefit of the discrepancy-point formulation.
+//
+// # Distributed execution model
+//
+// The distributed variants run in synchronized rounds. At the start of a
+// round every responsible node (cell leader, or every sensor in the
+// Voronoi scheme) observes a snapshot of the coverage state — everything
+// notified up to the end of the previous round — and places at most one
+// new sensor at the deficient sample point with maximum benefit (Eq. 1)
+// within its responsibility. Placement notifications are exchanged
+// between rounds. Concurrent same-round placements near cell borders are
+// therefore invisible to each other, which is exactly the coordination
+// cost that makes DECOR place more sensors than the centralized greedy
+// (Fig. 8) while remaining fully local.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"decor/internal/coverage"
+	"decor/internal/geom"
+	"decor/internal/rng"
+)
+
+// Options bounds a deployment run.
+type Options struct {
+	// MaxPlacements stops the run after this many new sensors
+	// (0 = unlimited). Runs stopped early have Result.Capped set.
+	MaxPlacements int
+	// MaxRounds bounds distributed rounds (0 = unlimited); a safety net
+	// against livelock bugs, not expected to trigger.
+	MaxRounds int
+}
+
+func (o Options) maxPlacements() int {
+	if o.MaxPlacements <= 0 {
+		return int(^uint(0) >> 1)
+	}
+	return o.MaxPlacements
+}
+
+func (o Options) maxRounds() int {
+	if o.MaxRounds <= 0 {
+		return int(^uint(0) >> 1)
+	}
+	return o.MaxRounds
+}
+
+// Placement records one deployed sensor in order.
+type Placement struct {
+	ID    int
+	Pos   geom.Point
+	Round int // 0-based round (always 0 for the centralized/random methods)
+}
+
+// Result reports a deployment or restoration run.
+type Result struct {
+	Method string
+	// Placed lists the new sensors in placement order, so experiments can
+	// replay coverage-vs-node-count curves (Fig. 7).
+	Placed []Placement
+	// Messages is the total number of protocol messages sent: placement
+	// notifications to neighboring leaders (grid) or communication
+	// neighbors (Voronoi). The centralized and random baselines send
+	// none.
+	Messages int
+	// NodeMessages attributes messages to the sending node (leader
+	// rotation spreads this load; the experiments report its mean).
+	NodeMessages map[int]int
+	// Cells is the normalization denominator for the paper's
+	// messages-per-cell metric: grid cells for the grid scheme, total
+	// sensors for the Voronoi scheme (one node per cell).
+	Cells int
+	// Rounds is the number of synchronized rounds executed.
+	Rounds int
+	// Seeded counts base-station interventions: sensors seeded into
+	// regions unreachable by any existing node (empty cells / orphan
+	// points).
+	Seeded int
+	// Capped reports whether the run stopped at MaxPlacements before
+	// reaching full k-coverage.
+	Capped bool
+}
+
+// NumPlaced returns the number of sensors the run deployed.
+func (r Result) NumPlaced() int { return len(r.Placed) }
+
+// MessagesPerCell returns the paper's Fig. 10 metric.
+func (r Result) MessagesPerCell() float64 {
+	if r.Cells == 0 {
+		return 0
+	}
+	return float64(r.Messages) / float64(r.Cells)
+}
+
+// Method is a deployment algorithm. Implementations must be deterministic
+// given the RNG stream and must only add sensors to m.
+type Method interface {
+	// Name identifies the method in experiment output, matching the
+	// paper's figure legends.
+	Name() string
+	// Deploy places sensors on m until every sample point is k-covered
+	// (or a cap from opt is reached) and returns the run record.
+	Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result
+}
+
+// nextSensorID returns the smallest ID strictly greater than every
+// existing sensor's, so placements never collide with the pre-deployed
+// network.
+func nextSensorID(m *coverage.Map) int {
+	ids := m.SensorIDs()
+	if len(ids) == 0 {
+		return 0
+	}
+	return ids[len(ids)-1] + 1
+}
+
+// bestCandidate returns the deficient candidate with the highest
+// perceived benefit, ties broken by lowest point index for determinism.
+// candidates must be sorted ascending; perceived returns a point's
+// believed coverage count (negative = unknown, skipped inside benefit).
+// ok is false when no candidate has positive benefit.
+func bestCandidate(m *coverage.Map, candidates []int, perceived func(i int) int) (idx int, benefit int, ok bool) {
+	return bestCandidateRadius(m, m.Rs(), candidates, perceived)
+}
+
+// bestCandidateRadius is bestCandidate for a new-sensor radius that may
+// differ from the map default (heterogeneous hardware).
+func bestCandidateRadius(m *coverage.Map, rs float64, candidates []int, perceived func(i int) int) (idx int, benefit int, ok bool) {
+	best, bestIdx := 0, -1
+	for _, c := range candidates {
+		if kp := perceived(c); kp < 0 || kp >= m.K() {
+			continue // not deficient under this node's knowledge
+		}
+		b := m.BenefitWithRadius(m.Point(c), rs, perceived)
+		if b > best {
+			best, bestIdx = b, c
+		}
+	}
+	if bestIdx < 0 {
+		return 0, 0, false
+	}
+	return bestIdx, best, true
+}
+
+// validateDeployInputs panics on nil inputs — programmer errors shared by
+// every method.
+func validateDeployInputs(m *coverage.Map, r *rng.RNG) {
+	if m == nil {
+		panic("core: nil coverage map")
+	}
+	if r == nil {
+		panic("core: nil rng")
+	}
+}
+
+// MethodByName constructs one of the paper's six evaluated configurations
+// by its experiment label:
+//
+//	centralized, random,
+//	grid-small (5×5 cells), grid-big (10×10 cells),
+//	voronoi-small (rc = 2·rs), voronoi-big (rc = 10·√2)
+//
+// rs is needed to derive the Voronoi radii.
+func MethodByName(name string, rs float64) (Method, error) {
+	switch name {
+	case "centralized":
+		return Centralized{}, nil
+	case "random":
+		return RandomPlacement{}, nil
+	case "grid-small":
+		return GridDECOR{CellSize: 5}, nil
+	case "grid-big":
+		return GridDECOR{CellSize: 10}, nil
+	case "voronoi-small":
+		return VoronoiDECOR{Rc: 2 * rs}, nil
+	case "voronoi-big":
+		return VoronoiDECOR{Rc: 14.142135623730951}, nil
+	case "lattice":
+		// Not one of the paper's six (AllMethodNames), but accepted for
+		// the regular-positioning baseline experiments.
+		return RegularLattice{}, nil
+	}
+	return nil, fmt.Errorf("core: unknown method %q", name)
+}
+
+// AllMethodNames lists the labels accepted by MethodByName in the order
+// the paper's figures present them.
+func AllMethodNames() []string {
+	return []string{
+		"grid-small", "grid-big",
+		"voronoi-small", "voronoi-big",
+		"centralized", "random",
+	}
+}
+
+// sortedKeys returns the keys of a map[int]... helper for deterministic
+// iteration over node sets.
+func sortedKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

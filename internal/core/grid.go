@@ -1,0 +1,181 @@
+package core
+
+import (
+	"decor/internal/coverage"
+	"decor/internal/geom"
+	"decor/internal/partition"
+	"decor/internal/rng"
+)
+
+// GridDECOR is the paper's grid-based DECOR variant (§3.1): the field is
+// partitioned into fixed CellSize × CellSize cells, each occupied cell
+// elects a leader (rotated every round to spread energy), and leaders run
+// the greedy benefit placement over their own cell's sample points.
+// Leaders whose cell is fully covered adopt empty deficient neighboring
+// cells, seeding a sensor there that becomes the new cell's first member
+// — the paper's rule "the leader of a neighboring cell will place a new
+// leader in the uncovered cell".
+//
+// The paper evaluates CellSize 5 ("small cell", one sensor nearly covers
+// a whole cell when rs = 4) and 10 ("big cell").
+type GridDECOR struct {
+	CellSize float64
+	// Sequential serializes the distributed execution: only one leader
+	// places per round, so every decision sees fully propagated state.
+	// This is the concurrency ablation from DESIGN.md §5 — it bounds how
+	// much of DECOR's overhead vs the centralized greedy is coordination
+	// cost (same-round races) rather than knowledge locality.
+	Sequential bool
+	// NewRs overrides the sensing radius of newly placed sensors
+	// (0 = the map default), the paper's heterogeneous setting.
+	NewRs float64
+}
+
+// Name implements Method.
+func (g GridDECOR) Name() string {
+	if g.CellSize <= 5 {
+		return "grid-small"
+	}
+	return "grid-big"
+}
+
+// gridState carries per-run bookkeeping for the grid scheme.
+type gridState struct {
+	m     *coverage.Map
+	part  *partition.Grid
+	cells [][]int // cell -> sample point indices (ascending)
+	// members maps cell -> sorted sensor IDs currently in the cell.
+	members map[int][]int
+}
+
+// Deploy implements Method.
+func (g GridDECOR) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
+	validateDeployInputs(m, r)
+	if g.CellSize <= 0 {
+		panic("core: GridDECOR requires a positive cell size")
+	}
+	newRs := g.NewRs
+	if newRs <= 0 {
+		newRs = m.Rs()
+	}
+	res := Result{Method: g.Name(), NodeMessages: map[int]int{}}
+	st := &gridState{
+		m:       m,
+		part:    partition.NewGrid(m.Field(), g.CellSize),
+		members: map[int][]int{},
+	}
+	pts := make([]geom.Point, m.NumPoints())
+	for i := range pts {
+		pts[i] = m.Point(i)
+	}
+	st.cells = st.part.AssignPoints(pts)
+	res.Cells = st.part.NumCells()
+	for _, id := range m.SensorIDs() {
+		p, _ := m.SensorPos(id)
+		c := st.part.CellIndex(p)
+		st.members[c] = append(st.members[c], id)
+	}
+
+	// Initial position exchange: each occupied cell's leader advertises
+	// its sensors to occupied Moore neighbors (one message each).
+	for _, c := range sortedKeys(st.members) {
+		leader := st.members[c][0]
+		for _, nc := range st.part.Neighbors(c) {
+			if len(st.members[nc]) > 0 {
+				res.Messages++
+				res.NodeMessages[leader]++
+			}
+		}
+	}
+
+	nextID := nextSensorID(m)
+	for round := 0; !m.FullyCovered() && round < opt.maxRounds(); round++ {
+		if res.Capped {
+			break
+		}
+		snap := m.Counts()
+		perceive := func(cell int) func(i int) int {
+			return func(i int) int {
+				if st.part.CellIndex(m.Point(i)) != cell {
+					return -1 // outside the leader's knowledge
+				}
+				return snap[i]
+			}
+		}
+		type placement struct {
+			leader int
+			cell   int
+			pos    geom.Point
+			ptIdx  int
+		}
+		var decided []placement
+		occupied := sortedKeys(st.members)
+		for _, c := range occupied {
+			if g.Sequential && len(decided) > 0 {
+				break
+			}
+			leader := st.members[c][round%len(st.members[c])]
+			// Own cell first.
+			if idx, _, ok := bestCandidateRadius(m, newRs, st.cells[c], perceive(c)); ok {
+				decided = append(decided, placement{leader, c, m.Point(idx), idx})
+				continue
+			}
+			// Own cell covered: adopt the first empty deficient neighbor.
+			for _, nc := range st.part.Neighbors(c) {
+				if len(st.members[nc]) > 0 {
+					continue
+				}
+				if idx, _, ok := bestCandidateRadius(m, newRs, st.cells[nc], perceive(nc)); ok {
+					decided = append(decided, placement{leader, nc, m.Point(idx), idx})
+					break
+				}
+			}
+		}
+		if len(decided) == 0 {
+			// No leader can reach the remaining deficient points: the
+			// base station seeds the lowest deficient sample point (the
+			// paper's regular-positioning fallback for empty regions).
+			unc := m.UncoveredPoints()
+			if len(unc) == 0 {
+				break
+			}
+			decided = append(decided, placement{leader: -1, cell: st.part.CellIndex(m.Point(unc[0])), pos: m.Point(unc[0]), ptIdx: unc[0]})
+			res.Seeded++
+		}
+		// Apply all of this round's placements; notifications go out
+		// between rounds (the next snapshot sees them).
+		for _, d := range decided {
+			if len(res.Placed) >= opt.maxPlacements() {
+				res.Capped = true
+				break
+			}
+			id := nextID
+			nextID++
+			m.AddSensorRadius(id, d.pos, newRs)
+			st.members[d.cell] = append(st.members[d.cell], id)
+			res.Placed = append(res.Placed, Placement{ID: id, Pos: d.pos, Round: round})
+			if d.leader < 0 {
+				continue // base-station seed: no leader messages
+			}
+			// One message per occupied neighboring cell whose area the
+			// new sensor's disk overlaps (§3.3 border exchange), plus one
+			// to the adopted cell's new sensor if placed remotely.
+			disk := geom.Disk{Center: d.pos, R: newRs}
+			for _, nc := range st.part.Neighbors(d.cell) {
+				if len(st.members[nc]) == 0 {
+					continue
+				}
+				if disk.IntersectsRect(st.part.CellRect(nc)) {
+					res.Messages++
+					res.NodeMessages[d.leader]++
+				}
+			}
+			if d.cell != st.part.CellIndex(func() geom.Point { p, _ := m.SensorPos(d.leader); return p }()) {
+				res.Messages++ // instruct the remote cell's new leader
+				res.NodeMessages[d.leader]++
+			}
+		}
+		res.Rounds = round + 1
+	}
+	return res
+}

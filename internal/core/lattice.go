@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math"
+
+	"decor/internal/coverage"
+	"decor/internal/geom"
+	"decor/internal/rng"
+)
+
+// RegularLattice is the "regular positioning of sensors" the paper
+// invokes for empty regions (§3.1), promoted to a full deployment
+// baseline: k staggered square lattices with pitch rs·√2 (the densest
+// square grid whose cells are fully inside the sensing disks), clipped
+// to the field. It ignores the pre-deployed network entirely — the cost
+// of obliviousness is what comparing against it shows.
+type RegularLattice struct {
+	// Pitch overrides the lattice spacing (0 = rs·√2).
+	Pitch float64
+}
+
+// Name implements Method.
+func (RegularLattice) Name() string { return "lattice" }
+
+// Deploy implements Method.
+func (l RegularLattice) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
+	validateDeployInputs(m, r)
+	res := Result{Method: l.Name(), NodeMessages: map[int]int{}, Cells: 1, Rounds: 1}
+	pitch := l.Pitch
+	if pitch <= 0 {
+		pitch = m.Rs() * math.Sqrt2 * 0.999 // epsilon inside the exact bound
+	}
+	field := m.Field()
+	id := nextSensorID(m)
+	for layer := 0; layer < m.K() && !m.FullyCovered(); layer++ {
+		// Stagger odd layers by half a pitch so failures in one layer
+		// are not collocated with the next (the paper's warning about
+		// stacking nodes at the same position, §2).
+		off := 0.0
+		if layer%2 == 1 {
+			off = pitch / 2
+		}
+		for y := field.Min.Y + pitch/2 + off; y < field.Max.Y+pitch/2; y += pitch {
+			for x := field.Min.X + pitch/2 + off; x < field.Max.X+pitch/2; x += pitch {
+				if len(res.Placed) >= opt.maxPlacements() {
+					res.Capped = true
+					return res
+				}
+				p := field.Clamp(geom.Point{X: x, Y: y})
+				m.AddSensor(id, p)
+				res.Placed = append(res.Placed, Placement{ID: id, Pos: p})
+				id++
+			}
+		}
+	}
+	// Lattice layers guarantee area coverage but the reliability target
+	// is per sample point; top up any residual deficits greedily (border
+	// effects only).
+	if !m.FullyCovered() && !res.Capped {
+		sub := Centralized{}.Deploy(m, r, Options{
+			MaxPlacements: opt.maxPlacements() - len(res.Placed),
+		})
+		res.Placed = append(res.Placed, sub.Placed...)
+		res.Capped = sub.Capped
+	}
+	return res
+}
+
+var _ Method = RegularLattice{}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"decor/internal/rng"
+)
+
+func TestLatticeFullCoverage(t *testing.T) {
+	for _, k := range []int{1, 3} {
+		m := newField(t, k, 0, 1)
+		res := (RegularLattice{}).Deploy(m, rng.New(2), Options{})
+		if !m.FullyCovered() {
+			t.Fatalf("k=%d: lattice did not cover", k)
+		}
+		if res.Capped {
+			t.Fatalf("k=%d: unexpectedly capped", k)
+		}
+		for _, pl := range res.Placed {
+			if !m.Field().Contains(pl.Pos) {
+				t.Fatalf("placement %v outside field", pl.Pos)
+			}
+		}
+	}
+}
+
+func TestLatticeIgnoresExistingNetwork(t *testing.T) {
+	// Same placement count with or without an initial network (the
+	// lattice is oblivious; only the greedy top-up can differ, and a
+	// pre-covered field needs less top-up).
+	empty := newField(t, 1, 0, 1)
+	resEmpty := (RegularLattice{}).Deploy(empty, rng.New(2), Options{})
+	seeded := newField(t, 1, 50, 1)
+	resSeeded := (RegularLattice{}).Deploy(seeded, rng.New(2), Options{})
+	if resSeeded.NumPlaced() > resEmpty.NumPlaced() {
+		t.Errorf("seeded field needed more lattice sensors (%d > %d)",
+			resSeeded.NumPlaced(), resEmpty.NumPlaced())
+	}
+}
+
+func TestLatticeVsGreedyCost(t *testing.T) {
+	// Obliviousness costs nodes: on a partially covered field the greedy
+	// methods beat the lattice.
+	mLat := newField(t, 2, 50, 3)
+	resLat := (RegularLattice{}).Deploy(mLat, rng.New(4), Options{})
+	mGreedy := newField(t, 2, 50, 3)
+	resGreedy := (Centralized{}).Deploy(mGreedy, rng.New(4), Options{})
+	if resLat.NumPlaced() <= resGreedy.NumPlaced() {
+		t.Errorf("lattice (%d) not above adaptive greedy (%d) on a partially covered field",
+			resLat.NumPlaced(), resGreedy.NumPlaced())
+	}
+}
+
+func TestLatticeCustomPitchAndCap(t *testing.T) {
+	m := newField(t, 1, 0, 1)
+	res := (RegularLattice{Pitch: 3}).Deploy(m, rng.New(2), Options{MaxPlacements: 5})
+	if !res.Capped || res.NumPlaced() != 5 {
+		t.Errorf("cap not respected: %+v", res.NumPlaced())
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"testing"
+
+	"decor/internal/coverage"
+	"decor/internal/geom"
+	"decor/internal/lowdisc"
+	"decor/internal/rng"
+)
+
+// Randomized invariant tests across methods, k, field shapes and initial
+// densities.
+
+func randomScenario(r *rng.RNG) (*coverage.Map, Method) {
+	side := 30 + r.Float64()*30
+	field := geom.Square(side)
+	n := 200 + r.Intn(400)
+	pts := lowdisc.Halton{}.Points(n, field)
+	k := 1 + r.Intn(3)
+	m := coverage.New(field, pts, 4, k)
+	initial := r.Intn(60)
+	for id := 0; id < initial; id++ {
+		m.AddSensor(id, r.PointInRect(field))
+	}
+	methods := []Method{
+		Centralized{},
+		RandomPlacement{},
+		GridDECOR{CellSize: 5},
+		GridDECOR{CellSize: 10},
+		VoronoiDECOR{Rc: 8},
+		VoronoiDECOR{Rc: 14.142135623730951},
+		GridDECOR{CellSize: 5, Sequential: true},
+		VoronoiDECOR{Rc: 8, Sequential: true},
+	}
+	return m, methods[r.Intn(len(methods))]
+}
+
+func TestPropertyDeployInvariants(t *testing.T) {
+	r := rng.New(2024)
+	for trial := 0; trial < 25; trial++ {
+		m, meth := randomScenario(r)
+		before := m.SensorIDs()
+		res := meth.Deploy(m, r.Split(), Options{})
+
+		// 1. Full coverage reached.
+		if !m.FullyCovered() {
+			t.Fatalf("trial %d (%s): not fully covered", trial, meth.Name())
+		}
+		// 2. Placements have unique fresh IDs inside the field.
+		seen := map[int]bool{}
+		maxBefore := -1
+		if len(before) > 0 {
+			maxBefore = before[len(before)-1]
+		}
+		for _, pl := range res.Placed {
+			if seen[pl.ID] {
+				t.Fatalf("trial %d (%s): duplicate placement id %d", trial, meth.Name(), pl.ID)
+			}
+			seen[pl.ID] = true
+			if pl.ID <= maxBefore {
+				t.Fatalf("trial %d (%s): reused id %d", trial, meth.Name(), pl.ID)
+			}
+			if !m.Field().Contains(pl.Pos) {
+				t.Fatalf("trial %d (%s): placement outside field", trial, meth.Name())
+			}
+		}
+		// 3. Sensor count bookkeeping is consistent.
+		if m.NumSensors() != len(before)+res.NumPlaced() {
+			t.Fatalf("trial %d (%s): sensor count mismatch", trial, meth.Name())
+		}
+		// 4. Informed methods place only at sample points.
+		if _, isRandom := meth.(RandomPlacement); !isRandom {
+			for _, pl := range res.Placed {
+				found := false
+				m.VisitPointsInBall(pl.Pos, 1e-9, func(int, geom.Point) bool {
+					found = true
+					return false
+				})
+				if !found {
+					t.Fatalf("trial %d (%s): placement %v not at a sample point",
+						trial, meth.Name(), pl.Pos)
+				}
+			}
+		}
+		// 5. Removing every placed sensor restores the initial deficit
+		// structure (add/remove symmetry through the whole stack).
+		for _, pl := range res.Placed {
+			if !m.RemoveSensor(pl.ID) {
+				t.Fatalf("trial %d (%s): placed sensor %d missing", trial, meth.Name(), pl.ID)
+			}
+		}
+		if m.NumSensors() != len(before) {
+			t.Fatalf("trial %d (%s): removal did not restore count", trial, meth.Name())
+		}
+	}
+}
+
+func TestPropertyDeployIdempotent(t *testing.T) {
+	r := rng.New(77)
+	for trial := 0; trial < 10; trial++ {
+		m, meth := randomScenario(r)
+		meth.Deploy(m, r.Split(), Options{})
+		again := meth.Deploy(m, r.Split(), Options{})
+		if again.NumPlaced() != 0 {
+			t.Fatalf("trial %d (%s): redeploy placed %d sensors on a covered field",
+				trial, meth.Name(), again.NumPlaced())
+		}
+	}
+}
+
+func TestPropertyCapRespected(t *testing.T) {
+	r := rng.New(99)
+	for trial := 0; trial < 10; trial++ {
+		m, meth := randomScenario(r)
+		cap := 1 + r.Intn(20)
+		res := meth.Deploy(m, r.Split(), Options{MaxPlacements: cap})
+		if res.NumPlaced() > cap {
+			t.Fatalf("trial %d (%s): placed %d > cap %d", trial, meth.Name(), res.NumPlaced(), cap)
+		}
+		if res.NumPlaced() < cap && !m.FullyCovered() && !res.Capped {
+			t.Fatalf("trial %d (%s): stopped early without cap flag", trial, meth.Name())
+		}
+	}
+}
+
+// Coverage counts must be exactly reproducible by replaying the result
+// onto a fresh map — the property Fig. 7 relies on.
+func TestPropertyReplayEquivalence(t *testing.T) {
+	r := rng.New(1234)
+	for trial := 0; trial < 8; trial++ {
+		side := 40.0
+		field := geom.Square(side)
+		pts := lowdisc.Halton{}.Points(300, field)
+		k := 1 + r.Intn(2)
+		build := func() *coverage.Map {
+			m := coverage.New(field, pts, 4, k)
+			rr := rng.New(42 + uint64(trial))
+			for id := 0; id < 30; id++ {
+				m.AddSensor(id, rr.PointInRect(field))
+			}
+			return m
+		}
+		m := build()
+		res := (VoronoiDECOR{Rc: 8}).Deploy(m, rng.New(7), Options{})
+		replay := build()
+		for _, pl := range res.Placed {
+			replay.AddSensor(pl.ID, pl.Pos)
+		}
+		for i := 0; i < m.NumPoints(); i++ {
+			if m.Count(i) != replay.Count(i) {
+				t.Fatalf("trial %d: replay count mismatch at point %d", trial, i)
+			}
+		}
+	}
+}
+
+// The algorithms are not tied to square fields: a long thin rectangle
+// deploys and restores correctly with every method.
+func TestNonSquareField(t *testing.T) {
+	field := geom.RectWH(0, 0, 120, 20)
+	pts := lowdisc.Halton{}.Points(480, field)
+	for _, meth := range allMethods() {
+		m := coverage.New(field, pts, 4, 2)
+		r := rng.New(5)
+		for id := 0; id < 30; id++ {
+			m.AddSensor(id, r.PointInRect(field))
+		}
+		res := meth.Deploy(m, rng.New(6), Options{})
+		if !m.FullyCovered() {
+			t.Fatalf("%s: rectangular field not covered", meth.Name())
+		}
+		for _, pl := range res.Placed {
+			if !field.Contains(pl.Pos) {
+				t.Fatalf("%s: placement %v outside rectangle", meth.Name(), pl.Pos)
+			}
+		}
+	}
+}

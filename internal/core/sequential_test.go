@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"decor/internal/rng"
+)
+
+// The concurrency ablation (DESIGN.md §5): serializing the distributed
+// execution removes same-round races, so the sequential variants place
+// no more — and typically fewer — sensors than the concurrent ones,
+// moving toward the centralized bound.
+
+func TestSequentialPlacesNoMoreThanConcurrent(t *testing.T) {
+	type pair struct {
+		conc Method
+		seq  Method
+	}
+	pairs := []pair{
+		{GridDECOR{CellSize: 5}, GridDECOR{CellSize: 5, Sequential: true}},
+		{GridDECOR{CellSize: 10}, GridDECOR{CellSize: 10, Sequential: true}},
+		{VoronoiDECOR{Rc: 8}, VoronoiDECOR{Rc: 8, Sequential: true}},
+	}
+	for _, pr := range pairs {
+		concTotal, seqTotal := 0, 0
+		for seed := uint64(1); seed <= 3; seed++ {
+			mc := newField(t, 2, 50, seed)
+			rc := pr.conc.Deploy(mc, rng.New(seed+5), Options{})
+			ms := newField(t, 2, 50, seed)
+			rs := pr.seq.Deploy(ms, rng.New(seed+5), Options{})
+			if !mc.FullyCovered() || !ms.FullyCovered() {
+				t.Fatalf("%s: incomplete deployment", pr.conc.Name())
+			}
+			concTotal += rc.NumPlaced()
+			seqTotal += rs.NumPlaced()
+		}
+		// Allow small stochastic wobble but require the ablation not to
+		// be worse overall.
+		if seqTotal > concTotal+concTotal/20 {
+			t.Errorf("%s: sequential placed %d vs concurrent %d — serialization should not cost nodes",
+				pr.conc.Name(), seqTotal, concTotal)
+		}
+	}
+}
+
+func TestSequentialStillDistributedBound(t *testing.T) {
+	// Serialized DECOR still cannot beat the centralized greedy: its
+	// candidate sets and benefit horizons remain local.
+	centTotal, seqTotal := 0, 0
+	for seed := uint64(1); seed <= 3; seed++ {
+		mc := newField(t, 2, 50, seed)
+		rc := (Centralized{}).Deploy(mc, rng.New(seed+5), Options{})
+		ms := newField(t, 2, 50, seed)
+		rs := (GridDECOR{CellSize: 5, Sequential: true}).Deploy(ms, rng.New(seed+5), Options{})
+		centTotal += rc.NumPlaced()
+		seqTotal += rs.NumPlaced()
+	}
+	if seqTotal < centTotal {
+		t.Errorf("sequential grid (%d) beat centralized (%d): locality penalty vanished?",
+			seqTotal, centTotal)
+	}
+}
+
+func TestSequentialRoundsEqualPlacements(t *testing.T) {
+	m := newField(t, 1, 50, 2)
+	res := (VoronoiDECOR{Rc: 8, Sequential: true}).Deploy(m, rng.New(3), Options{})
+	if res.Rounds != res.NumPlaced() {
+		t.Errorf("sequential: rounds %d != placements %d", res.Rounds, res.NumPlaced())
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"decor/internal/failure"
+	"decor/internal/rng"
+)
+
+// Soak test: long randomized churn across every method — deploy, fail,
+// restore, verify invariants — catching interaction bugs the targeted
+// tests miss. Skipped with -short.
+func TestSoakDeployFailRestore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	r := rng.New(31337)
+	methods := []Method{
+		Centralized{},
+		RandomPlacement{},
+		GridDECOR{CellSize: 5},
+		GridDECOR{CellSize: 10},
+		VoronoiDECOR{Rc: 8},
+		VoronoiDECOR{Rc: 14.142135623730951},
+		RegularLattice{},
+		Centralized{NewRs: 6},
+		GridDECOR{CellSize: 5, NewRs: 6},
+		VoronoiDECOR{Rc: 8, NewRs: 6},
+	}
+	for trial := 0; trial < 40; trial++ {
+		m, _ := randomScenario(r)
+		deployer := methods[r.Intn(len(methods))]
+		deployer.Deploy(m, r.Split(), Options{})
+		if !m.FullyCovered() {
+			t.Fatalf("trial %d: %s deploy incomplete", trial, deployer.Name())
+		}
+		// Several failure/restore cycles with varying models and
+		// repairers.
+		cycles := 1 + r.Intn(3)
+		for cy := 0; cy < cycles; cy++ {
+			var model failure.Model
+			switch r.Intn(3) {
+			case 0:
+				model = failure.Random{Fraction: 0.1 + r.Float64()*0.3}
+			case 1:
+				model = failure.AreaRandomCenter{Radius: 5 + r.Float64()*10}
+			default:
+				model = failure.Correlated{Clusters: 1 + r.Intn(3), Radius: 8, P: 0.9}
+			}
+			ids := model.Select(m, r.Split())
+			failure.Apply(m, ids)
+			repairer := methods[r.Intn(len(methods))]
+			repairer.Deploy(m, r.Split(), Options{})
+			if !m.FullyCovered() {
+				t.Fatalf("trial %d cycle %d: %s after %s restore incomplete",
+					trial, cy, repairer.Name(), model.Name())
+			}
+			// Coverage counts must stay consistent with the sensor set.
+			checkConsistency(t, m, trial, cy)
+		}
+	}
+}
+
+func checkConsistency(t *testing.T, m interface {
+	NumPoints() int
+	Count(int) int
+	K() int
+	NumDeficient() int
+}, trial, cy int) {
+	t.Helper()
+	deficient := 0
+	for i := 0; i < m.NumPoints(); i++ {
+		if m.Count(i) < m.K() {
+			deficient++
+		}
+	}
+	if deficient != m.NumDeficient() {
+		t.Fatalf("trial %d cycle %d: deficient bookkeeping drifted (%d vs %d)",
+			trial, cy, deficient, m.NumDeficient())
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"decor/internal/coverage"
+	"decor/internal/geom"
+	"decor/internal/partition"
+	"decor/internal/rng"
+)
+
+// VoronoiDECOR is the paper's Voronoi-based DECOR variant (§3.1,
+// Definition 1): every sensor owns the sample points closest to it among
+// the sensors within its communication radius Rc, estimates their
+// coverage (accurate because rs <= rc), and greedily places new sensors
+// at its most beneficial deficient owned point. Newly placed sensors
+// carve out their own local Voronoi cells and continue the expansion,
+// "gradually covering the entire uncovered region".
+//
+// The paper evaluates Rc = 2·rs = 8 ("small rc") and Rc = 10·√2 ≈ 14.14
+// ("big rc", matching the maximum inter-leader distance of the 5×5 grid).
+type VoronoiDECOR struct {
+	Rc float64
+	// Sequential serializes the distributed execution: one placement per
+	// round (see GridDECOR.Sequential).
+	Sequential bool
+	// NewRs overrides the sensing radius of newly placed sensors
+	// (0 = the map default).
+	NewRs float64
+}
+
+// Name implements Method.
+func (v VoronoiDECOR) Name() string {
+	if v.Rc <= 10 {
+		return "voronoi-small"
+	}
+	return "voronoi-big"
+}
+
+// Deploy implements Method.
+func (v VoronoiDECOR) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
+	validateDeployInputs(m, r)
+	if v.Rc < m.Rs() {
+		panic("core: VoronoiDECOR requires rc >= rs (paper §2)")
+	}
+	newRs := v.NewRs
+	if newRs <= 0 {
+		newRs = m.Rs()
+	}
+	if newRs > v.Rc {
+		panic("core: VoronoiDECOR requires rs <= rc for new sensors too")
+	}
+	res := Result{Method: v.Name(), NodeMessages: map[int]int{}}
+
+	pts := make([]geom.Point, m.NumPoints())
+	for i := range pts {
+		pts[i] = m.Point(i)
+	}
+	vor := partition.NewVoronoi(m.Field(), pts, v.Rc)
+	for _, id := range m.SensorIDs() {
+		p, _ := m.SensorPos(id)
+		vor.AddSensor(id, p)
+	}
+
+	nextID := nextSensorID(m)
+	for round := 0; !m.FullyCovered() && round < opt.maxRounds(); round++ {
+		if res.Capped {
+			break
+		}
+		snap := m.Counts()
+		type placement struct {
+			owner int
+			pos   geom.Point
+		}
+		var decided []placement
+		// Every sensor alive at round start acts concurrently on the
+		// round-start snapshot and ownership.
+		for _, id := range vor.SensorIDs() {
+			if v.Sequential && len(decided) > 0 {
+				break
+			}
+			owned := vor.OwnedPoints(id)
+			if len(owned) == 0 {
+				continue
+			}
+			nodePos, _ := m.SensorPos(id)
+			perceive := func(i int) int {
+				// The node accurately knows the coverage of every point
+				// within its communication radius (§3.3, rs <= rc).
+				if nodePos.Dist2(m.Point(i)) > v.Rc*v.Rc {
+					return -1
+				}
+				return snap[i]
+			}
+			if idx, _, ok := bestCandidateRadius(m, newRs, owned, perceive); ok {
+				decided = append(decided, placement{owner: id, pos: m.Point(idx)})
+			}
+		}
+		if len(decided) == 0 {
+			// Remaining deficient points are orphans outside every
+			// sensor's communication radius; the base station seeds the
+			// lowest one (the paper's empty-region fallback).
+			unc := m.UncoveredPoints()
+			if len(unc) == 0 {
+				break
+			}
+			decided = append(decided, placement{owner: -1, pos: m.Point(unc[0])})
+			res.Seeded++
+		}
+		// Apply placements at the end of the round; ownership and
+		// coverage notifications propagate before the next round.
+		for _, d := range decided {
+			if len(res.Placed) >= opt.maxPlacements() {
+				res.Capped = true
+				break
+			}
+			if d.owner >= 0 {
+				// The placing node announces the new sensor to its 1-hop
+				// neighborhood: one message per communication neighbor,
+				// plus one to initialize the new node. Message cost is
+				// therefore proportional to rc, as in Fig. 10.
+				n := len(vor.Neighbors(d.owner)) + 1
+				res.Messages += n
+				res.NodeMessages[d.owner] += n
+			}
+			id := nextID
+			nextID++
+			m.AddSensorRadius(id, d.pos, newRs)
+			vor.AddSensor(id, d.pos)
+			res.Placed = append(res.Placed, Placement{ID: id, Pos: d.pos, Round: round})
+		}
+		res.Rounds = round + 1
+	}
+	// One node per cell: normalize messages by the final node count.
+	res.Cells = m.NumSensors()
+	return res
+}
+
+// interface check
+var _ Method = VoronoiDECOR{}
+var _ Method = GridDECOR{}
+var _ Method = Centralized{}
+var _ Method = RandomPlacement{}

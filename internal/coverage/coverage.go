@@ -1,0 +1,403 @@
+// Package coverage maintains the discrete k-coverage state at the core of
+// DECOR: a field approximated by a low-discrepancy sample-point set, a set
+// of sensors with sensing radius rs, and per-point coverage counts k_p.
+//
+// It supports incremental sensor addition/removal (O(points within rs)),
+// the paper's benefit function (Eq. 1), coverage-fraction metrics, and the
+// end-of-run redundant-node identification from §4.
+package coverage
+
+import (
+	"fmt"
+	"sort"
+
+	"decor/internal/geom"
+	"decor/internal/index"
+)
+
+// Map is the coverage state of one field. It is not safe for concurrent
+// mutation.
+type Map struct {
+	field geom.Rect
+	rs    float64
+	k     int
+
+	pts       []geom.Point
+	ptIdx     *index.Grid
+	counts    []int
+	deficient int // number of points with counts[i] < k
+
+	sensors   map[int]geom.Point
+	sensorIdx *index.Grid
+	// sensorRs holds per-sensor sensing radii for heterogeneous
+	// deployments (paper §2: radii "may vary, depending on the type of
+	// the sensors and on the deployment conditions"). Sensors absent
+	// from the map use the default rs.
+	sensorRs map[int]float64
+	maxRs    float64 // largest radius ever added; bounds ball queries
+}
+
+// New creates a coverage map over field, approximated by pts, with sensing
+// radius rs and reliability requirement k. It panics on invalid rs or k —
+// these are programmer errors, not runtime conditions.
+func New(field geom.Rect, pts []geom.Point, rs float64, k int) *Map {
+	if rs <= 0 {
+		panic("coverage: rs must be positive")
+	}
+	if k < 1 {
+		panic("coverage: k must be >= 1")
+	}
+	m := &Map{
+		field:     field,
+		rs:        rs,
+		k:         k,
+		pts:       append([]geom.Point(nil), pts...),
+		ptIdx:     index.NewGrid(field, rs),
+		counts:    make([]int, len(pts)),
+		deficient: len(pts),
+		sensors:   make(map[int]geom.Point),
+		sensorIdx: index.NewGrid(field, rs),
+		sensorRs:  make(map[int]float64),
+		maxRs:     rs,
+	}
+	for i, p := range m.pts {
+		m.ptIdx.Insert(i, p)
+	}
+	return m
+}
+
+// Field returns the monitored rectangle.
+func (m *Map) Field() geom.Rect { return m.field }
+
+// Rs returns the sensing radius.
+func (m *Map) Rs() float64 { return m.rs }
+
+// K returns the reliability requirement.
+func (m *Map) K() int { return m.k }
+
+// SetK retunes the reliability requirement in place — the paper's §3
+// "the value of the parameter k can be tuned dynamically to achieve the
+// desired level of coverage required by the user". Raising k exposes
+// new deficits (restorable by any Method); lowering it turns surplus
+// sensors redundant (harvestable by RedundantSensors or a sleep
+// schedule). It panics for k < 1.
+func (m *Map) SetK(k int) {
+	if k < 1 {
+		panic("coverage: k must be >= 1")
+	}
+	if k == m.k {
+		return
+	}
+	m.k = k
+	m.deficient = 0
+	for _, c := range m.counts {
+		if c < k {
+			m.deficient++
+		}
+	}
+}
+
+// NumPoints returns the number of sample points.
+func (m *Map) NumPoints() int { return len(m.pts) }
+
+// Point returns sample point i.
+func (m *Map) Point(i int) geom.Point { return m.pts[i] }
+
+// Count returns the current coverage count k_p of sample point i.
+func (m *Map) Count(i int) int { return m.counts[i] }
+
+// Counts returns a copy of all coverage counts (a snapshot, used by the
+// round-based distributed simulation).
+func (m *Map) Counts() []int { return append([]int(nil), m.counts...) }
+
+// Deficit returns max(k - k_p, 0) for sample point i.
+func (m *Map) Deficit(i int) int {
+	if d := m.k - m.counts[i]; d > 0 {
+		return d
+	}
+	return 0
+}
+
+// NumDeficient returns the number of sample points with k_p < k.
+func (m *Map) NumDeficient() int { return m.deficient }
+
+// FullyCovered reports whether every sample point is k-covered.
+func (m *Map) FullyCovered() bool { return m.deficient == 0 }
+
+// NumSensors returns the number of deployed sensors.
+func (m *Map) NumSensors() int { return len(m.sensors) }
+
+// SensorIDs returns all sensor IDs in ascending order.
+func (m *Map) SensorIDs() []int {
+	out := make([]int, 0, len(m.sensors))
+	for id := range m.sensors {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// SensorPos returns the position of a sensor and whether it exists.
+func (m *Map) SensorPos(id int) (geom.Point, bool) {
+	p, ok := m.sensors[id]
+	return p, ok
+}
+
+// AddSensor deploys a sensor with the given id at p with the map's
+// default sensing radius, incrementing the coverage counts of all sample
+// points within it. It panics on duplicate id.
+func (m *Map) AddSensor(id int, p geom.Point) {
+	m.AddSensorRadius(id, p, m.rs)
+}
+
+// AddSensorRadius deploys a sensor with its own sensing radius — the
+// paper's heterogeneous setting (§2), where radii vary with sensor type
+// and deployment conditions. It panics on duplicate id or non-positive
+// radius.
+func (m *Map) AddSensorRadius(id int, p geom.Point, rs float64) {
+	if _, ok := m.sensors[id]; ok {
+		panic(fmt.Sprintf("coverage: duplicate sensor id %d", id))
+	}
+	if rs <= 0 {
+		panic("coverage: sensor radius must be positive")
+	}
+	m.sensors[id] = p
+	m.sensorIdx.Insert(id, p)
+	if rs != m.rs {
+		m.sensorRs[id] = rs
+	}
+	if rs > m.maxRs {
+		m.maxRs = rs
+	}
+	m.ptIdx.VisitBall(p, rs, func(i int, _ geom.Point) bool {
+		m.counts[i]++
+		if m.counts[i] == m.k {
+			m.deficient--
+		}
+		return true
+	})
+}
+
+// MaxSensorRadius returns the largest sensing radius ever deployed on
+// this map (at least the default rs). Spatial queries that must not miss
+// any sensor's footprint use it as their search radius.
+func (m *Map) MaxSensorRadius() float64 { return m.maxRs }
+
+// SensorRadius returns the sensing radius of sensor id (the map default
+// if the sensor was added homogeneously) and whether the sensor exists.
+func (m *Map) SensorRadius(id int) (float64, bool) {
+	if _, ok := m.sensors[id]; !ok {
+		return 0, false
+	}
+	if r, ok := m.sensorRs[id]; ok {
+		return r, true
+	}
+	return m.rs, true
+}
+
+// RemoveSensor removes the sensor, decrementing coverage counts, and
+// reports whether it existed.
+func (m *Map) RemoveSensor(id int) bool {
+	p, ok := m.sensors[id]
+	if !ok {
+		return false
+	}
+	rs, _ := m.SensorRadius(id)
+	delete(m.sensors, id)
+	delete(m.sensorRs, id)
+	m.sensorIdx.Remove(id)
+	m.ptIdx.VisitBall(p, rs, func(i int, _ geom.Point) bool {
+		if m.counts[i] == m.k {
+			m.deficient++
+		}
+		m.counts[i]--
+		return true
+	})
+	return true
+}
+
+// CoverageFrac returns the fraction of sample points covered by at least
+// level sensors. CoverageFrac(k) is the paper's "percentage of k-covered
+// points" metric; CoverageFrac(1) its "covered" metric under failures.
+func (m *Map) CoverageFrac(level int) float64 {
+	if len(m.pts) == 0 {
+		return 1
+	}
+	n := 0
+	for _, c := range m.counts {
+		if c >= level {
+			n++
+		}
+	}
+	return float64(n) / float64(len(m.pts))
+}
+
+// VisitPointsInBall calls fn(i, p) for each sample point within r of c.
+func (m *Map) VisitPointsInBall(c geom.Point, r float64, fn func(i int, p geom.Point) bool) {
+	m.ptIdx.VisitBall(c, r, fn)
+}
+
+// PointsInBall returns the indices of sample points within r of c, sorted
+// ascending for determinism.
+func (m *Map) PointsInBall(c geom.Point, r float64) []int {
+	out := m.ptIdx.Ball(c, r)
+	sort.Ints(out)
+	return out
+}
+
+// SensorsInBall returns the IDs of sensors within r of c, sorted.
+func (m *Map) SensorsInBall(c geom.Point, r float64) []int {
+	out := m.sensorIdx.Ball(c, r)
+	sort.Ints(out)
+	return out
+}
+
+// Benefit computes the paper's Eq. 1 for a candidate sensor position c
+// against the map's current counts:
+//
+//	b(c) = Σ_{p: d(p,c) <= rs} max(k − k_p, 0)
+func (m *Map) Benefit(c geom.Point) int {
+	return m.BenefitRadius(c, m.rs)
+}
+
+// BenefitRadius computes Eq. 1 for a candidate sensor whose sensing
+// radius differs from the map default (heterogeneous deployments, §2).
+func (m *Map) BenefitRadius(c geom.Point, rs float64) int {
+	b := 0
+	m.ptIdx.VisitBall(c, rs, func(i int, _ geom.Point) bool {
+		if d := m.k - m.counts[i]; d > 0 {
+			b += d
+		}
+		return true
+	})
+	return b
+}
+
+// BenefitWith computes Eq. 1 using an arbitrary perceived-count function,
+// letting distributed nodes evaluate benefit against their own (possibly
+// stale or partial) knowledge. Points for which perceived returns a
+// negative value are treated as unknown and skipped.
+func (m *Map) BenefitWith(c geom.Point, perceived func(i int) int) int {
+	return m.BenefitWithRadius(c, m.rs, perceived)
+}
+
+// BenefitWithRadius is BenefitWith for a candidate sensor with its own
+// sensing radius (heterogeneous distributed deployments).
+func (m *Map) BenefitWithRadius(c geom.Point, rs float64, perceived func(i int) int) int {
+	b := 0
+	m.ptIdx.VisitBall(c, rs, func(i int, _ geom.Point) bool {
+		kp := perceived(i)
+		if kp < 0 {
+			return true
+		}
+		if d := m.k - kp; d > 0 {
+			b += d
+		}
+		return true
+	})
+	return b
+}
+
+// UncoveredPoints returns the indices of all sample points with k_p < k,
+// sorted ascending.
+func (m *Map) UncoveredPoints() []int {
+	var out []int
+	for i, c := range m.counts {
+		if c < m.k {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// IsRedundant reports whether removing sensor id would keep every sample
+// point it covers at k_p >= k (i.e. all its covered points have counts
+// strictly above k, or are already below k and thus not "achieved" by it).
+//
+// The paper defines a redundant node as one that "does not contribute to
+// the coverage of the area": eliminating it still achieves k-coverage of
+// every point it covers to at least the level the point had.
+func (m *Map) IsRedundant(id int) bool {
+	p, ok := m.sensors[id]
+	if !ok {
+		return false
+	}
+	rs, _ := m.SensorRadius(id)
+	redundant := true
+	m.ptIdx.VisitBall(p, rs, func(i int, _ geom.Point) bool {
+		// Removing the sensor lowers this point's count by one. The node
+		// "contributes" if that would take a currently >=k point below k,
+		// or reduce an under-covered point further.
+		if m.counts[i] <= m.k {
+			redundant = false
+			return false
+		}
+		return true
+	})
+	return redundant
+}
+
+// RedundantSensors greedily identifies a maximal removable set: sensors
+// whose sequential elimination (ascending ID) never drops any sample point
+// below its requirement. The map is restored before returning; only the
+// identified IDs are reported.
+func (m *Map) RedundantSensors() []int {
+	var removed []int
+	ids := m.SensorIDs()
+	type saved struct {
+		pos geom.Point
+		rs  float64
+	}
+	state := make(map[int]saved, len(ids))
+	for {
+		progress := false
+		for _, id := range ids {
+			if _, gone := state[id]; gone {
+				continue
+			}
+			if m.IsRedundant(id) {
+				rs, _ := m.SensorRadius(id)
+				state[id] = saved{pos: m.sensors[id], rs: rs}
+				m.RemoveSensor(id)
+				removed = append(removed, id)
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	// Restore.
+	for _, id := range removed {
+		m.AddSensorRadius(id, state[id].pos, state[id].rs)
+	}
+	sort.Ints(removed)
+	return removed
+}
+
+// Clone returns a deep copy of the coverage map, including sensors and
+// their individual radii.
+func (m *Map) Clone() *Map {
+	c := New(m.field, m.pts, m.rs, m.k)
+	for id, p := range m.sensors {
+		rs, _ := m.SensorRadius(id)
+		c.AddSensorRadius(id, p, rs)
+	}
+	return c
+}
+
+// CoverageHistogram returns counts[j] = number of sample points covered by
+// exactly j sensors, for j in [0, max].
+func (m *Map) CoverageHistogram() []int {
+	maxC := 0
+	for _, c := range m.counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	hist := make([]int, maxC+1)
+	for _, c := range m.counts {
+		hist[c]++
+	}
+	return hist
+}

@@ -1,0 +1,143 @@
+package coverage
+
+import (
+	"testing"
+
+	"decor/internal/geom"
+	"decor/internal/lowdisc"
+	"decor/internal/rng"
+)
+
+// Heterogeneous-radius tests: the paper's §2 allows sensing radii to
+// vary per sensor; the map must track each sensor's own footprint.
+
+func TestAddSensorRadiusCounts(t *testing.T) {
+	field := geom.Square(40)
+	pts := []geom.Point{{X: 10, Y: 10}, {X: 16, Y: 10}, {X: 30, Y: 10}}
+	m := New(field, pts, 4, 1)
+	// Default-radius sensor covers only point 0.
+	m.AddSensor(1, geom.Pt(10, 10))
+	if m.Count(0) != 1 || m.Count(1) != 0 {
+		t.Fatalf("default radius counts: %d %d", m.Count(0), m.Count(1))
+	}
+	// A long-range sensor at the same spot covers points 0 and 1.
+	m.AddSensorRadius(2, geom.Pt(10, 10), 7)
+	if m.Count(0) != 2 || m.Count(1) != 1 || m.Count(2) != 0 {
+		t.Fatalf("hetero counts: %d %d %d", m.Count(0), m.Count(1), m.Count(2))
+	}
+	// Removing the long-range sensor must undo exactly its footprint.
+	m.RemoveSensor(2)
+	if m.Count(0) != 1 || m.Count(1) != 0 {
+		t.Fatalf("post-removal counts: %d %d", m.Count(0), m.Count(1))
+	}
+}
+
+func TestSensorRadius(t *testing.T) {
+	field := geom.Square(40)
+	m := New(field, nil, 4, 1)
+	m.AddSensor(1, geom.Pt(5, 5))
+	m.AddSensorRadius(2, geom.Pt(9, 5), 6.5)
+	if r, ok := m.SensorRadius(1); !ok || r != 4 {
+		t.Errorf("default radius = %v %v", r, ok)
+	}
+	if r, ok := m.SensorRadius(2); !ok || r != 6.5 {
+		t.Errorf("custom radius = %v %v", r, ok)
+	}
+	if _, ok := m.SensorRadius(99); ok {
+		t.Error("missing sensor should report no radius")
+	}
+}
+
+func TestAddSensorRadiusValidation(t *testing.T) {
+	m := New(geom.Square(10), nil, 4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive radius should panic")
+		}
+	}()
+	m.AddSensorRadius(1, geom.Pt(5, 5), 0)
+}
+
+func TestHeteroRedundancyUsesOwnRadius(t *testing.T) {
+	field := geom.Square(40)
+	pts := []geom.Point{{X: 10, Y: 10}, {X: 20, Y: 10}}
+	m := New(field, pts, 4, 1)
+	// A wide sensor covers both points; a narrow one only point 0.
+	m.AddSensorRadius(1, geom.Pt(14, 10), 12)
+	m.AddSensor(2, geom.Pt(10, 10))
+	// Narrow sensor is redundant (both its points double-covered? point 0
+	// has count 2), wide sensor is not (point 1 would drop to 0).
+	if m.IsRedundant(1) {
+		t.Error("wide sensor wrongly redundant")
+	}
+	if !m.IsRedundant(2) {
+		t.Error("narrow sensor should be redundant")
+	}
+	red := m.RedundantSensors()
+	if len(red) != 1 || red[0] != 2 {
+		t.Errorf("RedundantSensors = %v", red)
+	}
+	// Restoration after RedundantSensors must preserve the custom radius.
+	if r, _ := m.SensorRadius(1); r != 12 {
+		t.Errorf("radius lost after RedundantSensors: %v", r)
+	}
+	if m.Count(1) != 1 {
+		t.Errorf("counts corrupted after restore: %d", m.Count(1))
+	}
+}
+
+func TestCloneKeepsRadii(t *testing.T) {
+	field := geom.Square(40)
+	pts := lowdisc.Halton{}.Points(100, field)
+	m := New(field, pts, 4, 1)
+	m.AddSensorRadius(7, geom.Pt(20, 20), 9)
+	c := m.Clone()
+	if r, ok := c.SensorRadius(7); !ok || r != 9 {
+		t.Errorf("clone radius = %v %v", r, ok)
+	}
+	for i := 0; i < m.NumPoints(); i++ {
+		if c.Count(i) != m.Count(i) {
+			t.Fatalf("clone count mismatch at %d", i)
+		}
+	}
+}
+
+// Property: heterogeneous counts always match brute force under churn
+// with mixed radii.
+func TestHeteroCountsMatchBruteForce(t *testing.T) {
+	r := rng.New(17)
+	field := geom.Square(60)
+	pts := lowdisc.Halton{}.Points(250, field)
+	m := New(field, pts, 3, 2)
+	type sensor struct {
+		pos geom.Point
+		rs  float64
+	}
+	alive := map[int]sensor{}
+	next := 0
+	for step := 0; step < 250; step++ {
+		if len(alive) == 0 || r.Float64() < 0.6 {
+			s := sensor{pos: r.PointInRect(field), rs: 1 + r.Float64()*9}
+			m.AddSensorRadius(next, s.pos, s.rs)
+			alive[next] = s
+			next++
+		} else {
+			for id := range alive {
+				m.RemoveSensor(id)
+				delete(alive, id)
+				break
+			}
+		}
+	}
+	for i := 0; i < m.NumPoints(); i++ {
+		want := 0
+		for _, s := range alive {
+			if s.pos.Dist2(m.Point(i)) <= s.rs*s.rs {
+				want++
+			}
+		}
+		if m.Count(i) != want {
+			t.Fatalf("point %d: count %d, want %d", i, m.Count(i), want)
+		}
+	}
+}

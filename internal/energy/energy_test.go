@@ -1,0 +1,158 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"decor/internal/core"
+	"decor/internal/coverage"
+	"decor/internal/geom"
+	"decor/internal/lowdisc"
+	"decor/internal/rng"
+)
+
+func TestModelCosts(t *testing.T) {
+	m := Default()
+	// TX at distance 0 equals pure electronics cost, which equals RX.
+	if got, want := m.TxCost(0), m.RxCost(); got != want {
+		t.Errorf("TxCost(0) = %v, RxCost = %v", got, want)
+	}
+	// TX grows quadratically with distance.
+	d1, d2 := m.TxCost(10)-m.TxCost(0), m.TxCost(20)-m.TxCost(0)
+	if math.Abs(d2/d1-4) > 1e-9 {
+		t.Errorf("amplifier term not quadratic: %v vs %v", d1, d2)
+	}
+	// LEACH numbers: 2000 bits at 50nJ/bit = 100 µJ electronics.
+	if got := m.RxCost(); math.Abs(got-100e-6) > 1e-12 {
+		t.Errorf("RxCost = %v, want 100e-6", got)
+	}
+}
+
+func TestAccountant(t *testing.T) {
+	a := NewAccountant(Default(), 1e-3)
+	a.ChargeTx(1, 10)
+	a.ChargeRx(1)
+	a.ChargeActive(1, 5)
+	a.ChargeSleep(1, 5)
+	want := Default().TxCost(10) + Default().RxCost() + 5*Default().ActivePerSec + 5*Default().SleepPerSec
+	if got := a.Spent(1); math.Abs(got-want) > 1e-18 {
+		t.Errorf("Spent = %v, want %v", got, want)
+	}
+	if a.Depleted(1) {
+		t.Error("node should not be depleted")
+	}
+	if got := a.Remaining(1); math.Abs(got-(1e-3-want)) > 1e-18 {
+		t.Errorf("Remaining = %v", got)
+	}
+	// Drain it.
+	a.ChargeActive(1, 1e6)
+	if !a.Depleted(1) || a.Remaining(1) != 0 {
+		t.Error("node should be depleted with zero remaining")
+	}
+	if dead := a.DeadNodes(); len(dead) != 1 || dead[0] != 1 {
+		t.Errorf("DeadNodes = %v", dead)
+	}
+	// Untouched node.
+	if a.Depleted(2) || a.Spent(2) != 0 {
+		t.Error("fresh node state wrong")
+	}
+}
+
+func TestNewAccountantPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero capacity should panic")
+		}
+	}()
+	NewAccountant(Default(), 0)
+}
+
+func TestDeploymentCost(t *testing.T) {
+	field := geom.Square(50)
+	pts := lowdisc.Halton{}.Points(500, field)
+	m := coverage.New(field, pts, 4, 2)
+	r := rng.New(3)
+	for id := 0; id < 40; id++ {
+		m.AddSensor(id, r.PointInRect(field))
+	}
+	res := (core.VoronoiDECOR{Rc: 8}).Deploy(m, rng.New(4), core.Options{})
+	perNode, total := DeploymentCost(m, res, Default(), 8)
+	if total <= 0 {
+		t.Fatal("no deployment energy accounted")
+	}
+	sum := 0.0
+	for id, e := range perNode {
+		if e < 0 {
+			t.Fatalf("negative energy for node %d", id)
+		}
+		sum += e
+	}
+	if math.Abs(sum-total) > total*1e-12 {
+		t.Errorf("per-node sum %v != total %v", sum, total)
+	}
+	// Sanity scale: each message costs ~100-110 µJ TX; receivers add
+	// ~100 µJ each. Total for a few thousand messages stays under 10 J.
+	if total > 10 {
+		t.Errorf("total deployment energy implausibly high: %v J", total)
+	}
+	// A centralized run has no messages and hence no cost.
+	m2 := coverage.New(field, pts, 4, 2)
+	res2 := (core.Centralized{}).Deploy(m2, rng.New(4), core.Options{})
+	if _, tot2 := DeploymentCost(m2, res2, Default(), 8); tot2 != 0 {
+		t.Errorf("centralized deployment energy = %v, want 0", tot2)
+	}
+}
+
+func TestLifetimeEpochsScalesWithCovers(t *testing.T) {
+	model := Default()
+	const capacity = 1e-3 // small battery so the test is fast
+	const epochSec = 10
+	one := LifetimeEpochs([][]int{{1, 2, 3}}, model, capacity, epochSec, 8, 2)
+	if one == 0 {
+		t.Fatal("single cover should survive at least one epoch")
+	}
+	three := LifetimeEpochs([][]int{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}}, model, capacity, epochSec, 8, 2)
+	// Three disjoint covers should last roughly 3x as long: each node is
+	// awake only every third epoch.
+	ratio := float64(three) / float64(one)
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("lifetime ratio = %v (epochs %d vs %d), want ~3", ratio, three, one)
+	}
+}
+
+func TestLifetimeEpochsDegenerate(t *testing.T) {
+	if LifetimeEpochs(nil, Default(), 1, 1, 8, 1) != 0 {
+		t.Error("no covers should mean zero lifetime")
+	}
+	if LifetimeEpochs([][]int{{1}}, Default(), 0, 1, 8, 1) != 0 {
+		t.Error("zero capacity should mean zero lifetime")
+	}
+}
+
+// Leader rotation balances energy: with rotation, the max per-node
+// message count in a grid deployment stays near the mean; pin this by
+// accounting a real run's NodeMessages.
+func TestRotationSpreadsEnergy(t *testing.T) {
+	field := geom.Square(50)
+	pts := lowdisc.Halton{}.Points(500, field)
+	m := coverage.New(field, pts, 4, 3)
+	r := rng.New(7)
+	for id := 0; id < 60; id++ {
+		m.AddSensor(id, r.PointInRect(field))
+	}
+	res := (core.GridDECOR{CellSize: 5}).Deploy(m, rng.New(8), core.Options{})
+	if len(res.NodeMessages) < 10 {
+		t.Skip("too few talkative nodes to measure balance")
+	}
+	maxMsgs, sum := 0, 0
+	for _, n := range res.NodeMessages {
+		if n > maxMsgs {
+			maxMsgs = n
+		}
+		sum += n
+	}
+	mean := float64(sum) / float64(len(res.NodeMessages))
+	if float64(maxMsgs) > 25*mean {
+		t.Errorf("rotation failed to spread load: max %d vs mean %.1f", maxMsgs, mean)
+	}
+}

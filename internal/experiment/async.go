@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"decor/internal/core"
+	"decor/internal/protocol"
+	"decor/internal/sim"
+	"decor/internal/stats"
+)
+
+// ExtAsync compares the round-based execution model (internal/core) with
+// the fully event-driven one (internal/protocol): same algorithms, but
+// knowledge propagates at message latency instead of round barriers.
+// Series report sensors placed per k for both schemes in both models.
+func ExtAsync(cfg Config) Figure {
+	ks := kRange()
+	fig := Figure{
+		ID: "ext-async", Title: "Round-based vs event-driven execution (nodes placed)",
+		XLabel: "k", YLabel: "nodes placed for 100% coverage",
+	}
+	type variant struct {
+		label string
+		run   func(k, run int) float64
+	}
+	variants := []variant{
+		{"grid-round", func(k, run int) float64 {
+			m := cfg.NewMap(k, run)
+			res := (core.GridDECOR{CellSize: 5}).Deploy(m, cfg.DeployRNG(run), core.Options{})
+			return float64(res.NumPlaced())
+		}},
+		{"grid-event", func(k, run int) float64 {
+			m := cfg.NewMap(k, run)
+			w := protocol.NewWorld(m, 5, sim.NewEngine(0.05), 1)
+			protocol.RunDeployment(w)
+			return float64(len(w.PlacementLog))
+		}},
+		{"voronoi-round", func(k, run int) float64 {
+			m := cfg.NewMap(k, run)
+			res := (core.VoronoiDECOR{Rc: 2 * cfg.Rs}).Deploy(m, cfg.DeployRNG(run), core.Options{})
+			return float64(res.NumPlaced())
+		}},
+		{"voronoi-event", func(k, run int) float64 {
+			m := cfg.NewMap(k, run)
+			w := protocol.NewVoronoiWorld(m, 2*cfg.Rs, sim.NewEngine(0.05), 1)
+			protocol.RunVoronoiDeployment(w)
+			return float64(len(w.PlacementLog))
+		}},
+	}
+	for _, v := range variants {
+		ys := make([]float64, len(ks))
+		for i, kf := range ks {
+			vals := make([]float64, 0, cfg.Runs)
+			for run := 0; run < cfg.Runs; run++ {
+				vals = append(vals, v.run(int(kf), run))
+			}
+			ys[i] = stats.Mean(vals)
+		}
+		fig.Series = append(fig.Series, Series{Label: v.label, X: ks, Y: ys})
+	}
+	return fig
+}

@@ -1,0 +1,330 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConfigDefaultsMatchPaper(t *testing.T) {
+	c := Default()
+	if c.FieldSide != 100 || c.NumPoints != 2000 || c.Rs != 4 ||
+		c.InitialSensors != 200 || c.Runs != 5 || c.AreaFailureRadius != 24 {
+		t.Errorf("default config deviates from the paper: %+v", c)
+	}
+	if c.Generator != "halton" {
+		t.Errorf("generator = %q", c.Generator)
+	}
+	// The disaster disc covers ≈17% of the area (paper §4.2).
+	frac := c.AreaFailureDisk().Area() / (c.FieldSide * c.FieldSide)
+	if frac < 0.15 || frac > 0.20 {
+		t.Errorf("area failure fraction = %v", frac)
+	}
+}
+
+func TestNewMapReproducible(t *testing.T) {
+	c := Quick()
+	a := c.NewMap(2, 1)
+	b := c.NewMap(2, 1)
+	if a.NumSensors() != b.NumSensors() {
+		t.Fatal("initial sensor count differs")
+	}
+	for _, id := range a.SensorIDs() {
+		pa, _ := a.SensorPos(id)
+		pb, _ := b.SensorPos(id)
+		if !pa.Eq(pb) {
+			t.Fatal("initial sensors differ between identical configs")
+		}
+	}
+	// Different runs differ.
+	d := c.NewMap(2, 2)
+	same := true
+	for _, id := range a.SensorIDs() {
+		pa, _ := a.SensorPos(id)
+		pd, _ := d.SensorPos(id)
+		if !pa.Eq(pd) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different runs produced identical fields")
+	}
+}
+
+func TestMethodsLists(t *testing.T) {
+	c := Quick()
+	if got := len(c.Methods()); got != 6 {
+		t.Errorf("Methods = %d, want 6", got)
+	}
+	if got := len(c.DecorMethods()); got != 4 {
+		t.Errorf("DecorMethods = %d, want 4", got)
+	}
+}
+
+func checkFigure(t *testing.T, f Figure, wantSeries int) {
+	t.Helper()
+	if len(f.Series) != wantSeries {
+		t.Fatalf("%s: %d series, want %d", f.ID, len(f.Series), wantSeries)
+	}
+	n := len(f.Series[0].X)
+	for _, s := range f.Series {
+		if len(s.X) != n || len(s.Y) != n {
+			t.Fatalf("%s/%s: ragged series", f.ID, s.Label)
+		}
+	}
+	tbl := f.Table()
+	if !strings.Contains(tbl, f.ID) {
+		t.Errorf("%s: table missing figure id", f.ID)
+	}
+	csv := f.CSV()
+	if lines := strings.Count(csv, "\n"); lines != n+1 {
+		t.Errorf("%s: csv has %d lines, want %d", f.ID, lines, n+1)
+	}
+}
+
+func TestFig7ShapesAndMonotonicity(t *testing.T) {
+	f := Fig7(Quick())
+	checkFigure(t, f, 6)
+	for _, s := range f.Series {
+		last := -1.0
+		for i, y := range s.Y {
+			if y < last-1e-9 {
+				t.Errorf("fig7/%s: coverage decreased at x=%v", s.Label, s.X[i])
+			}
+			last = y
+			if y < 0 || y > 100 {
+				t.Errorf("fig7/%s: coverage %v out of range", s.Label, y)
+			}
+		}
+		// All informed methods must reach 100% within the axis range.
+		if s.Label != "random" && s.Y[len(s.Y)-1] < 99.9 {
+			t.Errorf("fig7/%s: final coverage %v < 100", s.Label, s.Y[len(s.Y)-1])
+		}
+	}
+	// The centralized curve must dominate every distributed variant at
+	// the midpoint of the axis (it is the efficiency ceiling).
+	byLabel := map[string][]float64{}
+	for _, s := range f.Series {
+		byLabel[s.Label] = s.Y
+	}
+	mid := len(f.Series[0].X) / 3
+	for _, name := range []string{"grid-small", "grid-big", "voronoi-small", "voronoi-big", "random"} {
+		if byLabel[name][mid] > byLabel["centralized"][mid]+1e-9 {
+			t.Errorf("fig7: %s (%f) above centralized (%f) at x=%v",
+				name, byLabel[name][mid], byLabel["centralized"][mid], f.Series[0].X[mid])
+		}
+	}
+}
+
+func TestFig8Ordering(t *testing.T) {
+	f := Fig8(Quick())
+	checkFigure(t, f, 6)
+	byLabel := map[string][]float64{}
+	for _, s := range f.Series {
+		byLabel[s.Label] = s.Y
+	}
+	for i := range kRange() {
+		cent := byLabel["centralized"][i]
+		rnd := byLabel["random"][i]
+		if rnd < 1.5*cent {
+			t.Errorf("fig8 k=%d: random (%v) should need far more than centralized (%v)", i+1, rnd, cent)
+		}
+		for _, name := range []string{"grid-small", "grid-big", "voronoi-small", "voronoi-big"} {
+			v := byLabel[name][i]
+			if v < cent-1e-9 {
+				t.Errorf("fig8 k=%d: %s (%v) below centralized (%v)", i+1, name, v, cent)
+			}
+			if v > rnd {
+				t.Errorf("fig8 k=%d: %s (%v) above random (%v)", i+1, name, v, rnd)
+			}
+		}
+		// Node demand grows with k for every method.
+		if i > 0 {
+			for name, ys := range byLabel {
+				if ys[i] < ys[i-1]-1e-9 {
+					t.Errorf("fig8: %s not monotone in k (%v -> %v)", name, ys[i-1], ys[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFig9RandomWastesMost(t *testing.T) {
+	f := Fig9(Quick())
+	checkFigure(t, f, 6)
+	byLabel := map[string][]float64{}
+	for _, s := range f.Series {
+		byLabel[s.Label] = s.Y
+	}
+	for i := range kRange() {
+		if byLabel["random"][i] < 30 {
+			t.Errorf("fig9 k=%d: random redundancy %v%% suspiciously low", i+1, byLabel["random"][i])
+		}
+		if byLabel["centralized"][i] > 25 {
+			t.Errorf("fig9 k=%d: centralized redundancy %v%% too high", i+1, byLabel["centralized"][i])
+		}
+		for _, name := range []string{"grid-small", "grid-big", "voronoi-small", "voronoi-big"} {
+			if byLabel[name][i] >= byLabel["random"][i] {
+				t.Errorf("fig9 k=%d: %s redundancy not below random", i+1, name)
+			}
+		}
+	}
+}
+
+func TestFig10MessageOverhead(t *testing.T) {
+	f := Fig10(Quick())
+	checkFigure(t, f, 4)
+	byLabel := map[string][]float64{}
+	for _, s := range f.Series {
+		byLabel[s.Label] = s.Y
+	}
+	for i := range kRange() {
+		// The paper: messages grow with cell size and with rc.
+		if byLabel["grid-big"][i] <= byLabel["grid-small"][i] {
+			t.Errorf("fig10 k=%d: grid-big (%v) not above grid-small (%v)",
+				i+1, byLabel["grid-big"][i], byLabel["grid-small"][i])
+		}
+		if byLabel["voronoi-big"][i] <= byLabel["voronoi-small"][i] {
+			t.Errorf("fig10 k=%d: voronoi-big (%v) not above voronoi-small (%v)",
+				i+1, byLabel["voronoi-big"][i], byLabel["voronoi-small"][i])
+		}
+		for name, ys := range byLabel {
+			if ys[i] <= 0 {
+				t.Errorf("fig10 k=%d: %s sent no messages", i+1, name)
+			}
+		}
+	}
+}
+
+func TestFig11FailureResilience(t *testing.T) {
+	f := Fig11(Quick())
+	checkFigure(t, f, 6)
+	for _, s := range f.Series {
+		if s.Y[0] < 99.9 {
+			t.Errorf("fig11/%s: 0%% failures should keep full coverage, got %v", s.Label, s.Y[0])
+		}
+		// Coverage decays (weakly) with the failure fraction.
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] > s.Y[i-1]+0.5 {
+				t.Errorf("fig11/%s: coverage increased with more failures", s.Label)
+			}
+		}
+		// A k=3 deployment tolerates 30% random failures gracefully
+		// (paper: well above 90% 1-coverage).
+		if last := s.Y[len(s.Y)-1]; last < 90 {
+			t.Errorf("fig11/%s: coverage at 30%% failures = %v, want >= 90", s.Label, last)
+		}
+	}
+}
+
+func TestFig12MoreKMoreTolerance(t *testing.T) {
+	cfg := Quick()
+	f := Fig12(cfg)
+	checkFigure(t, f, 6)
+	for _, s := range f.Series {
+		if s.Y[0] < 0 || s.Y[len(s.Y)-1] > 100 {
+			t.Errorf("fig12/%s: out of range %v", s.Label, s.Y)
+		}
+		// Tolerance must grow substantially from k=1 to k=5.
+		if s.Y[4] < s.Y[0] {
+			t.Errorf("fig12/%s: tolerance shrank with k: %v", s.Label, s.Y)
+		}
+		// Paper: for k >= 2, 1-coverage of 90% survives 30% failures.
+		if s.Y[1] < 30 {
+			t.Errorf("fig12/%s: k=2 tolerance %v < 30%%", s.Label, s.Y[1])
+		}
+	}
+}
+
+func TestFig13MethodIndependent(t *testing.T) {
+	cfg := Quick()
+	f := Fig13(cfg)
+	checkFigure(t, f, 6)
+	// The disaster destroys the same region for everyone: all methods
+	// lose a similar fraction (paper: "the percentage of k-covered points
+	// is the same for all deployment algorithms").
+	for i := range kRange() {
+		lo, hi := 101.0, -1.0
+		for _, s := range f.Series {
+			if s.Y[i] < lo {
+				lo = s.Y[i]
+			}
+			if s.Y[i] > hi {
+				hi = s.Y[i]
+			}
+		}
+		if hi-lo > 12 {
+			t.Errorf("fig13 k=%d: methods diverge too much (%v..%v)", i+1, lo, hi)
+		}
+		// The disc is ~18% of the test field: coverage should drop to
+		// roughly 75–95%.
+		if lo < 60 || hi > 99 {
+			t.Errorf("fig13 k=%d: implausible range %v..%v", i+1, lo, hi)
+		}
+	}
+}
+
+func TestFig14RestorationCost(t *testing.T) {
+	cfg := Quick()
+	f := Fig14(cfg)
+	checkFigure(t, f, 6)
+	byLabel := map[string][]float64{}
+	for _, s := range f.Series {
+		byLabel[s.Label] = s.Y
+	}
+	for i := range kRange() {
+		cent := byLabel["centralized"][i]
+		if cent <= 0 {
+			t.Errorf("fig14 k=%d: centralized restored with zero nodes", i+1)
+		}
+		if byLabel["random"][i] < cent {
+			t.Errorf("fig14 k=%d: random cheaper than centralized", i+1)
+		}
+	}
+	// Restoration cost grows with k for the informed methods.
+	for _, name := range []string{"centralized", "voronoi-small", "voronoi-big"} {
+		ys := byLabel[name]
+		if ys[4] <= ys[0] {
+			t.Errorf("fig14/%s: cost did not grow with k: %v", name, ys)
+		}
+	}
+}
+
+func TestByIDAndAllIDs(t *testing.T) {
+	cfg := Quick()
+	cfg.Runs = 1
+	for _, id := range AllIDs() {
+		f, err := ByID(id, cfg)
+		if err != nil {
+			t.Fatalf("ByID(%s): %v", id, err)
+		}
+		if f.ID != id {
+			t.Errorf("ByID(%s).ID = %s", id, f.ID)
+		}
+	}
+	if _, err := ByID("fig99", cfg); err == nil {
+		t.Error("unknown figure should error")
+	}
+	if _, err := ByID("fig5", cfg); err == nil {
+		t.Error("illustration figures have no data series")
+	}
+}
+
+func TestTableErrShowsDispersion(t *testing.T) {
+	f := Fig8(Quick())
+	out := f.TableErr()
+	if !strings.Contains(out, "±") {
+		t.Errorf("TableErr missing dispersion markers:\n%s", out)
+	}
+	if !strings.Contains(out, "mean±std") {
+		t.Error("TableErr missing legend")
+	}
+	// Series without Err render their data rows plainly (the legend
+	// always mentions mean±std).
+	plain := Figure{ID: "x", Series: []Series{{Label: "a", X: []float64{1}, Y: []float64{2}}}}
+	lines := strings.Split(plain.TableErr(), "\n")
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "#") && strings.Contains(l, "±") {
+			t.Errorf("plain data row shows ±: %q", l)
+		}
+	}
+}

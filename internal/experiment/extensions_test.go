@@ -1,0 +1,335 @@
+package experiment
+
+import (
+	"testing"
+)
+
+func quickExt() Config {
+	c := Quick()
+	c.Runs = 1
+	c.FailureDraws = 2
+	return c
+}
+
+func TestExtAreaEstimationLowDiscrepancyWins(t *testing.T) {
+	cfg := quickExt()
+	f := ExtAreaEstimation(cfg)
+	checkFigure(t, f, 4)
+	byLabel := map[string][]float64{}
+	for _, s := range f.Series {
+		byLabel[s.Label] = s.Y
+	}
+	// At the largest N, every low-discrepancy family must beat uniform
+	// random points as an area estimator.
+	last := len(f.Series[0].X) - 1
+	for _, name := range []string{"halton", "hammersley", "sobol"} {
+		if byLabel[name][last] > byLabel["uniform"][last] {
+			t.Errorf("%s error %v not below uniform %v at N=4000",
+				name, byLabel[name][last], byLabel["uniform"][last])
+		}
+		// And the absolute error must be small (< 1.5 percentage point).
+		if byLabel[name][last] > 1.5 {
+			t.Errorf("%s error %v too large", name, byLabel[name][last])
+		}
+	}
+}
+
+func TestExtCellSizeSweepTradeOff(t *testing.T) {
+	f := ExtCellSizeSweep(quickExt())
+	checkFigure(t, f, 2)
+	var placed, msgs []float64
+	for _, s := range f.Series {
+		switch s.Label {
+		case "nodes-placed":
+			placed = s.Y
+		case "messages-per-cell":
+			msgs = s.Y
+		}
+	}
+	// Bigger cells -> better placement (fewer nodes) but more messages
+	// per cell: check the endpoints of the sweep.
+	n := len(placed)
+	if placed[n-1] >= placed[0] {
+		t.Errorf("placement did not improve with cell size: %v", placed)
+	}
+	if msgs[n-1] <= msgs[0] {
+		t.Errorf("messages did not grow with cell size: %v", msgs)
+	}
+}
+
+func TestExtGeneratorSweepSimilarity(t *testing.T) {
+	f := ExtGeneratorSweep(quickExt())
+	checkFigure(t, f, 8)
+	byLabel := map[string][]float64{}
+	for _, s := range f.Series {
+		byLabel[s.Label] = s.Y
+	}
+	// The paper: Hammersley "similar" to Halton. Allow 15% spread at
+	// every k between the two.
+	for i := range kRange() {
+		h, hm := byLabel["halton"][i], byLabel["hammersley"][i]
+		if diff := (h - hm) / h; diff > 0.15 || diff < -0.15 {
+			t.Errorf("k=%d: halton %v vs hammersley %v diverge", i+1, h, hm)
+		}
+	}
+}
+
+func TestExtCorrelatedFailuresMonotone(t *testing.T) {
+	f := ExtCorrelatedFailures(quickExt())
+	checkFigure(t, f, 6)
+	for _, s := range f.Series {
+		if s.Y[0] < 99.9 {
+			t.Errorf("%s: zero clusters should keep full coverage, got %v", s.Label, s.Y[0])
+		}
+		// Coverage decays (weakly, stochastic wobble allowed) with more
+		// clusters.
+		if s.Y[len(s.Y)-1] > s.Y[0] {
+			t.Errorf("%s: coverage grew with clusters", s.Label)
+		}
+	}
+}
+
+func TestExtConnectivityCorollary(t *testing.T) {
+	f := ExtConnectivity(quickExt())
+	checkFigure(t, f, 2)
+	for _, s := range f.Series {
+		for i, k := range kRange() {
+			if s.Y[i] < k {
+				t.Errorf("%s: connectivity %v below k=%v violates the corollary",
+					s.Label, s.Y[i], k)
+			}
+		}
+	}
+}
+
+func TestExtEnergyGrowsWithRc(t *testing.T) {
+	f := ExtEnergy(quickExt())
+	checkFigure(t, f, 4)
+	byLabel := map[string][]float64{}
+	for _, s := range f.Series {
+		byLabel[s.Label] = s.Y
+	}
+	for i := range kRange() {
+		if byLabel["voronoi-big"][i] <= byLabel["voronoi-small"][i] {
+			t.Errorf("k=%d: big-rc energy not above small-rc", i+1)
+		}
+		for name, ys := range byLabel {
+			if ys[i] <= 0 {
+				t.Errorf("k=%d: %s spent no energy", i+1, name)
+			}
+		}
+	}
+}
+
+func TestExtReliabilityBounds(t *testing.T) {
+	f := ExtReliability(quickExt())
+	checkFigure(t, f, 7)
+	byLabel := map[string][]float64{}
+	for _, s := range f.Series {
+		byLabel[s.Label] = s.Y
+	}
+	ideal := byLabel["ideal-1-q^k"]
+	for name, ys := range byLabel {
+		if name == "ideal-1-q^k" {
+			continue
+		}
+		for i := range ys {
+			// Real deployments have points covered MORE than k times, so
+			// they dominate the exactly-k ideal curve.
+			if ys[i] < ideal[i]-1e-6 {
+				t.Errorf("%s: expected coverage %v below ideal %v at q index %d",
+					name, ys[i], ideal[i], i)
+			}
+			if ys[i] > 100+1e-9 {
+				t.Errorf("%s: coverage > 100%%", name)
+			}
+		}
+	}
+	// q=0 means everything survives.
+	for name, ys := range byLabel {
+		if ys[0] < 99.999 {
+			t.Errorf("%s: q=0 coverage = %v", name, ys[0])
+		}
+	}
+}
+
+func TestExtHopsValidatesRcChoice(t *testing.T) {
+	f := ExtHops(quickExt())
+	checkFigure(t, f, 2)
+	var small, big []float64
+	for _, s := range f.Series {
+		if s.Label == "rc=14.14" {
+			big = s.Y
+		} else {
+			small = s.Y
+		}
+	}
+	for i := range kRange() {
+		// At rc = 10√2 adjacent leaders are always 1 hop apart — the
+		// paper's "no routing mechanism" claim.
+		if big[i] != 1 {
+			t.Errorf("k=%d: big-rc mean hops = %v, want exactly 1", i+1, big[i])
+		}
+		// At rc = 8 some leader pairs need relays.
+		if small[i] < 1 {
+			t.Errorf("k=%d: small-rc mean hops = %v below 1", i+1, small[i])
+		}
+	}
+	// Relaying must actually occur for at least one k.
+	any := false
+	for _, v := range small {
+		if v > 1.001 {
+			any = true
+		}
+	}
+	if !any {
+		t.Error("small rc never required relaying — suspicious")
+	}
+}
+
+func TestExtAsyncRegimes(t *testing.T) {
+	f := ExtAsync(quickExt())
+	checkFigure(t, f, 4)
+	byLabel := map[string][]float64{}
+	for _, s := range f.Series {
+		byLabel[s.Label] = s.Y
+	}
+	for i := range kRange() {
+		for _, scheme := range []string{"grid", "voronoi"} {
+			round := byLabel[scheme+"-round"][i]
+			event := byLabel[scheme+"-event"][i]
+			if event <= 0 || round <= 0 {
+				t.Fatalf("%s k=%d: zero placements", scheme, i+1)
+			}
+			// Same regime: within a factor of 2.5 of each other.
+			if event > 2.5*round || round > 2.5*event {
+				t.Errorf("%s k=%d: round %v vs event %v diverge", scheme, i+1, round, event)
+			}
+		}
+	}
+}
+
+func TestExtLocalizationAccuracy(t *testing.T) {
+	f := ExtLocalization(quickExt())
+	checkFigure(t, f, 2)
+	for _, s := range f.Series {
+		// DV-hop on a dense DECOR field should localize well under one
+		// rc at every anchor count, and improve from 3 anchors to 16.
+		for i, v := range s.Y {
+			if v <= 0 || v > 1.2 {
+				t.Errorf("%s: error/rc = %v at %v anchors", s.Label, v, s.X[i])
+			}
+		}
+		if s.Y[len(s.Y)-1] >= s.Y[0] {
+			t.Errorf("%s: more anchors did not improve accuracy (%v -> %v)",
+				s.Label, s.Y[0], s.Y[len(s.Y)-1])
+		}
+	}
+}
+
+func TestExtRobotLatency(t *testing.T) {
+	f := ExtRobot(quickExt())
+	checkFigure(t, f, 6)
+	byLabel := map[string][]float64{}
+	for _, s := range f.Series {
+		byLabel[s.Label] = s.Y
+	}
+	for i := range kRange() {
+		// Random placement scatters repairs across the whole field: its
+		// restoration latency must dwarf every informed method's.
+		for _, name := range []string{"centralized", "voronoi-small", "voronoi-big", "grid-small", "grid-big"} {
+			if byLabel[name][i] <= 0 {
+				t.Fatalf("%s k=%d: zero latency", name, i+1)
+			}
+			if byLabel["random"][i] < 2*byLabel[name][i] {
+				t.Errorf("k=%d: random latency %v not well above %s %v",
+					i+1, byLabel["random"][i], name, byLabel[name][i])
+			}
+		}
+	}
+	// Latency grows with k for the informed methods (more sensors to
+	// place).
+	for _, name := range []string{"centralized", "voronoi-big"} {
+		ys := byLabel[name]
+		if ys[4] <= ys[0] {
+			t.Errorf("%s: latency did not grow with k: %v", name, ys)
+		}
+	}
+}
+
+func TestExtHealingLatency(t *testing.T) {
+	f := ExtHealing(quickExt())
+	checkFigure(t, f, 3)
+	byLabel := map[string][]float64{}
+	for _, s := range f.Series {
+		byLabel[s.Label] = s.Y
+	}
+	for i := range kRange() {
+		a := byLabel["timeout=2xTc"][i]
+		b := byLabel["timeout=3xTc"][i]
+		c := byLabel["timeout=6xTc"][i]
+		if a <= 0 || b <= 0 || c <= 0 {
+			t.Fatalf("k=%d: healing never completed", i+1)
+		}
+		// A more patient detector heals strictly later.
+		if !(a < b && b < c) {
+			t.Errorf("k=%d: latency not ordered by timeout: %v %v %v", i+1, a, b, c)
+		}
+		// The timeout gap dominates: c - a ≈ 4 periods.
+		if diff := c - a; diff < 3 || diff > 5 {
+			t.Errorf("k=%d: timeout delta %v, want ~4 periods", i+1, diff)
+		}
+	}
+}
+
+func TestExtRelayFragmentation(t *testing.T) {
+	f := ExtRelay(quickExt())
+	checkFigure(t, f, 2)
+	var comps, relays []float64
+	for _, s := range f.Series {
+		switch s.Label {
+		case "components-before":
+			comps = s.Y
+		case "relays-added":
+			relays = s.Y
+		}
+	}
+	// Sparse low-k deployments fragment at rc = rs; density reconnects
+	// as k grows.
+	if comps[0] < 2 {
+		t.Errorf("k=1 should fragment at rc=rs, got %v components", comps[0])
+	}
+	if comps[len(comps)-1] > comps[0] {
+		t.Errorf("fragmentation should shrink with k: %v", comps)
+	}
+	for i := range comps {
+		// A fragmented network needs relays (a single relay can merge
+		// several islands at once, so no tighter count bound holds).
+		if comps[i] > 1 && relays[i] < 1 {
+			t.Errorf("k=%d: fragmented (%v components) but no relays added", i+1, comps[i])
+		}
+		if comps[i] == 1 && relays[i] != 0 {
+			t.Errorf("k=%d: relays added to a connected network", i+1)
+		}
+	}
+}
+
+func TestExtByIDAndIDs(t *testing.T) {
+	cfg := quickExt()
+	for _, id := range ExtIDs() {
+		// Just dispatch validity — individual behaviors covered above.
+		if id == "ext-area" || id == "ext-gen" || id == "ext-conn" {
+			continue // slower runners already executed in their own tests
+		}
+		f, err := ExtByID(id, cfg)
+		if err != nil {
+			t.Fatalf("ExtByID(%s): %v", id, err)
+		}
+		if f.ID != id {
+			t.Errorf("ExtByID(%s).ID = %s", id, f.ID)
+		}
+	}
+	if _, err := ExtByID("ext-nope", cfg); err == nil {
+		t.Error("unknown extension should error")
+	}
+}

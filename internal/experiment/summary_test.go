@@ -1,0 +1,49 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// The repository's headline regression test: the paper's quantitative
+// claims must keep reproducing. Single-run full-scale configuration to
+// stay fast; the tolerance slack absorbs the reduced averaging.
+func TestSummaryClaimsReproduce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale summary skipped in -short mode")
+	}
+	cfg := Default()
+	cfg.Runs = 1
+	cfg.FailureDraws = 3
+	claims := Summary(cfg)
+	if len(claims) != 10 {
+		t.Fatalf("claims = %d, want 10", len(claims))
+	}
+	failed := 0
+	for _, c := range claims {
+		if !c.Pass {
+			failed++
+			t.Logf("claim out of tolerance: %s (paper %g, measured %g)",
+				c.Label, c.Paper, c.Measured)
+		}
+	}
+	// With a single run a little noise is expected; at most one claim
+	// may drift out of tolerance.
+	if failed > 1 {
+		t.Errorf("%d/10 paper claims out of tolerance", failed)
+	}
+}
+
+func TestSummaryTableFormat(t *testing.T) {
+	claims := []Claim{
+		{Label: "a", Paper: 100, Measured: 105, RelTol: 0.1, Pass: true},
+		{Label: "b", Paper: 100, Measured: 300, RelTol: 0.1, Pass: false},
+	}
+	out := SummaryTable(claims)
+	if !strings.Contains(out, "1/2 claims within tolerance") {
+		t.Errorf("pass count missing:\n%s", out)
+	}
+	if !strings.Contains(out, "ok") || !strings.Contains(out, "FAIL") {
+		t.Errorf("verdicts missing:\n%s", out)
+	}
+}

@@ -1,0 +1,149 @@
+// Package failure implements the paper's two failure models (§2.1):
+// independent random node failures and geographic area failures (all
+// nodes in a disc destroyed, e.g. by a natural disaster), plus a
+// correlated cluster model as an extension, since the paper notes that
+// "in practice, failures are correlated (i.e., geographically)".
+package failure
+
+import (
+	"sort"
+
+	"decor/internal/coverage"
+	"decor/internal/geom"
+	"decor/internal/rng"
+)
+
+// Model selects which deployed sensors fail. Implementations must be
+// deterministic given the RNG stream.
+type Model interface {
+	// Name identifies the model in experiment output.
+	Name() string
+	// Select returns the IDs of sensors that fail, ascending. It must not
+	// mutate the map.
+	Select(m *coverage.Map, r *rng.RNG) []int
+}
+
+// Random fails a fixed fraction of the deployed sensors, chosen uniformly
+// without replacement — the x-axis of the paper's Fig. 11.
+type Random struct {
+	Fraction float64 // in [0, 1]
+}
+
+// Name implements Model.
+func (Random) Name() string { return "random" }
+
+// Select implements Model.
+func (f Random) Select(m *coverage.Map, r *rng.RNG) []int {
+	ids := m.SensorIDs()
+	k := int(f.Fraction*float64(len(ids)) + 0.5)
+	if k < 0 {
+		k = 0
+	}
+	if k > len(ids) {
+		k = len(ids)
+	}
+	picked := r.Sample(len(ids), k)
+	out := make([]int, k)
+	for i, idx := range picked {
+		out[i] = ids[idx]
+	}
+	sort.Ints(out)
+	return out
+}
+
+// IID fails each sensor independently with probability Q — the paper's
+// analytical model where a point covered by k sensors survives with
+// probability 1 − q^k.
+type IID struct {
+	Q float64
+}
+
+// Name implements Model.
+func (IID) Name() string { return "iid" }
+
+// Select implements Model.
+func (f IID) Select(m *coverage.Map, r *rng.RNG) []int {
+	var out []int
+	for _, id := range m.SensorIDs() {
+		if r.Bool(f.Q) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Area destroys every sensor inside a disc — the paper's natural-disaster
+// model (Fig. 6 and Figs. 13–14 use radius 24, about 17% of the field).
+type Area struct {
+	Disk geom.Disk
+}
+
+// Name implements Model.
+func (Area) Name() string { return "area" }
+
+// Select implements Model.
+func (f Area) Select(m *coverage.Map, _ *rng.RNG) []int {
+	return m.SensorsInBall(f.Disk.Center, f.Disk.R)
+}
+
+// AreaRandomCenter destroys every sensor inside a disc of the given
+// radius whose center is drawn uniformly from the field inset so that the
+// disc stays inside the monitored area.
+type AreaRandomCenter struct {
+	Radius float64
+}
+
+// Name implements Model.
+func (AreaRandomCenter) Name() string { return "area-random" }
+
+// Select implements Model.
+func (f AreaRandomCenter) Select(m *coverage.Map, r *rng.RNG) []int {
+	inner := m.Field().Inset(f.Radius)
+	c := r.PointInRect(inner)
+	return m.SensorsInBall(c, f.Radius)
+}
+
+// Correlated is a Matérn-style cluster failure model: Clusters centers
+// are drawn uniformly and every sensor within Radius of a center fails
+// independently with probability P.
+type Correlated struct {
+	Clusters int
+	Radius   float64
+	P        float64
+}
+
+// Name implements Model.
+func (Correlated) Name() string { return "correlated" }
+
+// Select implements Model.
+func (f Correlated) Select(m *coverage.Map, r *rng.RNG) []int {
+	failed := map[int]bool{}
+	for c := 0; c < f.Clusters; c++ {
+		center := r.PointInRect(m.Field())
+		for _, id := range m.SensorsInBall(center, f.Radius) {
+			if !failed[id] && r.Bool(f.P) {
+				failed[id] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(failed))
+	for id := range failed {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Apply removes the selected sensors from the coverage map and returns
+// their former positions so callers (e.g. restoration experiments) can
+// inspect or report them.
+func Apply(m *coverage.Map, ids []int) map[int]geom.Point {
+	removed := make(map[int]geom.Point, len(ids))
+	for _, id := range ids {
+		if p, ok := m.SensorPos(id); ok {
+			removed[id] = p
+			m.RemoveSensor(id)
+		}
+	}
+	return removed
+}

@@ -1,0 +1,181 @@
+package failure
+
+import (
+	"math"
+	"testing"
+
+	"decor/internal/coverage"
+	"decor/internal/geom"
+	"decor/internal/lowdisc"
+	"decor/internal/rng"
+)
+
+func deployedMap(n int, seed uint64) *coverage.Map {
+	field := geom.Square(100)
+	pts := lowdisc.Halton{}.Points(500, field)
+	m := coverage.New(field, pts, 4, 1)
+	r := rng.New(seed)
+	for id := 0; id < n; id++ {
+		m.AddSensor(id, r.PointInRect(field))
+	}
+	return m
+}
+
+func TestRandomFraction(t *testing.T) {
+	m := deployedMap(200, 1)
+	r := rng.New(2)
+	got := Random{Fraction: 0.25}.Select(m, r)
+	if len(got) != 50 {
+		t.Errorf("failed %d sensors, want 50", len(got))
+	}
+	// Distinct and sorted.
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatal("ids not strictly ascending")
+		}
+	}
+	if len((Random{Fraction: 0}).Select(m, r)) != 0 {
+		t.Error("zero fraction should fail none")
+	}
+	if got := (Random{Fraction: 1}).Select(m, r); len(got) != 200 {
+		t.Errorf("full fraction failed %d", len(got))
+	}
+}
+
+func TestIIDRate(t *testing.T) {
+	m := deployedMap(1000, 3)
+	total := 0
+	const trials = 30
+	for s := uint64(0); s < trials; s++ {
+		total += len(IID{Q: 0.3}.Select(m, rng.New(s)))
+	}
+	mean := float64(total) / trials
+	if math.Abs(mean-300) > 3*math.Sqrt(1000*0.3*0.7) {
+		t.Errorf("iid mean failures = %v, want ~300", mean)
+	}
+}
+
+func TestAreaSelectsOnlyInside(t *testing.T) {
+	m := deployedMap(300, 5)
+	d := geom.DiskAt(50, 50, 24)
+	got := Area{Disk: d}.Select(m, nil)
+	if len(got) == 0 {
+		t.Fatal("area failure selected nothing on a dense field")
+	}
+	inside := map[int]bool{}
+	for _, id := range got {
+		p, _ := m.SensorPos(id)
+		if !d.Contains(p) {
+			t.Fatalf("sensor %d at %v outside disaster disc", id, p)
+		}
+		inside[id] = true
+	}
+	// Every in-disc sensor must be selected.
+	for _, id := range m.SensorIDs() {
+		p, _ := m.SensorPos(id)
+		if d.Contains(p) && !inside[id] {
+			t.Fatalf("sensor %d inside disc not selected", id)
+		}
+	}
+	// Roughly area-proportional: disc is ~18% of the field.
+	frac := float64(len(got)) / 300
+	if frac < 0.08 || frac > 0.30 {
+		t.Errorf("failed fraction = %v, expected near 0.18", frac)
+	}
+}
+
+func TestAreaRandomCenterStaysInField(t *testing.T) {
+	m := deployedMap(300, 7)
+	for seed := uint64(0); seed < 20; seed++ {
+		got := AreaRandomCenter{Radius: 24}.Select(m, rng.New(seed))
+		for _, id := range got {
+			if _, ok := m.SensorPos(id); !ok {
+				t.Fatal("selected unknown sensor")
+			}
+		}
+	}
+}
+
+func TestCorrelatedClusters(t *testing.T) {
+	m := deployedMap(400, 9)
+	got := Correlated{Clusters: 3, Radius: 15, P: 1}.Select(m, rng.New(1))
+	if len(got) == 0 {
+		t.Fatal("correlated failure selected nothing")
+	}
+	// With P=1 all selected sensors lie within one of the cluster discs;
+	// regenerate centers with the same stream to verify.
+	r := rng.New(1)
+	var centers []geom.Point
+	sel := map[int]bool{}
+	for c := 0; c < 3; c++ {
+		center := r.PointInRect(m.Field())
+		centers = append(centers, center)
+		for _, id := range m.SensorsInBall(center, 15) {
+			if !sel[id] && r.Bool(1) {
+				sel[id] = true
+			}
+		}
+	}
+	for _, id := range got {
+		p, _ := m.SensorPos(id)
+		ok := false
+		for _, c := range centers {
+			if c.Dist(p) <= 15 {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("sensor %d outside all cluster discs", id)
+		}
+	}
+	// P=0 fails nobody.
+	if len((Correlated{Clusters: 3, Radius: 15, P: 0}).Select(m, rng.New(2))) != 0 {
+		t.Error("P=0 should fail none")
+	}
+}
+
+func TestApplyRemovesAndReports(t *testing.T) {
+	m := deployedMap(50, 11)
+	before := m.NumSensors()
+	cov := m.CoverageFrac(1)
+	ids := Random{Fraction: 0.4}.Select(m, rng.New(12))
+	removed := Apply(m, ids)
+	if len(removed) != len(ids) {
+		t.Errorf("removed %d, want %d", len(removed), len(ids))
+	}
+	if m.NumSensors() != before-len(ids) {
+		t.Errorf("sensors = %d", m.NumSensors())
+	}
+	if m.CoverageFrac(1) > cov {
+		t.Error("coverage should not increase after failures")
+	}
+	// Idempotent on already-removed ids.
+	again := Apply(m, ids)
+	if len(again) != 0 {
+		t.Error("re-applying should remove nothing")
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	models := []Model{Random{}, IID{}, Area{}, AreaRandomCenter{}, Correlated{}}
+	want := []string{"random", "iid", "area", "area-random", "correlated"}
+	for i, mo := range models {
+		if mo.Name() != want[i] {
+			t.Errorf("model %d name = %q, want %q", i, mo.Name(), want[i])
+		}
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	m := deployedMap(100, 21)
+	a := Random{Fraction: 0.3}.Select(m, rng.New(5))
+	b := Random{Fraction: 0.3}.Select(m, rng.New(5))
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic selection size")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic selection")
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// ClosestPair returns the indices of the two closest points and their
+// distance, using the classic O(n log n) divide-and-conquer. It panics
+// for fewer than two points. Ties return the pair found first in the
+// recursion (deterministic for a fixed input order).
+func ClosestPair(pts []Point) (i, j int, dist float64) {
+	if len(pts) < 2 {
+		panic("geom: ClosestPair needs at least two points")
+	}
+	idx := make([]int, len(pts))
+	for k := range idx {
+		idx[k] = k
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := pts[idx[a]], pts[idx[b]]
+		if pa.X != pb.X {
+			return pa.X < pb.X
+		}
+		return pa.Y < pb.Y
+	})
+	best := math.Inf(1)
+	bi, bj := -1, -1
+	var rec func(lo, hi int)
+	// strip is reused across recursion levels.
+	strip := make([]int, 0, len(pts))
+	rec = func(lo, hi int) {
+		n := hi - lo
+		if n <= 3 {
+			for a := lo; a < hi; a++ {
+				for b := a + 1; b < hi; b++ {
+					if d := pts[idx[a]].Dist(pts[idx[b]]); d < best {
+						best, bi, bj = d, idx[a], idx[b]
+					}
+				}
+			}
+			sortByY(pts, idx[lo:hi])
+			return
+		}
+		mid := (lo + hi) / 2
+		midX := pts[idx[mid]].X
+		rec(lo, mid)
+		rec(mid, hi)
+		// Merge the two halves by Y (idx[lo:mid] and idx[mid:hi] are each
+		// Y-sorted now).
+		mergeByY(pts, idx, lo, mid, hi)
+		// Collect the strip around the split line.
+		strip = strip[:0]
+		for a := lo; a < hi; a++ {
+			if math.Abs(pts[idx[a]].X-midX) < best {
+				strip = append(strip, idx[a])
+			}
+		}
+		for a := 0; a < len(strip); a++ {
+			for b := a + 1; b < len(strip) && pts[strip[b]].Y-pts[strip[a]].Y < best; b++ {
+				if d := pts[strip[a]].Dist(pts[strip[b]]); d < best {
+					best, bi, bj = d, strip[a], strip[b]
+				}
+			}
+		}
+	}
+	rec(0, len(idx))
+	if bi > bj {
+		bi, bj = bj, bi
+	}
+	return bi, bj, best
+}
+
+func sortByY(pts []Point, idx []int) {
+	sort.Slice(idx, func(a, b int) bool { return pts[idx[a]].Y < pts[idx[b]].Y })
+}
+
+func mergeByY(pts []Point, idx []int, lo, mid, hi int) {
+	merged := make([]int, 0, hi-lo)
+	a, b := lo, mid
+	for a < mid && b < hi {
+		if pts[idx[a]].Y <= pts[idx[b]].Y {
+			merged = append(merged, idx[a])
+			a++
+		} else {
+			merged = append(merged, idx[b])
+			b++
+		}
+	}
+	merged = append(merged, idx[a:mid]...)
+	merged = append(merged, idx[b:hi]...)
+	copy(idx[lo:hi], merged)
+}

@@ -1,0 +1,77 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func bruteClosest(pts []Point) (int, int, float64) {
+	bi, bj, best := -1, -1, math.Inf(1)
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			if d := pts[i].Dist(pts[j]); d < best {
+				bi, bj, best = i, j, d
+			}
+		}
+	}
+	return bi, bj, best
+}
+
+func TestClosestPairSmall(t *testing.T) {
+	pts := []Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 10.5, Y: 0}, {X: 5, Y: 9}}
+	i, j, d := ClosestPair(pts)
+	if i != 1 || j != 2 || math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("ClosestPair = %d,%d,%v", i, j, d)
+	}
+	// Two points.
+	i, j, d = ClosestPair(pts[:2])
+	if i != 0 || j != 1 || d != 10 {
+		t.Errorf("two-point pair = %d,%d,%v", i, j, d)
+	}
+}
+
+func TestClosestPairPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("one point should panic")
+		}
+	}()
+	ClosestPair([]Point{{X: 1, Y: 1}})
+}
+
+func TestClosestPairMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.Intn(300)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: r.Float64() * 100, Y: r.Float64() * 100}
+		}
+		_, _, d := ClosestPair(pts)
+		_, _, want := bruteClosest(pts)
+		if math.Abs(d-want) > 1e-9 {
+			t.Fatalf("trial %d (n=%d): distance %v, brute %v", trial, n, d, want)
+		}
+	}
+}
+
+func TestClosestPairDuplicates(t *testing.T) {
+	pts := []Point{{X: 1, Y: 1}, {X: 5, Y: 5}, {X: 1, Y: 1}}
+	_, _, d := ClosestPair(pts)
+	if d != 0 {
+		t.Errorf("duplicate distance = %v, want 0", d)
+	}
+}
+
+func BenchmarkClosestPair2000(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	pts := make([]Point, 2000)
+	for i := range pts {
+		pts[i] = Point{X: r.Float64() * 100, Y: r.Float64() * 100}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ClosestPair(pts)
+	}
+}

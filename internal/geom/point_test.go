@@ -1,0 +1,99 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestPointArithmetic(t *testing.T) {
+	p := Pt(1, 2)
+	q := Pt(4, 6)
+	if got := p.Add(q); !got.Eq(Pt(5, 8)) {
+		t.Errorf("Add = %v, want (5,8)", got)
+	}
+	if got := q.Sub(p); !got.Eq(Pt(3, 4)) {
+		t.Errorf("Sub = %v, want (3,4)", got)
+	}
+	if got := p.Scale(2); !got.Eq(Pt(2, 4)) {
+		t.Errorf("Scale = %v, want (2,4)", got)
+	}
+	if got := p.Dot(q); got != 16 {
+		t.Errorf("Dot = %v, want 16", got)
+	}
+	if got := p.Cross(q); got != -2 {
+		t.Errorf("Cross = %v, want -2", got)
+	}
+}
+
+func TestDistMatchesDist2(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		// Keep magnitudes sane to avoid overflow in the square.
+		a := Pt(math.Mod(ax, 1e6), math.Mod(ay, 1e6))
+		b := Pt(math.Mod(bx, 1e6), math.Mod(by, 1e6))
+		d := a.Dist(b)
+		return almostEq(d*d, a.Dist2(b), 1e-6*(1+a.Dist2(b)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistSymmetryAndTriangle(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		a := Pt(math.Mod(ax, 1e3), math.Mod(ay, 1e3))
+		b := Pt(math.Mod(bx, 1e3), math.Mod(by, 1e3))
+		c := Pt(math.Mod(cx, 1e3), math.Mod(cy, 1e3))
+		if !almostEq(a.Dist(b), b.Dist(a), 1e-9) {
+			return false
+		}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLerpEndpoints(t *testing.T) {
+	p, q := Pt(1, 1), Pt(5, -3)
+	if !p.Lerp(q, 0).Eq(p) {
+		t.Error("Lerp(0) != p")
+	}
+	if !p.Lerp(q, 1).Eq(q) {
+		t.Error("Lerp(1) != q")
+	}
+	if got := p.Lerp(q, 0.5); !got.Eq(Midpoint(p, q)) {
+		t.Errorf("Lerp(0.5) = %v, want midpoint", got)
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	if got := Centroid(nil); !got.Eq(Pt(0, 0)) {
+		t.Errorf("Centroid(nil) = %v", got)
+	}
+	pts := []Point{{0, 0}, {2, 0}, {2, 2}, {0, 2}}
+	if got := Centroid(pts); !got.Eq(Pt(1, 1)) {
+		t.Errorf("Centroid = %v, want (1,1)", got)
+	}
+}
+
+func TestAlmostEq(t *testing.T) {
+	if !Pt(1, 1).AlmostEq(Pt(1+1e-10, 1-1e-10), 1e-9) {
+		t.Error("AlmostEq too strict")
+	}
+	if Pt(1, 1).AlmostEq(Pt(1.1, 1), 1e-9) {
+		t.Error("AlmostEq too lax")
+	}
+}
+
+func TestNorm(t *testing.T) {
+	p := Pt(3, 4)
+	if p.Norm() != 5 {
+		t.Errorf("Norm = %v, want 5", p.Norm())
+	}
+	if p.Norm2() != 25 {
+		t.Errorf("Norm2 = %v, want 25", p.Norm2())
+	}
+}

@@ -1,0 +1,165 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSegmentClosestPoint(t *testing.T) {
+	s := Segment{Pt(0, 0), Pt(10, 0)}
+	cases := []struct {
+		p, want Point
+	}{
+		{Pt(5, 3), Pt(5, 0)},
+		{Pt(-2, 1), Pt(0, 0)},
+		{Pt(14, -2), Pt(10, 0)},
+		{Pt(3, 0), Pt(3, 0)},
+	}
+	for _, c := range cases {
+		if got := s.ClosestPoint(c.p); !got.AlmostEq(c.want, 1e-12) {
+			t.Errorf("ClosestPoint(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Degenerate segment.
+	d := Segment{Pt(2, 2), Pt(2, 2)}
+	if got := d.ClosestPoint(Pt(9, 9)); !got.Eq(Pt(2, 2)) {
+		t.Errorf("degenerate ClosestPoint = %v", got)
+	}
+}
+
+func TestSegmentDistAndDisk(t *testing.T) {
+	s := Segment{Pt(0, 0), Pt(10, 0)}
+	if got := s.DistToPoint(Pt(5, 3)); !almostEq(got, 3, 1e-12) {
+		t.Errorf("DistToPoint = %v", got)
+	}
+	if !s.IntersectsDisk(DiskAt(5, 2, 2)) {
+		t.Error("tangent disk should intersect")
+	}
+	if s.IntersectsDisk(DiskAt(5, 3, 2)) {
+		t.Error("distant disk should not intersect")
+	}
+	if s.Len() != 10 {
+		t.Errorf("Len = %v", s.Len())
+	}
+	if !s.Midpoint().Eq(Pt(5, 0)) {
+		t.Errorf("Midpoint = %v", s.Midpoint())
+	}
+}
+
+func TestSegmentIntersect(t *testing.T) {
+	a := Segment{Pt(0, 0), Pt(4, 4)}
+	b := Segment{Pt(0, 4), Pt(4, 0)}
+	p, ok := a.Intersect(b)
+	if !ok || !p.AlmostEq(Pt(2, 2), 1e-12) {
+		t.Errorf("Intersect = %v, %v", p, ok)
+	}
+	// Parallel.
+	c := Segment{Pt(0, 1), Pt(4, 5)}
+	if _, ok := a.Intersect(c); ok {
+		t.Error("parallel segments should not intersect")
+	}
+	// Non-overlapping.
+	d := Segment{Pt(10, 0), Pt(10, 5)}
+	if _, ok := a.Intersect(d); ok {
+		t.Error("disjoint segments should not intersect")
+	}
+}
+
+func TestConvexHullSquare(t *testing.T) {
+	pts := []Point{{0, 0}, {4, 0}, {4, 4}, {0, 4}, {2, 2}, {1, 3}, {2, 0}}
+	hull := ConvexHull(pts)
+	if len(hull) != 4 {
+		t.Fatalf("hull size = %d, want 4 (%v)", len(hull), hull)
+	}
+	if got := PolygonArea(hull); !almostEq(got, 16, 1e-12) {
+		t.Errorf("hull area = %v, want 16", got)
+	}
+}
+
+func TestConvexHullDegenerate(t *testing.T) {
+	if ConvexHull(nil) != nil {
+		t.Error("hull of nil should be nil")
+	}
+	one := ConvexHull([]Point{{1, 1}})
+	if len(one) != 1 {
+		t.Errorf("hull of 1 point = %v", one)
+	}
+	two := ConvexHull([]Point{{1, 1}, {2, 2}})
+	if len(two) != 2 {
+		t.Errorf("hull of 2 points = %v", two)
+	}
+	// Duplicates collapse.
+	dup := ConvexHull([]Point{{1, 1}, {1, 1}, {1, 1}})
+	if len(dup) != 1 {
+		t.Errorf("hull of duplicates = %v", dup)
+	}
+	// Collinear points: hull is the two extremes.
+	col := ConvexHull([]Point{{0, 0}, {1, 1}, {2, 2}, {3, 3}})
+	if len(col) != 2 {
+		t.Errorf("hull of collinear = %v", col)
+	}
+}
+
+// Property: every input point lies inside (or on) the hull, checked via
+// the cross-product sign against each hull edge.
+func TestConvexHullContainsAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(60)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*100, rng.Float64()*100)
+		}
+		hull := ConvexHull(pts)
+		if len(hull) < 3 {
+			continue
+		}
+		for _, p := range pts {
+			for i := range hull {
+				a, b := hull[i], hull[(i+1)%len(hull)]
+				if cross3(a, b, p) < -1e-9 {
+					t.Fatalf("trial %d: point %v outside hull edge %v-%v", trial, p, a, b)
+				}
+			}
+		}
+		// Hull must be convex: all turns non-negative.
+		for i := range hull {
+			a := hull[i]
+			b := hull[(i+1)%len(hull)]
+			c := hull[(i+2)%len(hull)]
+			if cross3(a, b, c) < -1e-9 {
+				t.Fatalf("trial %d: hull not convex at %v", trial, b)
+			}
+		}
+	}
+}
+
+func TestPolygonArea(t *testing.T) {
+	tri := []Point{{0, 0}, {4, 0}, {0, 3}}
+	if got := PolygonArea(tri); !almostEq(got, 6, 1e-12) {
+		t.Errorf("triangle area = %v, want 6", got)
+	}
+	// Clockwise ordering gives the same positive area.
+	triCW := []Point{{0, 0}, {0, 3}, {4, 0}}
+	if got := PolygonArea(triCW); !almostEq(got, 6, 1e-12) {
+		t.Errorf("cw triangle area = %v, want 6", got)
+	}
+	if PolygonArea(tri[:2]) != 0 {
+		t.Error("degenerate polygon should have area 0")
+	}
+}
+
+func TestSortPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := make([]Point, 500)
+	for i := range pts {
+		pts[i] = Pt(math.Floor(rng.Float64()*10), math.Floor(rng.Float64()*10))
+	}
+	sortPoints(pts)
+	for i := 1; i < len(pts); i++ {
+		if pointLess(pts[i], pts[i-1]) {
+			t.Fatalf("not sorted at %d: %v < %v", i, pts[i], pts[i-1])
+		}
+	}
+}

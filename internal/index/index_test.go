@@ -1,0 +1,239 @@
+package index
+
+import (
+	"sort"
+	"testing"
+
+	"decor/internal/geom"
+	"decor/internal/rng"
+)
+
+func TestInsertAtRemove(t *testing.T) {
+	g := NewGrid(geom.Square(100), 4)
+	g.Insert(1, geom.Pt(10, 10))
+	g.Insert(2, geom.Pt(50, 50))
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	if p, ok := g.At(1); !ok || !p.Eq(geom.Pt(10, 10)) {
+		t.Errorf("At(1) = %v, %v", p, ok)
+	}
+	if !g.Contains(2) || g.Contains(3) {
+		t.Error("Contains wrong")
+	}
+	if !g.Remove(1) {
+		t.Error("Remove(1) should succeed")
+	}
+	if g.Remove(1) {
+		t.Error("double Remove should fail")
+	}
+	if g.Len() != 1 {
+		t.Errorf("Len after remove = %d", g.Len())
+	}
+}
+
+func TestInsertDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate insert should panic")
+		}
+	}()
+	g := NewGrid(geom.Square(10), 1)
+	g.Insert(1, geom.Pt(1, 1))
+	g.Insert(1, geom.Pt(2, 2))
+}
+
+func TestNewGridPanicsOnBadCell(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-positive cell should panic")
+		}
+	}()
+	NewGrid(geom.Square(10), 0)
+}
+
+func TestOutOfBoundsInsertIsClamped(t *testing.T) {
+	g := NewGrid(geom.Square(10), 1)
+	g.Insert(1, geom.Pt(-5, 20)) // clamped into border bucket, still findable
+	got := g.Ball(geom.Pt(-5, 20), 1)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("Ball at out-of-bounds point = %v", got)
+	}
+}
+
+// Reference brute-force ball query for cross-validation.
+func bruteBall(pos map[int]geom.Point, c geom.Point, r float64) []int {
+	var out []int
+	for id, p := range pos {
+		if p.Dist2(c) <= r*r {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestBallMatchesBruteForce(t *testing.T) {
+	r := rng.New(99)
+	bounds := geom.Square(100)
+	g := NewGrid(bounds, 4)
+	pos := map[int]geom.Point{}
+	for id := 0; id < 500; id++ {
+		p := r.PointInRect(bounds)
+		g.Insert(id, p)
+		pos[id] = p
+	}
+	for trial := 0; trial < 200; trial++ {
+		c := r.PointInRect(bounds)
+		rad := r.Range(0, 20)
+		got := g.Ball(c, rad)
+		sort.Ints(got)
+		want := bruteBall(pos, c, rad)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d ids, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: mismatch at %d: %d vs %d", trial, i, got[i], want[i])
+			}
+		}
+		if g.CountBall(c, rad) != len(want) {
+			t.Fatalf("trial %d: CountBall mismatch", trial)
+		}
+	}
+}
+
+func TestVisitBallEarlyStop(t *testing.T) {
+	g := NewGrid(geom.Square(10), 1)
+	for id := 0; id < 10; id++ {
+		g.Insert(id, geom.Pt(5, 5))
+	}
+	calls := 0
+	g.VisitBall(geom.Pt(5, 5), 1, func(int, geom.Point) bool {
+		calls++
+		return calls < 3
+	})
+	if calls != 3 {
+		t.Errorf("early stop visited %d, want 3", calls)
+	}
+}
+
+func TestVisitBallNegativeRadius(t *testing.T) {
+	g := NewGrid(geom.Square(10), 1)
+	g.Insert(1, geom.Pt(5, 5))
+	called := false
+	g.VisitBall(geom.Pt(5, 5), -1, func(int, geom.Point) bool { called = true; return true })
+	if called {
+		t.Error("negative radius should visit nothing")
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	r := rng.New(7)
+	bounds := geom.Square(100)
+	g := NewGrid(bounds, 5)
+	pos := map[int]geom.Point{}
+	for id := 0; id < 300; id++ {
+		p := r.PointInRect(bounds)
+		g.Insert(id, p)
+		pos[id] = p
+	}
+	for trial := 0; trial < 200; trial++ {
+		c := r.PointInRect(bounds)
+		maxD := r.Range(1, 30)
+		id, p, ok := g.Nearest(c, maxD)
+		// Brute force.
+		bestID, bestD, found := -1, maxD*maxD, false
+		for bid, bp := range pos {
+			d := bp.Dist2(c)
+			if d < bestD || (d == bestD && found && bid < bestID) {
+				bestID, bestD, found = bid, d, true
+			}
+		}
+		if ok != found {
+			t.Fatalf("trial %d: ok=%v found=%v", trial, ok, found)
+		}
+		if ok && id != bestID {
+			t.Fatalf("trial %d: nearest %d (%v) vs brute %d", trial, id, p, bestID)
+		}
+	}
+}
+
+func TestNearestEmpty(t *testing.T) {
+	g := NewGrid(geom.Square(10), 1)
+	if _, _, ok := g.Nearest(geom.Pt(5, 5), 100); ok {
+		t.Error("Nearest on empty index should fail")
+	}
+}
+
+func TestIDs(t *testing.T) {
+	g := NewGrid(geom.Square(10), 1)
+	for id := 0; id < 5; id++ {
+		g.Insert(id, geom.Pt(float64(id), float64(id)))
+	}
+	ids := g.IDs()
+	sort.Ints(ids)
+	if len(ids) != 5 {
+		t.Fatalf("IDs len = %d", len(ids))
+	}
+	for i, id := range ids {
+		if id != i {
+			t.Errorf("IDs[%d] = %d", i, id)
+		}
+	}
+}
+
+func BenchmarkBallQuery(b *testing.B) {
+	r := rng.New(1)
+	bounds := geom.Square(100)
+	g := NewGrid(bounds, 4)
+	for id := 0; id < 2000; id++ {
+		g.Insert(id, r.PointInRect(bounds))
+	}
+	c := geom.Pt(50, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.CountBall(c, 4)
+	}
+}
+
+func TestRectMatchesBruteForce(t *testing.T) {
+	r := rng.New(55)
+	bounds := geom.Square(100)
+	g := NewGrid(bounds, 4)
+	pos := map[int]geom.Point{}
+	for id := 0; id < 400; id++ {
+		p := r.PointInRect(bounds)
+		g.Insert(id, p)
+		pos[id] = p
+	}
+	for trial := 0; trial < 100; trial++ {
+		q := geom.NewRect(r.PointInRect(bounds), r.PointInRect(bounds))
+		got := g.Rect(q)
+		sort.Ints(got)
+		var want []int
+		for id, p := range pos {
+			if q.Contains(p) {
+				want = append(want, id)
+			}
+		}
+		sort.Ints(want)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: mismatch", trial)
+			}
+		}
+	}
+	// Empty rect and early stop.
+	if got := g.Rect(geom.Rect{}); got != nil {
+		t.Errorf("empty rect = %v", got)
+	}
+	calls := 0
+	g.VisitRect(bounds, func(int, geom.Point) bool { calls++; return calls < 5 })
+	if calls != 5 {
+		t.Errorf("early stop visited %d", calls)
+	}
+}

@@ -1,0 +1,156 @@
+package index
+
+import (
+	"sort"
+	"testing"
+
+	"decor/internal/geom"
+	"decor/internal/rng"
+)
+
+func TestQuadtreeBasics(t *testing.T) {
+	q := NewQuadtree(geom.Square(100), 4)
+	q.Insert(1, geom.Pt(10, 10))
+	q.Insert(2, geom.Pt(90, 90))
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	got := q.Ball(geom.Pt(10, 10), 5)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("Ball = %v", got)
+	}
+	if !q.Remove(1) || q.Remove(1) {
+		t.Error("Remove semantics wrong")
+	}
+	if q.Len() != 1 {
+		t.Errorf("Len after remove = %d", q.Len())
+	}
+}
+
+func TestQuadtreeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty bounds should panic")
+		}
+	}()
+	NewQuadtree(geom.Rect{}, 4)
+}
+
+func TestQuadtreeDuplicatePanics(t *testing.T) {
+	q := NewQuadtree(geom.Square(10), 4)
+	q.Insert(1, geom.Pt(1, 1))
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate should panic")
+		}
+	}()
+	q.Insert(1, geom.Pt(2, 2))
+}
+
+func TestQuadtreeSplitsAndBounds(t *testing.T) {
+	q := NewQuadtree(geom.Square(100), 2)
+	r := rng.New(3)
+	for id := 0; id < 200; id++ {
+		q.Insert(id, r.PointInRect(geom.Square(100)))
+	}
+	if q.Depth() == 0 {
+		t.Error("tree never split")
+	}
+	// Identical coordinates must not split forever.
+	q2 := NewQuadtree(geom.Square(10), 2)
+	for id := 0; id < 100; id++ {
+		q2.Insert(id, geom.Pt(5, 5))
+	}
+	if d := q2.Depth(); d > maxDepth {
+		t.Errorf("degenerate depth = %d", d)
+	}
+	if got := q2.CountBall(geom.Pt(5, 5), 0.1); got != 100 {
+		t.Errorf("coincident count = %d", got)
+	}
+}
+
+// The quadtree must return exactly the same ball results as the Grid on
+// random workloads, including after removals.
+func TestQuadtreeMatchesGrid(t *testing.T) {
+	r := rng.New(21)
+	bounds := geom.Square(100)
+	g := NewGrid(bounds, 4)
+	q := NewQuadtree(bounds, 8)
+	alive := map[int]bool{}
+	next := 0
+	for step := 0; step < 600; step++ {
+		if len(alive) == 0 || r.Float64() < 0.7 {
+			p := r.PointInRect(bounds)
+			g.Insert(next, p)
+			q.Insert(next, p)
+			alive[next] = true
+			next++
+		} else {
+			for id := range alive {
+				g.Remove(id)
+				q.Remove(id)
+				delete(alive, id)
+				break
+			}
+		}
+	}
+	for trial := 0; trial < 150; trial++ {
+		c := r.PointInRect(bounds)
+		rad := r.Range(0, 15)
+		a := g.Ball(c, rad)
+		b := q.Ball(c, rad)
+		sort.Ints(a)
+		sort.Ints(b)
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: grid %d vs quadtree %d results", trial, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: mismatch at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestQuadtreeEarlyStopAndNegative(t *testing.T) {
+	q := NewQuadtree(geom.Square(10), 2)
+	for id := 0; id < 10; id++ {
+		q.Insert(id, geom.Pt(5, 5))
+	}
+	calls := 0
+	q.VisitBall(geom.Pt(5, 5), 1, func(int, geom.Point) bool { calls++; return calls < 3 })
+	if calls != 3 {
+		t.Errorf("early stop visited %d", calls)
+	}
+	q.VisitBall(geom.Pt(5, 5), -1, func(int, geom.Point) bool {
+		t.Error("negative radius visited")
+		return true
+	})
+}
+
+// BenchmarkIndexComparison pits the two structures on the DECOR workload
+// shape (uniform-ish points, rs-ball queries).
+func BenchmarkIndexComparison(b *testing.B) {
+	bounds := geom.Square(100)
+	build := func(idx PointIndex) {
+		r := rng.New(1)
+		for id := 0; id < 2000; id++ {
+			idx.Insert(id, r.PointInRect(bounds))
+		}
+	}
+	for _, tc := range []struct {
+		name string
+		idx  PointIndex
+	}{
+		{"grid", NewGrid(bounds, 4)},
+		{"quadtree", NewQuadtree(bounds, 16)},
+	} {
+		build(tc.idx)
+		b.Run(tc.name, func(b *testing.B) {
+			c := geom.Pt(50, 50)
+			for i := 0; i < b.N; i++ {
+				tc.idx.CountBall(c, 4)
+			}
+		})
+	}
+}

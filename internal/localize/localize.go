@@ -1,0 +1,191 @@
+// Package localize implements anchor-based distributed localization —
+// the substrate behind the paper's §3 assumption that "sensor nodes are
+// either GPS enabled or they are capable of finding out and reporting
+// their respective positions to other nodes using an algorithm".
+//
+// The algorithm is DV-hop (Niculescu & Nath), the classic
+// range-free scheme: a few GPS anchors flood hop counts through the
+// network; each anchor calibrates an average hop length from its known
+// distances to other anchors; ordinary nodes convert hop counts into
+// distance estimates and multilaterate. Only connectivity is needed —
+// no ranging hardware — which fits the paper's mote-class devices.
+package localize
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"decor/internal/geom"
+	"decor/internal/network"
+)
+
+// Estimate is one node's computed position.
+type Estimate struct {
+	ID    int
+	Pos   geom.Point
+	Hops  map[int]int // hop distance to each anchor used
+	Error float64     // filled by EvaluateAccuracy; 0 otherwise
+}
+
+// Result holds a localization round's output.
+type Result struct {
+	Estimates map[int]Estimate
+	// Unlocalized lists nodes that could not be positioned (fewer than
+	// three reachable anchors), ascending.
+	Unlocalized []int
+	// HopLength is the calibrated mean single-hop distance.
+	HopLength float64
+}
+
+// DVHop localizes every alive non-anchor node of the network. anchors
+// must name at least three alive nodes whose positions are trusted
+// (GPS). It returns an error if fewer than three anchors are usable.
+func DVHop(net *network.Network, anchors []int) (Result, error) {
+	usable := make([]int, 0, len(anchors))
+	for _, a := range anchors {
+		if nd := net.Node(a); nd != nil && nd.Alive {
+			usable = append(usable, a)
+		}
+	}
+	if len(usable) < 3 {
+		return Result{}, errors.New("localize: DV-hop needs at least 3 alive anchors")
+	}
+	sort.Ints(usable)
+
+	// Phase 1: per-anchor hop-count flood (BFS over the alive graph).
+	hopsFrom := make(map[int]map[int]int, len(usable))
+	for _, a := range usable {
+		hopsFrom[a] = bfsHops(net, a)
+	}
+
+	// Phase 2: hop-length calibration. Each anchor i computes
+	// Σ_j d(i,j) / Σ_j hops(i,j) over the other anchors it can reach;
+	// we use the global average, which every node can obtain since
+	// anchors flood their correction factors.
+	totalDist, totalHops := 0.0, 0
+	for i, a := range usable {
+		pa := net.Node(a).Pos
+		for _, b := range usable[i+1:] {
+			h, ok := hopsFrom[a][b]
+			if !ok || h == 0 {
+				continue
+			}
+			totalDist += pa.Dist(net.Node(b).Pos)
+			totalHops += h
+		}
+	}
+	if totalHops == 0 {
+		return Result{}, errors.New("localize: anchors are mutually unreachable")
+	}
+	hopLen := totalDist / float64(totalHops)
+
+	// Phase 3: every node converts hop counts to distances and solves
+	// the multilateration least squares.
+	res := Result{Estimates: map[int]Estimate{}, HopLength: hopLen}
+	anchorSet := map[int]bool{}
+	for _, a := range usable {
+		anchorSet[a] = true
+	}
+	for _, id := range net.AliveIDs() {
+		if anchorSet[id] {
+			continue
+		}
+		var aps []geom.Point
+		var dists []float64
+		hops := map[int]int{}
+		for _, a := range usable {
+			if h, ok := hopsFrom[a][id]; ok {
+				aps = append(aps, net.Node(a).Pos)
+				dists = append(dists, float64(h)*hopLen)
+				hops[a] = h
+			}
+		}
+		if len(aps) < 3 {
+			res.Unlocalized = append(res.Unlocalized, id)
+			continue
+		}
+		pos, ok := Multilaterate(aps, dists)
+		if !ok {
+			res.Unlocalized = append(res.Unlocalized, id)
+			continue
+		}
+		res.Estimates[id] = Estimate{ID: id, Pos: pos, Hops: hops}
+	}
+	sort.Ints(res.Unlocalized)
+	return res, nil
+}
+
+// bfsHops returns hop distances from src to every reachable alive node.
+func bfsHops(net *network.Network, src int) map[int]int {
+	dist := map[int]int{src: 0}
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range net.NeighborsOf(v) {
+			if _, ok := dist[w]; !ok {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// Multilaterate solves the linearized least squares |p − a_i| ≈ d_i for
+// p given at least three anchors; ok is false for degenerate (collinear)
+// anchor geometry.
+func Multilaterate(anchors []geom.Point, dists []float64) (geom.Point, bool) {
+	if len(anchors) < 3 || len(anchors) != len(dists) {
+		return geom.Point{}, false
+	}
+	a0 := anchors[0]
+	r0 := dists[0]
+	var sxx, sxy, syy, bx, by float64
+	for i := 1; i < len(anchors); i++ {
+		ax := 2 * (anchors[i].X - a0.X)
+		ay := 2 * (anchors[i].Y - a0.Y)
+		rhs := r0*r0 - dists[i]*dists[i] + anchors[i].Norm2() - a0.Norm2()
+		sxx += ax * ax
+		sxy += ax * ay
+		syy += ay * ay
+		bx += ax * rhs
+		by += ay * rhs
+	}
+	det := sxx*syy - sxy*sxy
+	if math.Abs(det) < 1e-9 {
+		return geom.Point{}, false
+	}
+	return geom.Point{
+		X: (syy*bx - sxy*by) / det,
+		Y: (sxx*by - sxy*bx) / det,
+	}, true
+}
+
+// EvaluateAccuracy fills each estimate's Error with the distance to the
+// node's true position and returns the mean error in units of the mean
+// communication radius — the standard DV-hop accuracy metric.
+func EvaluateAccuracy(net *network.Network, res *Result) (meanErr, meanErrPerRc float64) {
+	if len(res.Estimates) == 0 {
+		return 0, 0
+	}
+	total, rcTotal := 0.0, 0.0
+	n := 0
+	for id, est := range res.Estimates {
+		nd := net.Node(id)
+		if nd == nil {
+			continue
+		}
+		est.Error = nd.Pos.Dist(est.Pos)
+		res.Estimates[id] = est
+		total += est.Error
+		rcTotal += nd.Rc
+		n++
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	meanErr = total / float64(n)
+	return meanErr, meanErr / (rcTotal / float64(n))
+}

@@ -1,0 +1,51 @@
+package lowdisc
+
+import (
+	"testing"
+
+	"decor/internal/geom"
+)
+
+func BenchmarkHalton2000(b *testing.B) {
+	rect := geom.Square(100)
+	for i := 0; i < b.N; i++ {
+		Halton{}.Points(2000, rect)
+	}
+}
+
+func BenchmarkHammersley2000(b *testing.B) {
+	rect := geom.Square(100)
+	for i := 0; i < b.N; i++ {
+		Hammersley{}.Points(2000, rect)
+	}
+}
+
+func BenchmarkSobol2000(b *testing.B) {
+	rect := geom.Square(100)
+	for i := 0; i < b.N; i++ {
+		Sobol2D{}.Points(2000, rect)
+	}
+}
+
+func BenchmarkScrambledHalton2000(b *testing.B) {
+	rect := geom.Square(100)
+	for i := 0; i < b.N; i++ {
+		ScrambledHalton{Seed: 1}.Points(2000, rect)
+	}
+}
+
+func BenchmarkStarDiscrepancy512(b *testing.B) {
+	pts := Halton{}.Points(512, geom.Square(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		StarDiscrepancy(pts, geom.Square(1))
+	}
+}
+
+func BenchmarkEstimateDiscrepancy2000(b *testing.B) {
+	pts := Halton{}.Points(2000, geom.Square(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EstimateStarDiscrepancy(pts, geom.Square(1), 100, 1)
+	}
+}

@@ -1,0 +1,144 @@
+package lowdisc
+
+import (
+	"math"
+	"sort"
+
+	"decor/internal/geom"
+	"decor/internal/rng"
+)
+
+// StarDiscrepancy computes the star discrepancy D*_N of the points with
+// respect to the unit square scaled to rect:
+//
+//	D* = sup over anchored boxes B=[min, q) of |#(P ∩ B)/N − vol(B)/vol(rect)|
+//
+// The supremum over axis-aligned anchored boxes is attained at boxes whose
+// upper corner coordinates are point coordinates (closed or open), so an
+// exact computation scans the O(N²) critical corners. A Fenwick tree over
+// y-ranks keeps each scan O(N log N), for O(N² log N) total — fine for the
+// N ≈ 2000 used by the paper.
+func StarDiscrepancy(pts []geom.Point, rect geom.Rect) float64 {
+	n := len(pts)
+	if n == 0 || rect.Empty() {
+		return 0
+	}
+	// Normalize to the unit square.
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i, p := range pts {
+		xs[i] = (p.X - rect.Min.X) / rect.W()
+		ys[i] = (p.Y - rect.Min.Y) / rect.H()
+	}
+	// Rank the y coordinates.
+	ySorted := append([]float64(nil), ys...)
+	sort.Float64s(ySorted)
+	yRank := func(y float64) int { return sort.SearchFloat64s(ySorted, y) }
+
+	// Critical y thresholds: each distinct y plus 1.0.
+	yCrit := ySorted
+	type pt struct {
+		x float64
+		y float64
+	}
+	ps := make([]pt, n)
+	for i := range pts {
+		ps[i] = pt{xs[i], ys[i]}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].x < ps[j].x })
+
+	closed := newFenwick(n + 1) // counts of points with x <= current threshold, by y rank
+	maxDisc := 0.0
+	fn := float64(n)
+	consider := func(count, x, y float64) {
+		vol := x * y
+		if d := math.Abs(count/fn - vol); d > maxDisc {
+			maxDisc = d
+		}
+	}
+	scanY := func(xThresh float64) {
+		// For each critical y (and y=1), the box [0,xThresh) x [0,y).
+		// "Open" count excludes points on the upper boundary; "closed"
+		// includes them. Both bound the supremum.
+		for _, y := range yCrit {
+			r := yRank(y) // points with yi < y
+			open := float64(closed.prefix(r))
+			cl := float64(closed.prefix(upperRank(ySorted, y)))
+			consider(open, xThresh, y)
+			consider(cl, xThresh, y)
+		}
+		total := float64(closed.prefix(n))
+		consider(total, xThresh, 1)
+	}
+
+	i := 0
+	for i < n {
+		x := ps[i].x
+		// Boxes with upper x strictly below the next point's x: use the
+		// open count at x (points already inserted have xi < x).
+		scanY(x)
+		// Insert all points with this x, then scan with the closed count.
+		for i < n && ps[i].x == x {
+			closed.add(yRank(ps[i].y)+1, 1)
+			i++
+		}
+		scanY(x)
+	}
+	scanY(1)
+	return maxDisc
+}
+
+// upperRank returns the number of sorted values <= y.
+func upperRank(sorted []float64, y float64) int {
+	return sort.Search(len(sorted), func(i int) bool { return sorted[i] > y })
+}
+
+// EstimateStarDiscrepancy returns a randomized lower bound on the star
+// discrepancy by sampling trial anchored boxes. Used when N is large
+// enough that the exact O(N² log N) scan is too slow.
+func EstimateStarDiscrepancy(pts []geom.Point, rect geom.Rect, trials int, seed uint64) float64 {
+	n := len(pts)
+	if n == 0 || rect.Empty() || trials <= 0 {
+		return 0
+	}
+	r := rng.New(seed)
+	best := 0.0
+	fn := float64(n)
+	for t := 0; t < trials; t++ {
+		qx := r.Float64()
+		qy := r.Float64()
+		count := 0
+		for _, p := range pts {
+			if (p.X-rect.Min.X)/rect.W() < qx && (p.Y-rect.Min.Y)/rect.H() < qy {
+				count++
+			}
+		}
+		if d := math.Abs(float64(count)/fn - qx*qy); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// fenwick is a 1-indexed binary indexed tree over integer counts.
+type fenwick struct {
+	tree []int
+}
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int, n+1)} }
+
+// add increments position i (1-indexed) by delta.
+func (f *fenwick) add(i, delta int) {
+	for ; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// prefix returns the sum of positions 1..i.
+func (f *fenwick) prefix(i int) int {
+	s := 0
+	for ; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}

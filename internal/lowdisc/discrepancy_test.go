@@ -1,0 +1,139 @@
+package lowdisc
+
+import (
+	"math"
+	"testing"
+
+	"decor/internal/geom"
+)
+
+func TestStarDiscrepancyKnownTiny(t *testing.T) {
+	unit := geom.Square(1)
+	// A single point at the center: boxes [0,0.5)² hold 0 points but have
+	// volume 0.25; the box [0,1]² closed holds the point with volume 1.
+	// D* for {(.5,.5)} is 0.75: the closed box [0, .5]² contains the point
+	// (count 1) with volume 0.25 → |1 - 0.25| = 0.75.
+	got := StarDiscrepancy([]geom.Point{{X: 0.5, Y: 0.5}}, unit)
+	if math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("D* single center point = %v, want 0.75", got)
+	}
+}
+
+func TestStarDiscrepancyEmpty(t *testing.T) {
+	if got := StarDiscrepancy(nil, geom.Square(1)); got != 0 {
+		t.Errorf("D* of empty set = %v", got)
+	}
+}
+
+func TestStarDiscrepancyCornerPoint(t *testing.T) {
+	unit := geom.Square(1)
+	// A point at the origin: every nonempty closed anchored box contains
+	// it, so D* -> 1 as box volume -> 0.
+	got := StarDiscrepancy([]geom.Point{{X: 0, Y: 0}}, unit)
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("D* origin point = %v, want 1", got)
+	}
+}
+
+func TestStarDiscrepancyUniformGridIsLow(t *testing.T) {
+	// A perfect sqrt(n) x sqrt(n) centered lattice has discrepancy
+	// O(1/sqrt(n)).
+	const side = 16
+	var pts []geom.Point
+	for i := 0; i < side; i++ {
+		for j := 0; j < side; j++ {
+			pts = append(pts, geom.Point{
+				X: (float64(i) + 0.5) / side,
+				Y: (float64(j) + 0.5) / side,
+			})
+		}
+	}
+	got := StarDiscrepancy(pts, geom.Square(1))
+	if got > 0.13 || got < 0.01 {
+		t.Errorf("lattice D* = %v, expected ~1/sqrt(n)", got)
+	}
+}
+
+// The core claim from discrepancy theory the paper leans on: Halton,
+// Hammersley and Sobol beat uniform random points by a wide margin.
+func TestLowDiscrepancyBeatsRandom(t *testing.T) {
+	const n = 512
+	unit := geom.Square(1)
+	dHalton := StarDiscrepancy(Halton{}.Points(n, unit), unit)
+	dHammersley := StarDiscrepancy(Hammersley{}.Points(n, unit), unit)
+	dSobol := StarDiscrepancy(Sobol2D{}.Points(n, unit), unit)
+	worstRandom := 0.0
+	bestRandom := math.Inf(1)
+	for seed := uint64(1); seed <= 5; seed++ {
+		d := StarDiscrepancy(Uniform{Seed: seed}.Points(n, unit), unit)
+		worstRandom = math.Max(worstRandom, d)
+		bestRandom = math.Min(bestRandom, d)
+	}
+	for name, d := range map[string]float64{
+		"halton": dHalton, "hammersley": dHammersley, "sobol": dSobol,
+	} {
+		if d >= bestRandom {
+			t.Errorf("%s D* = %v not below best random %v", name, d, bestRandom)
+		}
+		// log2(512)=9; D* should be near (log n)/n territory, well under 5%.
+		if d > 0.05 {
+			t.Errorf("%s D* = %v unexpectedly high", name, d)
+		}
+	}
+	if worstRandom < 0.02 {
+		t.Errorf("random D* = %v suspiciously low; measurement broken?", worstRandom)
+	}
+}
+
+func TestEstimateIsLowerBound(t *testing.T) {
+	const n = 256
+	unit := geom.Square(1)
+	for _, g := range []Generator{Halton{}, Uniform{Seed: 3}} {
+		pts := g.Points(n, unit)
+		exact := StarDiscrepancy(pts, unit)
+		est := EstimateStarDiscrepancy(pts, unit, 2000, 7)
+		if est > exact+1e-9 {
+			t.Errorf("%s: estimate %v exceeds exact %v", g.Name(), est, exact)
+		}
+		if est < exact/4 {
+			t.Errorf("%s: estimate %v too loose vs exact %v", g.Name(), est, exact)
+		}
+	}
+}
+
+func TestEstimateDegenerate(t *testing.T) {
+	if EstimateStarDiscrepancy(nil, geom.Square(1), 100, 1) != 0 {
+		t.Error("empty set should estimate 0")
+	}
+	pts := []geom.Point{{X: 0.5, Y: 0.5}}
+	if EstimateStarDiscrepancy(pts, geom.Square(1), 0, 1) != 0 {
+		t.Error("zero trials should return 0")
+	}
+}
+
+func TestFenwick(t *testing.T) {
+	f := newFenwick(10)
+	f.add(3, 2)
+	f.add(7, 5)
+	f.add(3, 1)
+	if got := f.prefix(2); got != 0 {
+		t.Errorf("prefix(2) = %d", got)
+	}
+	if got := f.prefix(3); got != 3 {
+		t.Errorf("prefix(3) = %d", got)
+	}
+	if got := f.prefix(10); got != 8 {
+		t.Errorf("prefix(10) = %d", got)
+	}
+}
+
+// Halton discrepancy decreases roughly like log²N/N; check monotone
+// improvement across decades.
+func TestHaltonDiscrepancyShrinks(t *testing.T) {
+	unit := geom.Square(1)
+	d100 := StarDiscrepancy(Halton{}.Points(100, unit), unit)
+	d1000 := StarDiscrepancy(Halton{}.Points(1000, unit), unit)
+	if d1000 >= d100/2 {
+		t.Errorf("D*(1000)=%v not well below D*(100)=%v", d1000, d100)
+	}
+}

@@ -1,0 +1,57 @@
+package lowdisc
+
+import (
+	"decor/internal/geom"
+)
+
+// Faure2D is the two-dimensional Faure sequence in base 2: the first
+// coordinate is the van der Corput sequence, the second applies the
+// Pascal-matrix digit scramble C(k, j) mod 2 before the radical
+// inverse. By Lucas' theorem, C(k, j) is odd exactly when j's binary
+// digits are a subset of k's — so the transform is pure bit twiddling.
+// Faure sequences are (0, s)-sequences: every elementary interval of
+// volume 2^-m contains exactly the right number of points.
+type Faure2D struct{}
+
+// Name implements Generator.
+func (Faure2D) Name() string { return "faure" }
+
+// Points implements Generator.
+func (Faure2D) Points(n int, rect geom.Rect) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		idx := uint64(i) + 1
+		pts[i] = geom.Point{
+			X: rect.Min.X + RadicalInverse(2, idx)*rect.W(),
+			Y: rect.Min.Y + faureSecond(idx)*rect.H(),
+		}
+	}
+	return pts
+}
+
+// faureSecond applies the Pascal transform to i's base-2 digits and
+// mirrors them: digit j of the output is XOR over k >= j with
+// (j AND k) == j of digit k of i.
+func faureSecond(i uint64) float64 {
+	// Collect the input digits (LSB first).
+	var digits [64]uint64
+	nd := 0
+	for v := i; v > 0; v >>= 1 {
+		digits[nd] = v & 1
+		nd++
+	}
+	result := 0.0
+	f := 0.5
+	for j := 0; j < nd; j++ {
+		var c uint64
+		for k := j; k < nd; k++ {
+			// Lucas: C(k, j) mod 2 == 1 iff j is a bit-subset of k.
+			if uint64(j)&uint64(k) == uint64(j) {
+				c ^= digits[k]
+			}
+		}
+		result += float64(c) * f
+		f /= 2
+	}
+	return result
+}

@@ -1,0 +1,112 @@
+package lowdisc
+
+import (
+	"decor/internal/geom"
+	"decor/internal/rng"
+)
+
+// ScrambledHalton applies deterministic digit scrambling to the Halton
+// sequence. Plain Halton points in larger bases show strong early
+// correlations; scrambling breaks them while preserving the
+// low-discrepancy property. The permutation per base is a seeded random
+// permutation fixing 0 (so 0 digits stay 0 and the radical inverse stays
+// in [0,1)).
+type ScrambledHalton struct {
+	BaseX, BaseY uint64
+	Seed         uint64
+}
+
+// Name implements Generator.
+func (ScrambledHalton) Name() string { return "halton-scrambled" }
+
+// Points implements Generator.
+func (s ScrambledHalton) Points(n int, rect geom.Rect) []geom.Point {
+	bx, by := s.BaseX, s.BaseY
+	if bx == 0 {
+		bx = 2
+	}
+	if by == 0 {
+		by = 3
+	}
+	permX := digitPermutation(bx, s.Seed)
+	permY := digitPermutation(by, s.Seed+1)
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		idx := uint64(i) + 1
+		pts[i] = geom.Point{
+			X: rect.Min.X + scrambledRadicalInverse(bx, idx, permX)*rect.W(),
+			Y: rect.Min.Y + scrambledRadicalInverse(by, idx, permY)*rect.H(),
+		}
+	}
+	return pts
+}
+
+// digitPermutation returns a seeded permutation of [0, base) that maps 0
+// to 0.
+func digitPermutation(base, seed uint64) []uint64 {
+	r := rng.New(seed*2654435761 + base)
+	perm := make([]uint64, base)
+	for i := range perm {
+		perm[i] = uint64(i)
+	}
+	// Fisher–Yates over indices 1..base-1, keeping perm[0] = 0.
+	for i := int(base) - 1; i > 1; i-- {
+		j := 1 + r.Intn(i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm
+}
+
+// scrambledRadicalInverse mirrors the digits of i through perm.
+func scrambledRadicalInverse(base, i uint64, perm []uint64) float64 {
+	inv := 1.0 / float64(base)
+	result := 0.0
+	f := inv
+	for i > 0 {
+		result += float64(perm[i%base]) * f
+		i /= base
+		f *= inv
+	}
+	return result
+}
+
+// Rotated applies a Cranley–Patterson rotation to another generator:
+// every point is shifted by a fixed seeded offset modulo the rectangle.
+// Rotation yields a randomized quasi-Monte-Carlo family whose members
+// are unbiased while each keeping the base generator's discrepancy.
+type Rotated struct {
+	Base Generator
+	Seed uint64
+}
+
+// Name implements Generator.
+func (r Rotated) Name() string {
+	if r.Base == nil {
+		return "rotated"
+	}
+	return r.Base.Name() + "-rotated"
+}
+
+// Points implements Generator.
+func (r Rotated) Points(n int, rect geom.Rect) []geom.Point {
+	base := r.Base
+	if base == nil {
+		base = Halton{}
+	}
+	gen := rng.New(r.Seed ^ 0xC0FFEE)
+	dx := gen.Float64() * rect.W()
+	dy := gen.Float64() * rect.H()
+	pts := base.Points(n, rect)
+	for i, p := range pts {
+		x := p.X - rect.Min.X + dx
+		if x >= rect.W() {
+			x -= rect.W()
+		}
+		y := p.Y - rect.Min.Y + dy
+		if y >= rect.H() {
+			y -= rect.H()
+		}
+		pts[i] = geom.Point{X: rect.Min.X + x, Y: rect.Min.Y + y}
+	}
+	return pts
+}

@@ -1,0 +1,210 @@
+package lowdisc
+
+import (
+	"math"
+	"testing"
+
+	"decor/internal/geom"
+)
+
+func TestScrambledHaltonBasics(t *testing.T) {
+	rect := geom.Square(100)
+	g := ScrambledHalton{Seed: 5}
+	pts := g.Points(1000, rect)
+	if len(pts) != 1000 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	allInside(t, g.Name(), pts, rect)
+	// Deterministic.
+	again := g.Points(1000, rect)
+	for i := range pts {
+		if !pts[i].Eq(again[i]) {
+			t.Fatal("scrambled halton not deterministic")
+		}
+	}
+	// Distinct from plain Halton.
+	plain := Halton{}.Points(1000, rect)
+	same := 0
+	for i := range pts {
+		if pts[i].Eq(plain[i]) {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Errorf("scrambling left %d/1000 points unchanged", same)
+	}
+	// Different seeds give different scramblings.
+	other := ScrambledHalton{Seed: 6}.Points(100, rect)
+	diff := 0
+	for i := range other {
+		if !other[i].Eq(pts[i]) {
+			diff++
+		}
+	}
+	if diff < 50 {
+		t.Errorf("seeds too similar: only %d/100 differ", diff)
+	}
+}
+
+func TestScrambledHaltonKeepsLowDiscrepancy(t *testing.T) {
+	unit := geom.Square(1)
+	const n = 512
+	dPlain := StarDiscrepancy(Halton{}.Points(n, unit), unit)
+	dScr := StarDiscrepancy(ScrambledHalton{Seed: 3}.Points(n, unit), unit)
+	dRandom := StarDiscrepancy(Uniform{Seed: 3}.Points(n, unit), unit)
+	if dScr >= dRandom {
+		t.Errorf("scrambled D* %v not below random %v", dScr, dRandom)
+	}
+	// Same order of magnitude as plain Halton.
+	if dScr > 4*dPlain {
+		t.Errorf("scrambled D* %v far above plain %v", dScr, dPlain)
+	}
+}
+
+func TestDigitPermutationFixesZero(t *testing.T) {
+	for _, base := range []uint64{2, 3, 5, 7, 11} {
+		perm := digitPermutation(base, 42)
+		if perm[0] != 0 {
+			t.Errorf("base %d: perm[0] = %d", base, perm[0])
+		}
+		seen := map[uint64]bool{}
+		for _, v := range perm {
+			if v >= base || seen[v] {
+				t.Fatalf("base %d: invalid permutation %v", base, perm)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestRotatedStaysInRect(t *testing.T) {
+	rect := geom.RectWH(10, 20, 30, 40)
+	for seed := uint64(0); seed < 10; seed++ {
+		g := Rotated{Base: Halton{}, Seed: seed}
+		pts := g.Points(500, rect)
+		allInside(t, g.Name(), pts, rect)
+	}
+}
+
+func TestRotatedPreservesDiscrepancyScale(t *testing.T) {
+	unit := geom.Square(1)
+	const n = 512
+	dPlain := StarDiscrepancy(Halton{}.Points(n, unit), unit)
+	dRot := StarDiscrepancy(Rotated{Base: Halton{}, Seed: 9}.Points(n, unit), unit)
+	// A rotation can perturb D* but not destroy the low-discrepancy
+	// character.
+	if dRot > 6*dPlain {
+		t.Errorf("rotated D* %v vs plain %v", dRot, dPlain)
+	}
+}
+
+func TestRotatedDefaultsAndName(t *testing.T) {
+	g := Rotated{Seed: 1}
+	if g.Name() != "rotated" {
+		t.Errorf("nil-base name = %q", g.Name())
+	}
+	pts := g.Points(10, geom.Square(1))
+	if len(pts) != 10 {
+		t.Fatal("nil base should default to Halton")
+	}
+	named := Rotated{Base: Sobol2D{}, Seed: 1}
+	if named.Name() != "sobol-rotated" {
+		t.Errorf("name = %q", named.Name())
+	}
+}
+
+// Rotation must be a measure-preserving shift: the fraction of points in
+// any axis-aligned box matches the unrotated fraction of the preimage.
+func TestRotationIsShift(t *testing.T) {
+	rect := geom.Square(1)
+	base := Halton{}.Points(200, rect)
+	rot := Rotated{Base: Halton{}, Seed: 4}.Points(200, rect)
+	// Pairwise displacement (mod 1) must be constant.
+	dx := math.Mod(rot[0].X-base[0].X+1, 1)
+	dy := math.Mod(rot[0].Y-base[0].Y+1, 1)
+	for i := range base {
+		gx := math.Mod(rot[i].X-base[i].X+1, 1)
+		gy := math.Mod(rot[i].Y-base[i].Y+1, 1)
+		if math.Abs(gx-dx) > 1e-9 || math.Abs(gy-dy) > 1e-9 {
+			t.Fatalf("rotation not a constant shift at %d", i)
+		}
+	}
+}
+
+func TestFaureBasics(t *testing.T) {
+	rect := geom.RectWH(5, -5, 20, 30)
+	g := Faure2D{}
+	pts := g.Points(1000, rect)
+	if len(pts) != 1000 {
+		t.Fatal("wrong count")
+	}
+	allInside(t, g.Name(), pts, rect)
+	// Deterministic and distinct.
+	again := g.Points(1000, rect)
+	seen := map[geom.Point]bool{}
+	for i := range pts {
+		if !pts[i].Eq(again[i]) {
+			t.Fatal("non-deterministic")
+		}
+		if seen[pts[i]] {
+			t.Fatalf("duplicate point %v", pts[i])
+		}
+		seen[pts[i]] = true
+	}
+}
+
+func TestFaureLowDiscrepancy(t *testing.T) {
+	unit := geom.Square(1)
+	const n = 512
+	dFaure := StarDiscrepancy(Faure2D{}.Points(n, unit), unit)
+	dRandom := StarDiscrepancy(Uniform{Seed: 2}.Points(n, unit), unit)
+	if dFaure >= dRandom {
+		t.Errorf("faure D* %v not below random %v", dFaure, dRandom)
+	}
+	if dFaure > 0.05 {
+		t.Errorf("faure D* %v unexpectedly high", dFaure)
+	}
+}
+
+// The (0,2)-sequence property in base 2: every aligned block of 2^m
+// consecutive indices hits every elementary dyadic interval of area 2^-m
+// exactly once. The generator skips index 0, so Points[15:31] holds the
+// aligned block idx = 16..31; check every dyadic partition shape at m=4.
+func TestFaureElementaryIntervals(t *testing.T) {
+	const m = 4
+	pts := Faure2D{}.Points(31, geom.Square(1))[15:31]
+	for split := 0; split <= m; split++ {
+		cols := 1 << split
+		rows := 1 << (m - split)
+		counts := make([]int, cols*rows)
+		for _, p := range pts {
+			cx := int(p.X * float64(cols))
+			cy := int(p.Y * float64(rows))
+			if cx >= cols {
+				cx = cols - 1
+			}
+			if cy >= rows {
+				cy = rows - 1
+			}
+			counts[cy*cols+cx]++
+		}
+		for cell, c := range counts {
+			if c != 1 {
+				t.Fatalf("partition %dx%d: cell %d has %d points, want 1",
+					cols, rows, cell, c)
+			}
+		}
+	}
+}
+
+func TestByNameNewGenerators(t *testing.T) {
+	for _, name := range []string{"faure", "halton-scrambled"} {
+		g, err := ByName(name, 7)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if g.Name() != name {
+			t.Errorf("name = %q", g.Name())
+		}
+	}
+}

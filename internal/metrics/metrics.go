@@ -1,0 +1,59 @@
+// Package metrics computes the per-deployment measurements reported in
+// the paper's evaluation (§4): total and newly-placed node counts,
+// redundant nodes, message overhead, and coverage fractions at arbitrary
+// levels.
+package metrics
+
+import (
+	"fmt"
+
+	"decor/internal/core"
+	"decor/internal/coverage"
+)
+
+// Deployment summarizes one deployment run against its coverage map.
+type Deployment struct {
+	Method          string
+	K               int
+	TotalNodes      int     // all sensors on the field after the run
+	PlacedNodes     int     // sensors the method added
+	RedundantNodes  int     // removable without losing k-coverage
+	RedundantFrac   float64 // RedundantNodes / TotalNodes
+	Messages        int
+	MessagesPerCell float64
+	Rounds          int
+	Seeded          int
+	CoverageK       float64 // fraction of points k-covered
+	Coverage1       float64 // fraction of points 1-covered
+}
+
+// Collect measures a finished run.
+func Collect(m *coverage.Map, res core.Result) Deployment {
+	d := Deployment{
+		Method:          res.Method,
+		K:               m.K(),
+		TotalNodes:      m.NumSensors(),
+		PlacedNodes:     res.NumPlaced(),
+		RedundantNodes:  len(m.RedundantSensors()),
+		Messages:        res.Messages,
+		MessagesPerCell: res.MessagesPerCell(),
+		Rounds:          res.Rounds,
+		Seeded:          res.Seeded,
+		CoverageK:       m.CoverageFrac(m.K()),
+		Coverage1:       m.CoverageFrac(1),
+	}
+	if d.TotalNodes > 0 {
+		d.RedundantFrac = float64(d.RedundantNodes) / float64(d.TotalNodes)
+	}
+	return d
+}
+
+// String renders a one-line summary.
+func (d Deployment) String() string {
+	return fmt.Sprintf(
+		"%-14s k=%d total=%d placed=%d redundant=%d (%.1f%%) msgs=%d (%.1f/cell) rounds=%d cov_k=%.1f%%",
+		d.Method, d.K, d.TotalNodes, d.PlacedNodes, d.RedundantNodes,
+		100*d.RedundantFrac, d.Messages, d.MessagesPerCell, d.Rounds,
+		100*d.CoverageK,
+	)
+}

@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"decor/internal/core"
+	"decor/internal/coverage"
+	"decor/internal/geom"
+	"decor/internal/lowdisc"
+	"decor/internal/rng"
+)
+
+func TestCollect(t *testing.T) {
+	field := geom.Square(50)
+	pts := lowdisc.Halton{}.Points(400, field)
+	m := coverage.New(field, pts, 4, 2)
+	r := rng.New(3)
+	for id := 0; id < 30; id++ {
+		m.AddSensor(id, r.PointInRect(field))
+	}
+	res := (core.VoronoiDECOR{Rc: 8}).Deploy(m, rng.New(4), core.Options{})
+	d := Collect(m, res)
+	if d.Method != "voronoi-small" || d.K != 2 {
+		t.Errorf("identity fields wrong: %+v", d)
+	}
+	if d.TotalNodes != m.NumSensors() {
+		t.Errorf("TotalNodes = %d", d.TotalNodes)
+	}
+	if d.PlacedNodes != res.NumPlaced() || d.PlacedNodes != d.TotalNodes-30 {
+		t.Errorf("PlacedNodes = %d", d.PlacedNodes)
+	}
+	if d.CoverageK != 1 {
+		t.Errorf("CoverageK = %v, want 1 after full deploy", d.CoverageK)
+	}
+	if d.Coverage1 != 1 {
+		t.Errorf("Coverage1 = %v", d.Coverage1)
+	}
+	if d.RedundantFrac < 0 || d.RedundantFrac > 1 {
+		t.Errorf("RedundantFrac = %v", d.RedundantFrac)
+	}
+	if d.Messages != res.Messages || d.MessagesPerCell <= 0 {
+		t.Errorf("message fields wrong: %+v", d)
+	}
+	s := d.String()
+	for _, want := range []string{"voronoi-small", "k=2", "total="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestCollectEmptyMap(t *testing.T) {
+	field := geom.Square(10)
+	m := coverage.New(field, nil, 4, 1)
+	d := Collect(m, core.Result{Method: "x"})
+	if d.TotalNodes != 0 || d.RedundantFrac != 0 {
+		t.Errorf("empty collect = %+v", d)
+	}
+	if d.CoverageK != 1 {
+		t.Errorf("empty field coverage = %v, want vacuous 1", d.CoverageK)
+	}
+}

@@ -1,0 +1,131 @@
+// Package mobility simulates the actuation side of DECOR: the paper
+// assumes "new sensors can be deployed to the proposed locations by a
+// human or a mobile robot" (§1). Here a robot actor drives the planned
+// route on the discrete-event engine, placing one sensor per stop, so
+// restoration has a *latency*, not just a node count: coverage returns
+// gradually as the robot works through the tour.
+package mobility
+
+import (
+	"decor/internal/coverage"
+	"decor/internal/geom"
+	"decor/internal/sim"
+	"decor/internal/tour"
+)
+
+// Milestone records the field's coverage right after one placement.
+type Milestone struct {
+	Time      sim.Time
+	SensorID  int
+	Pos       geom.Point
+	CoverageK float64 // fraction of points at the map's requirement k
+}
+
+// Robot is a sim actor that travels a fixed route and actuates one
+// sensor per stop.
+type Robot struct {
+	m     *coverage.Map
+	route tour.Tour
+	speed float64
+	// PlaceTime is the fixed actuation time per stop (unpacking,
+	// mounting); zero is allowed.
+	PlaceTime sim.Time
+
+	nextStop   int
+	nextID     int
+	Milestones []Milestone
+	// CompletedAt is the virtual time the last sensor went live.
+	CompletedAt sim.Time
+}
+
+const timerArrive = "arrive"
+
+// NewRobot plans nothing itself: callers supply the route (typically
+// tour.Plan over a method's proposed placements). speed must be
+// positive.
+func NewRobot(m *coverage.Map, route tour.Tour, speed float64) *Robot {
+	if speed <= 0 {
+		panic("mobility: speed must be positive")
+	}
+	next := 0
+	for _, id := range m.SensorIDs() {
+		if id >= next {
+			next = id + 1
+		}
+	}
+	return &Robot{m: m, route: route, speed: speed, nextID: next}
+}
+
+// OnStart implements sim.Actor: depart toward the first stop.
+func (r *Robot) OnStart(ctx *sim.Context) {
+	r.scheduleLeg(ctx, r.route.Start)
+}
+
+// OnMessage implements sim.Actor (robots take no messages).
+func (r *Robot) OnMessage(*sim.Context, sim.Message) {}
+
+// OnTimer implements sim.Actor: arrive, actuate, depart.
+func (r *Robot) OnTimer(ctx *sim.Context, tag string) {
+	if tag != timerArrive || r.nextStop >= len(r.route.Stops) {
+		return
+	}
+	pos := r.route.Stops[r.nextStop]
+	id := r.nextID
+	r.nextID++
+	r.m.AddSensor(id, pos)
+	r.Milestones = append(r.Milestones, Milestone{
+		Time: ctx.Now(), SensorID: id, Pos: pos,
+		CoverageK: r.m.CoverageFrac(r.m.K()),
+	})
+	r.CompletedAt = ctx.Now()
+	r.nextStop++
+	if r.nextStop < len(r.route.Stops) {
+		r.scheduleLeg(ctx, pos)
+	}
+}
+
+func (r *Robot) scheduleLeg(ctx *sim.Context, from geom.Point) {
+	if r.nextStop >= len(r.route.Stops) {
+		return
+	}
+	d := from.Dist(r.route.Stops[r.nextStop])
+	ctx.SetTimer(sim.Time(d/r.speed)+r.PlaceTime, timerArrive)
+}
+
+// Result summarizes a robot-actuated restoration.
+type Result struct {
+	Placed      int
+	TourLength  float64
+	CompletedAt sim.Time
+	Milestones  []Milestone
+}
+
+// Execute plans the route over the given placement positions (from
+// start, nearest-neighbor + 2-opt), runs the robot to completion on a
+// fresh engine, and returns the milestones. Sensors are added to m as
+// the robot reaches them.
+func Execute(m *coverage.Map, placements []geom.Point, start geom.Point, speed float64, placeTime sim.Time) Result {
+	route := tour.Plan(start, placements, 0)
+	eng := sim.NewEngine(0)
+	robot := NewRobot(m, route, speed)
+	robot.PlaceTime = placeTime
+	eng.Register(1, robot)
+	eng.Run(sim.Inf)
+	return Result{
+		Placed:      len(robot.Milestones),
+		TourLength:  route.Length(),
+		CompletedAt: robot.CompletedAt,
+		Milestones:  robot.Milestones,
+	}
+}
+
+// TimeToCoverage returns the first milestone time at which coverage
+// reached the given fraction, or ok=false if it never did.
+func (res Result) TimeToCoverage(frac float64) (sim.Time, bool) {
+	for _, ms := range res.Milestones {
+		if ms.CoverageK >= frac {
+			return ms.Time, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,127 @@
+package mobility
+
+import (
+	"testing"
+
+	"decor/internal/core"
+	"decor/internal/coverage"
+	"decor/internal/failure"
+	"decor/internal/geom"
+	"decor/internal/lowdisc"
+	"decor/internal/rng"
+	"decor/internal/sim"
+	"decor/internal/tour"
+)
+
+func damagedField(t *testing.T) (*coverage.Map, []geom.Point) {
+	t.Helper()
+	field := geom.Square(50)
+	pts := lowdisc.Halton{}.Points(500, field)
+	m := coverage.New(field, pts, 2, 2)
+	(core.Centralized{}).Deploy(m, rng.New(1), core.Options{})
+	disk := geom.DiskAt(25, 25, 12)
+	failure.Apply(m, (failure.Area{Disk: disk}).Select(m, nil))
+	// Plan the repair on a clone; actuate on the real map.
+	plan := m.Clone()
+	res := (core.VoronoiDECOR{Rc: 8}).Deploy(plan, rng.New(2), core.Options{})
+	sites := make([]geom.Point, len(res.Placed))
+	for i, pl := range res.Placed {
+		sites[i] = pl.Pos
+	}
+	return m, sites
+}
+
+func TestExecuteRestoresCoverageOverTime(t *testing.T) {
+	m, sites := damagedField(t)
+	before := m.CoverageFrac(2)
+	res := Execute(m, sites, geom.Pt(0, 0), 2.0, 0)
+	if res.Placed != len(sites) {
+		t.Fatalf("placed %d, want %d", res.Placed, len(sites))
+	}
+	if !m.FullyCovered() {
+		t.Fatal("robot did not restore coverage")
+	}
+	if res.TourLength <= 0 || res.CompletedAt <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+	// Milestones are time-ordered and coverage-monotone.
+	last := Milestone{CoverageK: before}
+	for i, ms := range res.Milestones {
+		if ms.Time < last.Time {
+			t.Fatalf("milestone %d out of order", i)
+		}
+		if ms.CoverageK < last.CoverageK-1e-12 {
+			t.Fatalf("coverage decreased at milestone %d", i)
+		}
+		last = ms
+	}
+	if last.CoverageK != 1 {
+		t.Fatalf("final milestone coverage = %v", last.CoverageK)
+	}
+	// Completion time ≈ tour length / speed (zero place time).
+	want := sim.Time(res.TourLength / 2.0)
+	if diff := res.CompletedAt - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("completion %v, want %v", res.CompletedAt, want)
+	}
+}
+
+func TestTimeToCoverage(t *testing.T) {
+	m, sites := damagedField(t)
+	res := Execute(m, sites, geom.Pt(0, 0), 2.0, 0)
+	t90, ok := res.TimeToCoverage(0.9)
+	if !ok {
+		t.Fatal("90% never reached")
+	}
+	tFull, ok := res.TimeToCoverage(1.0)
+	if !ok {
+		t.Fatal("full coverage never reached")
+	}
+	if t90 > tFull {
+		t.Errorf("t90 %v after tFull %v", t90, tFull)
+	}
+	if _, ok := res.TimeToCoverage(1.1); ok {
+		t.Error("impossible fraction reported reachable")
+	}
+}
+
+func TestPlaceTimeDelaysCompletion(t *testing.T) {
+	m1, sites := damagedField(t)
+	fast := Execute(m1, sites, geom.Pt(0, 0), 2.0, 0)
+	m2, _ := damagedField(t)
+	slow := Execute(m2, sites, geom.Pt(0, 0), 2.0, 5)
+	wantExtra := sim.Time(5 * len(sites))
+	if diff := (slow.CompletedAt - fast.CompletedAt) - wantExtra; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("place time accounting off by %v", diff)
+	}
+}
+
+func TestFasterRobotFinishesSooner(t *testing.T) {
+	m1, sites := damagedField(t)
+	slow := Execute(m1, sites, geom.Pt(0, 0), 1.0, 0)
+	m2, _ := damagedField(t)
+	fast := Execute(m2, sites, geom.Pt(0, 0), 4.0, 0)
+	if fast.CompletedAt*4 != slow.CompletedAt*1 {
+		// Same route, speed scales time exactly.
+		if diffRel := float64(fast.CompletedAt*4-slow.CompletedAt) / float64(slow.CompletedAt); diffRel > 1e-9 || diffRel < -1e-9 {
+			t.Errorf("speed scaling wrong: %v vs %v", fast.CompletedAt, slow.CompletedAt)
+		}
+	}
+}
+
+func TestNewRobotValidation(t *testing.T) {
+	m := coverage.New(geom.Square(10), nil, 4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("zero speed should panic")
+		}
+	}()
+	NewRobot(m, tour.Tour{}, 0)
+}
+
+func TestEmptyRouteNoops(t *testing.T) {
+	m := coverage.New(geom.Square(10), nil, 4, 1)
+	res := Execute(m, nil, geom.Pt(0, 0), 1, 0)
+	if res.Placed != 0 || res.CompletedAt != 0 {
+		t.Errorf("empty route result: %+v", res)
+	}
+}

@@ -1,0 +1,73 @@
+package network
+
+// ArticulationPoints returns the alive nodes whose individual failure
+// would disconnect the communication graph (cut vertices, found with
+// Tarjan's low-link DFS), ascending. They are the network's single
+// points of failure: the paper's k-coverage redundancy argument has a
+// connectivity twin — a robust deployment should have few or none.
+func (n *Network) ArticulationPoints() []int {
+	ids, adj := n.adjacency()
+	v := len(ids)
+	disc := make([]int, v)
+	low := make([]int, v)
+	parent := make([]int, v)
+	isCut := make([]bool, v)
+	for i := range disc {
+		disc[i] = -1
+		parent[i] = -1
+	}
+	timer := 0
+	// Iterative DFS to avoid recursion depth limits on chains.
+	type frame struct {
+		v, childIdx, children int
+	}
+	for start := 0; start < v; start++ {
+		if disc[start] != -1 {
+			continue
+		}
+		stack := []frame{{v: start}}
+		disc[start] = timer
+		low[start] = timer
+		timer++
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.childIdx < len(adj[f.v]) {
+				w := adj[f.v][f.childIdx]
+				f.childIdx++
+				if disc[w] == -1 {
+					parent[w] = f.v
+					f.children++
+					disc[w] = timer
+					low[w] = timer
+					timer++
+					stack = append(stack, frame{v: w})
+				} else if w != parent[f.v] {
+					if disc[w] < low[f.v] {
+						low[f.v] = disc[w]
+					}
+				}
+				continue
+			}
+			// Post-order: fold into the parent.
+			stack = stack[:len(stack)-1]
+			if p := parent[f.v]; p != -1 {
+				if low[f.v] < low[p] {
+					low[p] = low[f.v]
+				}
+				if parent[p] != -1 && low[f.v] >= disc[p] {
+					isCut[p] = true
+				}
+			}
+			if parent[f.v] == -1 && f.children > 1 {
+				isCut[f.v] = true
+			}
+		}
+	}
+	var out []int
+	for i, c := range isCut {
+		if c {
+			out = append(out, ids[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package network
+
+import (
+	"testing"
+
+	"decor/internal/geom"
+	"decor/internal/rng"
+)
+
+func TestArticulationChain(t *testing.T) {
+	net := lineNetwork(5, 3, 3.5) // 0-1-2-3-4: interior nodes are cuts
+	got := net.ArticulationPoints()
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("articulation = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("articulation = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestArticulationStarAndCycle(t *testing.T) {
+	// Star: the hub is the only cut vertex.
+	star := New(geom.Square(100))
+	star.Add(0, geom.Pt(50, 50), 1, 12)
+	for i, p := range []geom.Point{{X: 60, Y: 50}, {X: 40, Y: 50}, {X: 50, Y: 60}, {X: 50, Y: 40}} {
+		star.Add(i+1, p, 1, 12)
+	}
+	if got := star.ArticulationPoints(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("star articulation = %v, want [0]", got)
+	}
+	// Cycle: no cut vertices.
+	ring := New(geom.Square(100))
+	pts := []geom.Point{
+		{X: 50, Y: 60}, {X: 58.66, Y: 55}, {X: 58.66, Y: 45},
+		{X: 50, Y: 40}, {X: 41.34, Y: 45}, {X: 41.34, Y: 55},
+	}
+	for i, p := range pts {
+		ring.Add(i, p, 1, 10.5)
+	}
+	if got := ring.ArticulationPoints(); len(got) != 0 {
+		t.Errorf("cycle articulation = %v, want none", got)
+	}
+}
+
+func TestArticulationEmptyAndPair(t *testing.T) {
+	if got := New(geom.Square(10)).ArticulationPoints(); len(got) != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	pair := New(geom.Square(10))
+	pair.Add(1, geom.Pt(1, 1), 1, 5)
+	pair.Add(2, geom.Pt(2, 1), 1, 5)
+	if got := pair.ArticulationPoints(); len(got) != 0 {
+		t.Errorf("edge = %v, want none", got)
+	}
+}
+
+// Cross-validate against the definition: removing an articulation point
+// increases the component count; removing a non-articulation point does
+// not.
+func TestArticulationMatchesDefinition(t *testing.T) {
+	r := rng.New(13)
+	for trial := 0; trial < 15; trial++ {
+		net := New(geom.Square(60))
+		n := 10 + r.Intn(40)
+		for id := 0; id < n; id++ {
+			net.Add(id, r.PointInRect(geom.Square(60)), 4, 12)
+		}
+		cuts := map[int]bool{}
+		for _, id := range net.ArticulationPoints() {
+			cuts[id] = true
+		}
+		base := len(net.ConnectedComponents())
+		for _, id := range net.AliveIDs() {
+			net.Fail(id)
+			after := len(net.ConnectedComponents())
+			net.Revive(id)
+			// Removing any node drops the node itself; a cut vertex
+			// leaves MORE components than base (its neighbors split),
+			// a non-cut leaves base or base-1 (if it was a singleton).
+			increased := after > base
+			if increased != cuts[id] {
+				t.Fatalf("trial %d node %d: definition says cut=%v, Tarjan says %v (base %d, after %d)",
+					trial, id, increased, cuts[id], base, after)
+			}
+		}
+	}
+}

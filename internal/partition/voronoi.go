@@ -1,0 +1,201 @@
+package partition
+
+import (
+	"sort"
+
+	"decor/internal/geom"
+	"decor/internal/index"
+)
+
+// Voronoi maintains the paper's local Voronoi cells (Definition 1) over a
+// fixed sample-point set: each sample point is owned by the nearest sensor
+// within communication radius rc; points farther than rc from every sensor
+// are orphans (owner −1). Ownership updates incrementally as sensors are
+// added or removed, mirroring the paper's observation that "each time a
+// new sensor node is placed, the placement may affect the size of the
+// Voronoi cells of some neighboring nodes".
+type Voronoi struct {
+	rc      float64
+	pts     []geom.Point
+	ptIdx   *index.Grid
+	sensors map[int]geom.Point
+	sIdx    *index.Grid
+	owner   []int
+	owned   map[int]map[int]bool // sensor id -> set of owned point indices
+}
+
+// NewVoronoi creates the ownership structure for the given sample points
+// and communication radius. rc must be positive.
+func NewVoronoi(field geom.Rect, pts []geom.Point, rc float64) *Voronoi {
+	if rc <= 0 {
+		panic("partition: rc must be positive")
+	}
+	v := &Voronoi{
+		rc:      rc,
+		pts:     append([]geom.Point(nil), pts...),
+		ptIdx:   index.NewGrid(field, rc/2),
+		sensors: make(map[int]geom.Point),
+		sIdx:    index.NewGrid(field, rc/2),
+		owner:   make([]int, len(pts)),
+		owned:   make(map[int]map[int]bool),
+	}
+	for i, p := range v.pts {
+		v.ptIdx.Insert(i, p)
+		v.owner[i] = -1
+	}
+	return v
+}
+
+// Rc returns the communication radius.
+func (v *Voronoi) Rc() float64 { return v.rc }
+
+// NumPoints returns the number of sample points.
+func (v *Voronoi) NumPoints() int { return len(v.pts) }
+
+// Owner returns the sensor owning sample point i, or −1 if orphaned.
+func (v *Voronoi) Owner(i int) int { return v.owner[i] }
+
+// OwnedPoints returns the sample points owned by sensor id, ascending.
+func (v *Voronoi) OwnedPoints(id int) []int {
+	set := v.owned[id]
+	out := make([]int, 0, len(set))
+	for i := range set {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Orphans returns all sample points with no owner, ascending.
+func (v *Voronoi) Orphans() []int {
+	var out []int
+	for i, o := range v.owner {
+		if o < 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SensorIDs returns all registered sensors, ascending.
+func (v *Voronoi) SensorIDs() []int {
+	out := make([]int, 0, len(v.sensors))
+	for id := range v.sensors {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// closer reports whether sensor a at pa beats sensor b at pb for point p
+// (strictly closer, ties broken by lower id for determinism).
+func closer(a int, pa geom.Point, b int, pb geom.Point, p geom.Point) bool {
+	da, db := pa.Dist2(p), pb.Dist2(p)
+	if da != db {
+		return da < db
+	}
+	return a < b
+}
+
+// AddSensor registers a sensor and reassigns ownership of the sample
+// points within rc that are now nearest to it. It returns the indices of
+// the points it acquired (ascending) and panics on duplicate id.
+func (v *Voronoi) AddSensor(id int, p geom.Point) []int {
+	if _, ok := v.sensors[id]; ok {
+		panic("partition: duplicate sensor id")
+	}
+	v.sensors[id] = p
+	v.sIdx.Insert(id, p)
+	set := make(map[int]bool)
+	v.owned[id] = set
+	var acquired []int
+	v.ptIdx.VisitBall(p, v.rc, func(i int, pp geom.Point) bool {
+		cur := v.owner[i]
+		if cur < 0 || closer(id, p, cur, v.sensors[cur], pp) {
+			if cur >= 0 {
+				delete(v.owned[cur], i)
+			}
+			v.owner[i] = id
+			set[i] = true
+			acquired = append(acquired, i)
+		}
+		return true
+	})
+	sort.Ints(acquired)
+	return acquired
+}
+
+// RemoveSensor unregisters a sensor (e.g. after a failure) and reassigns
+// its points to the nearest surviving sensor within rc, or orphans them.
+// It reports whether the sensor existed.
+func (v *Voronoi) RemoveSensor(id int) bool {
+	if _, ok := v.sensors[id]; !ok {
+		return false
+	}
+	orphaned := v.owned[id]
+	delete(v.sensors, id)
+	delete(v.owned, id)
+	v.sIdx.Remove(id)
+	for i := range orphaned {
+		v.owner[i] = -1
+		p := v.pts[i]
+		best, bestPos := -1, geom.Point{}
+		v.sIdx.VisitBall(p, v.rc, func(sid int, sp geom.Point) bool {
+			if best < 0 || closer(sid, sp, best, bestPos, p) {
+				best, bestPos = sid, sp
+			}
+			return true
+		})
+		if best >= 0 {
+			v.owner[i] = best
+			v.owned[best][i] = true
+		}
+	}
+	return true
+}
+
+// Neighbors returns the sensors within rc of sensor id (excluding id),
+// ascending — the 1-hop communication neighborhood used for message
+// accounting.
+func (v *Voronoi) Neighbors(id int) []int {
+	p, ok := v.sensors[id]
+	if !ok {
+		return nil
+	}
+	var out []int
+	v.sIdx.VisitBall(p, v.rc, func(sid int, _ geom.Point) bool {
+		if sid != id {
+			out = append(out, sid)
+		}
+		return true
+	})
+	sort.Ints(out)
+	return out
+}
+
+// CheckInvariants verifies internal consistency (owner array vs owned
+// sets vs nearest-sensor semantics) and returns false with a description
+// on the first violation. Used by property tests.
+func (v *Voronoi) CheckInvariants() (bool, string) {
+	for id, set := range v.owned {
+		for i := range set {
+			if v.owner[i] != id {
+				return false, "owned set disagrees with owner array"
+			}
+		}
+	}
+	for i, o := range v.owner {
+		p := v.pts[i]
+		best, bestPos := -1, geom.Point{}
+		v.sIdx.VisitBall(p, v.rc, func(sid int, sp geom.Point) bool {
+			if best < 0 || closer(sid, sp, best, bestPos, p) {
+				best, bestPos = sid, sp
+			}
+			return true
+		})
+		if best != o {
+			return false, "owner is not the nearest sensor within rc"
+		}
+	}
+	return true, ""
+}

@@ -1,0 +1,43 @@
+package percover
+
+import (
+	"testing"
+
+	"decor/internal/core"
+	"decor/internal/coverage"
+	"decor/internal/geom"
+	"decor/internal/lowdisc"
+	"decor/internal/rng"
+)
+
+func benchDeployment(b *testing.B, k int) *coverage.Map {
+	b.Helper()
+	field := geom.Square(100)
+	pts := lowdisc.Halton{}.Points(2000, field)
+	m := coverage.New(field, pts, 4, k)
+	r := rng.New(1)
+	for id := 0; id < 200; id++ {
+		m.AddSensor(id, r.PointInRect(field))
+	}
+	(core.Centralized{}).Deploy(m, rng.New(2), core.Options{})
+	return m
+}
+
+// BenchmarkVerifyPaperScale measures the exact perimeter verification on
+// the full paper field (≈800 sensors at k=3).
+func BenchmarkVerifyPaperScale(b *testing.B) {
+	m := benchDeployment(b, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Verify(m, 3)
+	}
+}
+
+// BenchmarkLattice200 measures the brute-force comparison baseline.
+func BenchmarkLattice200(b *testing.B) {
+	m := benchDeployment(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LatticeCoverageFrac(m, 1, 200)
+	}
+}

@@ -1,0 +1,328 @@
+// Package percover decides exact k-coverage of a field by the
+// perimeter-coverage method of Huang & Tseng ("The coverage problem in a
+// wireless sensor network", WSNA 2003) — reference [8] of the DECOR
+// paper. It serves as an independent, analytic verifier for the
+// discrepancy-point approximation DECOR builds on: where the point set
+// says "k-covered", the perimeter method confirms it exactly (up to
+// measure-zero tangencies).
+//
+// The idea: the coverage level is piecewise constant on the arrangement
+// of sensing circles; it only changes when crossing a circle or the
+// field boundary. The field is k-covered iff
+//
+//  1. every point of the field boundary is covered by at least k
+//     sensors, and
+//  2. for every sensor, every in-field point of its sensing perimeter is
+//     covered by at least k sensors other than itself (so the region
+//     just outside the perimeter still meets the requirement), and
+//  3. if no sensing circle intersects the field at all, the field center
+//     is covered by at least k sensors (degenerate single-cell case).
+//
+// Rather than doing exact interval arithmetic at the (degenerate-prone)
+// event angles, the implementation evaluates coverage at the midpoints
+// of the angular/linear gaps between events — robust, and each failure
+// yields a concrete witness point.
+package percover
+
+import (
+	"math"
+
+	"decor/internal/coverage"
+	"decor/internal/geom"
+)
+
+// Result reports a verification outcome.
+type Result struct {
+	Covered bool
+	// Witness is a field point covered by fewer than k sensors when
+	// Covered is false.
+	Witness geom.Point
+	// Checks counts the midpoint evaluations performed (a complexity
+	// indicator: O(n · neighbors)).
+	Checks int
+}
+
+// Verify decides whether every point of m's field is covered by at least
+// k sensors, independently of the sample-point set.
+func Verify(m *coverage.Map, k int) Result {
+	if k <= 0 {
+		return Result{Covered: true}
+	}
+	field := m.Field()
+	v := &verifier{m: m, k: k, field: field}
+
+	// (1) Field boundary.
+	c := field.Corners()
+	for i := range c {
+		seg := geom.Segment{A: c[i], B: c[(i+1)%4]}
+		if res, ok := v.checkBoundary(seg); !ok {
+			return res
+		}
+	}
+	// (2) Sensor perimeters.
+	anyEvent := false
+	for _, id := range m.SensorIDs() {
+		res, hadEvents, ok := v.checkPerimeter(id)
+		anyEvent = anyEvent || hadEvents
+		if !ok {
+			return res
+		}
+	}
+	// (3) Degenerate case: no circle crosses the field interior, so the
+	// interior is a single cell; probe its center.
+	if !anyEvent {
+		center := field.Center()
+		if v.coverage(center) < k {
+			return Result{Covered: false, Witness: center, Checks: v.checks}
+		}
+	}
+	return Result{Covered: true, Checks: v.checks}
+}
+
+type verifier struct {
+	m      *coverage.Map
+	k      int
+	field  geom.Rect
+	checks int
+}
+
+// coverage counts sensors covering p (closed disks, per-sensor radii).
+func (v *verifier) coverage(p geom.Point) int {
+	v.checks++
+	n := 0
+	// Query with the map's largest radius so long-range sensors are not
+	// missed, then filter by each sensor's own radius.
+	for _, id := range v.m.SensorsInBall(p, v.maxRadius()) {
+		pos, _ := v.m.SensorPos(id)
+		rs, _ := v.m.SensorRadius(id)
+		if pos.Dist2(p) <= rs*rs {
+			n++
+		}
+	}
+	return n
+}
+
+func (v *verifier) maxRadius() float64 {
+	// coverage.Map tracks the largest radius it has seen; expose via
+	// a generous default: the default rs or any heterogeneous radius is
+	// bounded by MaxSensorRadius.
+	return v.m.MaxSensorRadius()
+}
+
+// checkBoundary verifies one boundary segment.
+func (v *verifier) checkBoundary(seg geom.Segment) (Result, bool) {
+	// Events: parameter values t in (0,1) where some sensing circle
+	// crosses the segment.
+	events := []float64{0, 1}
+	dir := seg.B.Sub(seg.A)
+	length2 := dir.Norm2()
+	for _, id := range v.m.SensorIDs() {
+		pos, _ := v.m.SensorPos(id)
+		rs, _ := v.m.SensorRadius(id)
+		// Solve |A + t·dir − pos|² = rs².
+		f := seg.A.Sub(pos)
+		a := length2
+		b := 2 * f.Dot(dir)
+		c := f.Norm2() - rs*rs
+		disc := b*b - 4*a*c
+		if disc <= 0 || a == 0 {
+			continue
+		}
+		sq := math.Sqrt(disc)
+		for _, t := range []float64{(-b - sq) / (2 * a), (-b + sq) / (2 * a)} {
+			if t > 0 && t < 1 {
+				events = append(events, t)
+			}
+		}
+	}
+	sortFloats(events)
+	for i := 0; i+1 < len(events); i++ {
+		mid := (events[i] + events[i+1]) / 2
+		if events[i+1]-events[i] < 1e-12 {
+			continue
+		}
+		p := seg.A.Add(dir.Scale(mid))
+		if v.coverage(p) < v.k {
+			return Result{Covered: false, Witness: p, Checks: v.checks}, false
+		}
+	}
+	return Result{}, true
+}
+
+// checkPerimeter verifies one sensor's in-field perimeter arcs: each
+// must be covered by >= k sensors other than itself. hadEvents reports
+// whether the circle produced any arrangement event inside the field.
+func (v *verifier) checkPerimeter(id int) (Result, bool, bool) {
+	ci, _ := v.m.SensorPos(id)
+	ri, _ := v.m.SensorRadius(id)
+	var events []float64
+	// Events from other sensors' circles.
+	for _, oid := range v.m.SensorsInBall(ci, ri+v.maxRadius()) {
+		if oid == id {
+			continue
+		}
+		cj, _ := v.m.SensorPos(oid)
+		rj, _ := v.m.SensorRadius(oid)
+		d := ci.Dist(cj)
+		if d >= ri+rj || d == 0 {
+			continue // disjoint or concentric: no crossing
+		}
+		if d+ri <= rj || d+rj <= ri {
+			continue // one circle nested in the other disk: no crossing
+		}
+		theta := math.Atan2(cj.Y-ci.Y, cj.X-ci.X)
+		cosPhi := (d*d + ri*ri - rj*rj) / (2 * d * ri)
+		if cosPhi < -1 || cosPhi > 1 {
+			continue
+		}
+		phi := math.Acos(cosPhi)
+		events = append(events, normAngle(theta-phi), normAngle(theta+phi))
+	}
+	// Events from field-boundary crossings.
+	for _, t := range circleRectCrossings(ci, ri, v.field) {
+		events = append(events, t)
+	}
+	hadEvents := len(events) > 0
+	if !hadEvents {
+		// The circle crosses nothing: either entirely inside the field
+		// (probe one point) or entirely outside (exempt).
+		p := geom.Point{X: ci.X + ri, Y: ci.Y}
+		if v.field.Contains(p) && v.strictlyInField(p) {
+			if v.coverageExcluding(p, id) < v.k {
+				return Result{Covered: false, Witness: witnessOutside(ci, ri, 0)}, false, false
+			}
+		}
+		return Result{}, false, true
+	}
+	events = append(events, 0, 2*math.Pi)
+	sortFloats(events)
+	for i := 0; i+1 < len(events); i++ {
+		if events[i+1]-events[i] < 1e-12 {
+			continue
+		}
+		mid := (events[i] + events[i+1]) / 2
+		p := geom.Point{X: ci.X + ri*math.Cos(mid), Y: ci.Y + ri*math.Sin(mid)}
+		if !v.strictlyInField(p) {
+			continue // out-of-field arcs are exempt
+		}
+		if v.coverageExcluding(p, id) < v.k {
+			return Result{Covered: false, Witness: witnessOutside(ci, ri, mid), Checks: v.checks}, true, false
+		}
+	}
+	return Result{}, true, true
+}
+
+// strictlyInField keeps midpoints a hair away from the boundary so the
+// witness just outside the perimeter stays a field point.
+func (v *verifier) strictlyInField(p geom.Point) bool {
+	const eps = 1e-9
+	return p.X > v.field.Min.X+eps && p.X < v.field.Max.X-eps &&
+		p.Y > v.field.Min.Y+eps && p.Y < v.field.Max.Y-eps
+}
+
+// coverageExcluding counts sensors other than self covering p.
+func (v *verifier) coverageExcluding(p geom.Point, self int) int {
+	v.checks++
+	n := 0
+	for _, id := range v.m.SensorsInBall(p, v.maxRadius()) {
+		if id == self {
+			continue
+		}
+		pos, _ := v.m.SensorPos(id)
+		rs, _ := v.m.SensorRadius(id)
+		if pos.Dist2(p) <= rs*rs {
+			n++
+		}
+	}
+	return n
+}
+
+// witnessOutside returns a point just outside the circle at the given
+// angle — a concrete under-covered field point when verification fails.
+func witnessOutside(c geom.Point, r, theta float64) geom.Point {
+	const eps = 1e-7
+	return geom.Point{
+		X: c.X + (r+eps)*math.Cos(theta),
+		Y: c.Y + (r+eps)*math.Sin(theta),
+	}
+}
+
+// circleRectCrossings returns the angles at which the circle crosses the
+// rectangle's boundary lines (within the respective edges).
+func circleRectCrossings(c geom.Point, r float64, rect geom.Rect) []float64 {
+	var out []float64
+	// Vertical edges x = X, y in [Min.Y, Max.Y].
+	for _, X := range []float64{rect.Min.X, rect.Max.X} {
+		dx := X - c.X
+		if math.Abs(dx) >= r {
+			continue
+		}
+		dy := math.Sqrt(r*r - dx*dx)
+		for _, y := range []float64{c.Y - dy, c.Y + dy} {
+			if y >= rect.Min.Y && y <= rect.Max.Y {
+				out = append(out, normAngle(math.Atan2(y-c.Y, dx)))
+			}
+		}
+	}
+	// Horizontal edges y = Y, x in [Min.X, Max.X].
+	for _, Y := range []float64{rect.Min.Y, rect.Max.Y} {
+		dy := Y - c.Y
+		if math.Abs(dy) >= r {
+			continue
+		}
+		dx := math.Sqrt(r*r - dy*dy)
+		for _, x := range []float64{c.X - dx, c.X + dx} {
+			if x >= rect.Min.X && x <= rect.Max.X {
+				out = append(out, normAngle(math.Atan2(dy, x-c.X)))
+			}
+		}
+	}
+	return out
+}
+
+func normAngle(a float64) float64 {
+	a = math.Mod(a, 2*math.Pi)
+	if a < 0 {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+func sortFloats(xs []float64) {
+	// Insertion sort: event lists are short (O(neighbors)).
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// LatticeUncovered scans a res×res lattice over the field and returns
+// the lattice points covered by fewer than k sensors — the brute-force
+// ground truth the tests compare Verify against.
+func LatticeUncovered(m *coverage.Map, k, res int) []geom.Point {
+	field := m.Field()
+	var out []geom.Point
+	v := &verifier{m: m, k: k, field: field}
+	for iy := 0; iy < res; iy++ {
+		for ix := 0; ix < res; ix++ {
+			p := geom.Point{
+				X: field.Min.X + (float64(ix)+0.5)/float64(res)*field.W(),
+				Y: field.Min.Y + (float64(iy)+0.5)/float64(res)*field.H(),
+			}
+			if v.coverage(p) < k {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// LatticeCoverageFrac returns the fraction of a res×res lattice covered
+// by at least level sensors — the analytic-ish area estimate used to
+// quantify the quality of the low-discrepancy point approximation.
+func LatticeCoverageFrac(m *coverage.Map, level, res int) float64 {
+	unc := len(LatticeUncovered(m, level, res))
+	total := res * res
+	return float64(total-unc) / float64(total)
+}

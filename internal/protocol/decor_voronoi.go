@@ -1,0 +1,263 @@
+package protocol
+
+import (
+	"sort"
+
+	"decor/internal/coverage"
+	"decor/internal/geom"
+	"decor/internal/sim"
+)
+
+// Event-driven Voronoi DECOR: every sensor is an actor that owns the
+// sample points nearest to it among the sensors it KNOWS (Definition 1
+// evaluated over local knowledge), places new sensors at its most
+// beneficial deficient owned point, and announces placements by radio to
+// whoever is physically within rc. Two nodes that cannot hear each other
+// (distance in (rc, 2rc]) can both believe they own the same point —
+// exactly the coordination gap that costs the distributed algorithm
+// extra sensors.
+
+const sensorActorBase = 1 << 21
+
+// VoronoiWorld is the shared physical ground truth for the event-driven
+// Voronoi scheme.
+type VoronoiWorld struct {
+	M      *coverage.Map
+	Rc     float64
+	Eng    *sim.Engine
+	Period sim.Time
+
+	nextSensor int
+	nodes      map[int]*VoronoiNode // by sensor ID
+	// PlacementLog records every placed sensor in order.
+	PlacementLog []PlacementPayload
+	// MessagesSent counts placement announcements (one per physical
+	// receiver).
+	MessagesSent int
+}
+
+// NewVoronoiWorld prepares an event-driven Voronoi run.
+func NewVoronoiWorld(m *coverage.Map, rc float64, eng *sim.Engine, period sim.Time) *VoronoiWorld {
+	if period <= 0 {
+		panic("protocol: period must be positive")
+	}
+	if rc < m.Rs() {
+		panic("protocol: rc must be at least rs")
+	}
+	w := &VoronoiWorld{M: m, Rc: rc, Eng: eng, Period: period, nodes: map[int]*VoronoiNode{}}
+	for _, id := range m.SensorIDs() {
+		if id >= w.nextSensor {
+			w.nextSensor = id + 1
+		}
+	}
+	return w
+}
+
+// Start spawns an actor per existing sensor.
+func (w *VoronoiWorld) Start() {
+	for _, id := range w.M.SensorIDs() {
+		w.spawnNode(id)
+	}
+}
+
+// Nodes returns the live actor table by sensor ID.
+func (w *VoronoiWorld) Nodes() map[int]*VoronoiNode { return w.nodes }
+
+func (w *VoronoiWorld) spawnNode(id int) *VoronoiNode {
+	n := &VoronoiNode{world: w, id: id}
+	w.nodes[id] = n
+	w.Eng.Register(sensorActorBase+id, n)
+	return n
+}
+
+// placeSensor actuates a new sensor and returns its ID.
+func (w *VoronoiWorld) placeSensor(pos geom.Point) int {
+	id := w.nextSensor
+	w.nextSensor++
+	w.M.AddSensor(id, pos)
+	w.PlacementLog = append(w.PlacementLog, PlacementPayload{NewID: id, Pos: pos})
+	return id
+}
+
+// Seed drops a base-station sensor at the lowest deficient sample point
+// and spawns its actor, informing physical neighbors.
+func (w *VoronoiWorld) Seed() bool {
+	unc := w.M.UncoveredPoints()
+	if len(unc) == 0 {
+		return false
+	}
+	pos := w.M.Point(unc[0])
+	id := w.placeSensor(pos)
+	for _, nid := range w.M.SensorsInBall(pos, w.Rc) {
+		if n := w.nodes[nid]; n != nil {
+			n.learn(id, pos)
+		}
+	}
+	w.spawnNode(id)
+	return true
+}
+
+// VoronoiNode is one sensor actor.
+type VoronoiNode struct {
+	world *VoronoiWorld
+	id    int
+	pos   geom.Point
+	// known holds every sensor this node has heard of (including
+	// itself): the basis for its local Voronoi cell.
+	known map[int]geom.Point
+	done  bool
+	// Placed counts sensors this node deployed.
+	Placed int
+}
+
+// OnStart implements sim.Actor.
+func (n *VoronoiNode) OnStart(ctx *sim.Context) {
+	w := n.world
+	n.pos, _ = w.M.SensorPos(n.id)
+	n.known = map[int]geom.Point{n.id: n.pos}
+	// Initial HELLO exchange: learn every sensor currently within rc.
+	for _, nid := range w.M.SensorsInBall(n.pos, w.Rc) {
+		p, _ := w.M.SensorPos(nid)
+		n.known[nid] = p
+	}
+	phase := sim.Time(float64(n.id%23)/23.0) * w.Period
+	ctx.SetTimer(phase, timerPlace)
+}
+
+// learn folds a sensor into this node's knowledge.
+func (n *VoronoiNode) learn(id int, pos geom.Point) {
+	n.known[id] = pos
+	// New knowledge can only reduce work; done remains valid, except
+	// that a node that believed itself finished stays finished (its
+	// owned deficits can only have shrunk).
+}
+
+// OnMessage implements sim.Actor.
+func (n *VoronoiNode) OnMessage(_ *sim.Context, msg sim.Message) {
+	if msg.Kind != MsgPlacement {
+		return
+	}
+	if pl, ok := msg.Payload.(PlacementPayload); ok {
+		n.learn(pl.NewID, pl.Pos)
+	}
+}
+
+// ownedDeficient returns this node's believed-deficient owned points,
+// ascending: points within rc whose nearest KNOWN sensor is this node
+// and whose believed coverage is below k.
+func (n *VoronoiNode) ownedDeficient() []int {
+	w := n.world
+	var out []int
+	w.M.VisitPointsInBall(n.pos, w.Rc, func(i int, p geom.Point) bool {
+		if n.owner(p) != n.id {
+			return true
+		}
+		if n.believedCount(p) < w.M.K() {
+			out = append(out, i)
+		}
+		return true
+	})
+	sort.Ints(out)
+	return out
+}
+
+// owner returns the known sensor nearest to p (ties to lowest ID),
+// restricted to known sensors within rc of p.
+func (n *VoronoiNode) owner(p geom.Point) int {
+	w := n.world
+	best, bestD := -1, w.Rc*w.Rc
+	ids := make([]int, 0, len(n.known))
+	for id := range n.known {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if d := n.known[id].Dist2(p); d < bestD || (d == bestD && best < 0) {
+			best, bestD = id, d
+		}
+	}
+	return best
+}
+
+// believedCount counts known sensors covering p.
+func (n *VoronoiNode) believedCount(p geom.Point) int {
+	rs := n.world.M.Rs()
+	c := 0
+	for _, pos := range n.known {
+		if pos.Dist2(p) <= rs*rs {
+			c++
+		}
+	}
+	return c
+}
+
+// OnTimer implements sim.Actor: one placement attempt per wake-up.
+func (n *VoronoiNode) OnTimer(ctx *sim.Context, tag string) {
+	if tag != timerPlace || n.done {
+		return
+	}
+	w := n.world
+	deficient := n.ownedDeficient()
+	if len(deficient) == 0 {
+		n.done = true
+		return
+	}
+	// Greedy benefit over believed counts, restricted to the node's
+	// knowledge horizon (points within rc).
+	bestIdx, best := -1, 0
+	for _, i := range deficient {
+		b := w.M.BenefitWith(w.M.Point(i), func(j int) int {
+			pj := w.M.Point(j)
+			if n.pos.Dist2(pj) > w.Rc*w.Rc {
+				return -1
+			}
+			return n.believedCount(pj)
+		})
+		if b > best {
+			best, bestIdx = b, i
+		}
+	}
+	if bestIdx < 0 {
+		n.done = true
+		return
+	}
+	pos := w.M.Point(bestIdx)
+	id := w.placeSensor(pos)
+	n.learn(id, pos)
+	n.Placed++
+	// Radio announcement: everyone physically within rc of the SENDER
+	// hears it (the new sensor's actor spawns already knowing its
+	// surroundings).
+	for _, nid := range w.M.SensorsInBall(n.pos, w.Rc) {
+		if nid == n.id || nid == id {
+			continue
+		}
+		if w.nodes[nid] != nil {
+			ctx.Send(sensorActorBase+nid, MsgPlacement, PlacementPayload{NewID: id, Pos: pos})
+			w.MessagesSent++
+		}
+	}
+	w.spawnNode(id)
+	ctx.SetTimer(w.Period, timerPlace)
+}
+
+// Done reports whether this node has retired.
+func (n *VoronoiNode) Done() bool { return n.done }
+
+// RunVoronoiDeployment drives the event-driven Voronoi scheme to full
+// coverage, seeding stalled orphan regions; returns the seed count.
+func RunVoronoiDeployment(w *VoronoiWorld) int {
+	w.Start()
+	seeds := 0
+	for !w.M.FullyCovered() {
+		w.Eng.Run(sim.Inf)
+		if w.M.FullyCovered() {
+			break
+		}
+		if !w.Seed() {
+			break
+		}
+		seeds++
+	}
+	return seeds
+}

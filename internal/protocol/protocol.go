@@ -1,0 +1,222 @@
+// Package protocol implements the node-level behaviours the paper assumes
+// from the systems literature, on top of the internal/sim event engine:
+//
+//   - periodic meta-information (position) exchange with period Tc
+//     (paper §3.2: "neighboring nodes periodically exchange
+//     meta-information about their positions, with a period Tc"),
+//   - failure detection by missed heartbeats ("once a node stops
+//     receiving such messages from one of its neighbors, this indicates
+//     that the neighbor has failed") — with no clock synchronization
+//     required, also per §3.2,
+//   - rotating leader election within a grid cell (§3.1: "a random
+//     selection of leaders and a rotation mechanism ... so that the
+//     energy dissipation ... gets spread across all nodes in the cell"),
+//   - placement notification broadcast to the 1-hop neighborhood, the
+//     message the round-based core model accounts for.
+package protocol
+
+import (
+	"sort"
+
+	"decor/internal/geom"
+	"decor/internal/network"
+	"decor/internal/sim"
+)
+
+// Message kinds exchanged by Node actors.
+const (
+	MsgHeartbeat = "heartbeat"
+	MsgPlacement = "placement"
+
+	timerHeartbeat = "hb"
+	timerCheck     = "check"
+)
+
+// HeartbeatPayload carries the periodic meta-information.
+type HeartbeatPayload struct {
+	Pos  geom.Point
+	Cell int // grid cell the sender believes it belongs to (-1 if unused)
+}
+
+// PlacementPayload announces a newly deployed sensor.
+type PlacementPayload struct {
+	NewID int
+	Pos   geom.Point
+}
+
+// Config tunes the protocol timers.
+type Config struct {
+	// Tc is the heartbeat period (paper §3.2).
+	Tc sim.Time
+	// TimeoutMult declares a neighbor failed after TimeoutMult
+	// consecutive missed heartbeats.
+	TimeoutMult int
+	// Cell is this node's grid cell for leader election, or -1.
+	Cell int
+	// EpochLen is the leader-rotation period; 0 disables rotation (the
+	// lowest alive ID stays leader).
+	EpochLen sim.Time
+}
+
+func (c Config) timeout() sim.Time { return c.Tc * sim.Time(c.TimeoutMult) }
+
+// Node is the actor implementing the DECOR support protocols. Create with
+// NewNode and register on a sim.Engine.
+type Node struct {
+	id  int
+	net *network.Network
+	cfg Config
+
+	lastHeard map[int]sim.Time
+	peerPos   map[int]geom.Point
+	peerCell  map[int]int
+	suspected map[int]bool
+	// DetectedAt records when each failed neighbor was declared dead —
+	// the observable failure-detection latency.
+	DetectedAt map[int]sim.Time
+	// Placements records every placement notification received.
+	Placements []PlacementPayload
+}
+
+// NewNode creates a protocol actor for the sensor with the given ID in
+// net. The node's neighbors are resolved from the network topology at
+// send time, so failures and additions take effect immediately.
+func NewNode(id int, net *network.Network, cfg Config) *Node {
+	if cfg.Tc <= 0 {
+		panic("protocol: Tc must be positive")
+	}
+	if cfg.TimeoutMult < 2 {
+		panic("protocol: TimeoutMult must be at least 2")
+	}
+	return &Node{
+		id:         id,
+		net:        net,
+		cfg:        cfg,
+		lastHeard:  map[int]sim.Time{},
+		peerPos:    map[int]geom.Point{},
+		peerCell:   map[int]int{},
+		suspected:  map[int]bool{},
+		DetectedAt: map[int]sim.Time{},
+	}
+}
+
+// OnStart implements sim.Actor.
+func (n *Node) OnStart(ctx *sim.Context) {
+	// Deterministic de-phasing: stagger heartbeats by ID so simultaneous
+	// wakeups don't depend on queue ordering. No synchronization between
+	// nodes is assumed or needed.
+	phase := sim.Time(float64(n.id%17) / 17.0 * float64(n.cfg.Tc))
+	ctx.SetTimer(phase, timerHeartbeat)
+	ctx.SetTimer(n.cfg.timeout(), timerCheck)
+}
+
+// OnTimer implements sim.Actor.
+func (n *Node) OnTimer(ctx *sim.Context, tag string) {
+	switch tag {
+	case timerHeartbeat:
+		n.broadcast(ctx, MsgHeartbeat, HeartbeatPayload{Pos: n.pos(), Cell: n.cfg.Cell})
+		ctx.SetTimer(n.cfg.Tc, timerHeartbeat)
+	case timerCheck:
+		now := ctx.Now()
+		for peer, last := range n.lastHeard {
+			if n.suspected[peer] {
+				continue
+			}
+			if now-last > n.cfg.timeout() {
+				n.suspected[peer] = true
+				n.DetectedAt[peer] = now
+			}
+		}
+		ctx.SetTimer(n.cfg.Tc, timerCheck)
+	}
+}
+
+// OnMessage implements sim.Actor.
+func (n *Node) OnMessage(ctx *sim.Context, msg sim.Message) {
+	switch msg.Kind {
+	case MsgHeartbeat:
+		hb, ok := msg.Payload.(HeartbeatPayload)
+		if !ok {
+			return
+		}
+		n.lastHeard[msg.From] = ctx.Now()
+		n.peerPos[msg.From] = hb.Pos
+		n.peerCell[msg.From] = hb.Cell
+		if n.suspected[msg.From] {
+			// The peer recovered (or detection was premature): clear it.
+			delete(n.suspected, msg.From)
+			delete(n.DetectedAt, msg.From)
+		}
+	case MsgPlacement:
+		if pl, ok := msg.Payload.(PlacementPayload); ok {
+			n.Placements = append(n.Placements, pl)
+		}
+	}
+}
+
+// AnnouncePlacement broadcasts a placement notification to all current
+// 1-hop neighbors (the message the core model's Fig. 10 accounting
+// counts).
+func (n *Node) AnnouncePlacement(ctx *sim.Context, pl PlacementPayload) {
+	n.broadcast(ctx, MsgPlacement, pl)
+}
+
+// Suspects returns the neighbors this node currently believes failed,
+// ascending.
+func (n *Node) Suspects() []int {
+	out := make([]int, 0, len(n.suspected))
+	for id := range n.suspected {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// KnownAliveInCell returns this node's local view of the alive members of
+// its cell (itself plus unsuspected heard peers claiming the same cell),
+// ascending. This is the electorate for leader election.
+func (n *Node) KnownAliveInCell() []int {
+	out := []int{n.id}
+	for peer, cell := range n.peerCell {
+		if cell == n.cfg.Cell && !n.suspected[peer] {
+			out = append(out, peer)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Leader returns this node's current view of its cell's leader: the
+// rotation walks the sorted alive membership by epoch, spreading the
+// leader's energy cost across the cell (paper §3.1). With EpochLen 0 the
+// leader is simply the lowest alive ID.
+func (n *Node) Leader(now sim.Time) int {
+	members := n.KnownAliveInCell()
+	if len(members) == 0 {
+		return n.id
+	}
+	if n.cfg.EpochLen <= 0 {
+		return members[0]
+	}
+	epoch := int(now / n.cfg.EpochLen)
+	return members[epoch%len(members)]
+}
+
+// PeerPos returns the last position heard from peer.
+func (n *Node) PeerPos(peer int) (geom.Point, bool) {
+	p, ok := n.peerPos[peer]
+	return p, ok
+}
+
+func (n *Node) pos() geom.Point {
+	if nd := n.net.Node(n.id); nd != nil {
+		return nd.Pos
+	}
+	return geom.Point{}
+}
+
+func (n *Node) broadcast(ctx *sim.Context, kind string, payload any) {
+	for _, peer := range n.net.NeighborsOf(n.id) {
+		ctx.Send(peer, kind, payload)
+	}
+}

@@ -1,0 +1,196 @@
+package protocol
+
+import (
+	"testing"
+
+	"decor/internal/geom"
+	"decor/internal/network"
+	"decor/internal/sim"
+)
+
+// buildCluster wires n sensors in mutual range into an engine.
+func buildCluster(n int, cfg Config) (*sim.Engine, *network.Network, []*Node) {
+	net := network.New(geom.Square(100))
+	eng := sim.NewEngine(0.01)
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		net.Add(i, geom.Pt(50+float64(i), 50), 4, 20)
+		nodes[i] = NewNode(i, net, cfg)
+	}
+	for i, nd := range nodes {
+		eng.Register(i, nd)
+	}
+	return eng, net, nodes
+}
+
+func TestConfigValidation(t *testing.T) {
+	net := network.New(geom.Square(10))
+	for _, cfg := range []Config{
+		{Tc: 0, TimeoutMult: 3},
+		{Tc: 1, TimeoutMult: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("cfg %+v should panic", cfg)
+				}
+			}()
+			NewNode(1, net, cfg)
+		}()
+	}
+}
+
+func TestHeartbeatsPropagatePositions(t *testing.T) {
+	eng, _, nodes := buildCluster(3, Config{Tc: 1, TimeoutMult: 3, Cell: -1})
+	eng.Run(5)
+	for i, nd := range nodes {
+		for j := range nodes {
+			if i == j {
+				continue
+			}
+			p, ok := nd.PeerPos(j)
+			if !ok {
+				t.Fatalf("node %d never heard node %d", i, j)
+			}
+			if !p.Eq(geom.Pt(50+float64(j), 50)) {
+				t.Errorf("node %d has wrong position for %d: %v", i, j, p)
+			}
+		}
+	}
+}
+
+func TestFailureDetectionLatency(t *testing.T) {
+	cfg := Config{Tc: 1, TimeoutMult: 3, Cell: -1}
+	eng, _, nodes := buildCluster(3, cfg)
+	eng.Run(5) // everyone knows everyone
+	eng.Kill(1)
+	eng.Run(20)
+	for _, observer := range []int{0, 2} {
+		sus := nodes[observer].Suspects()
+		if len(sus) != 1 || sus[0] != 1 {
+			t.Fatalf("node %d suspects %v, want [1]", observer, sus)
+		}
+		det := nodes[observer].DetectedAt[1]
+		// Detection must occur within timeout + one check period of the
+		// kill at t=5.
+		if det < 5 || det > 5+cfg.timeout()+cfg.Tc+1 {
+			t.Errorf("node %d detected failure at %v", observer, det)
+		}
+	}
+	// The dead node's stats stop growing: no messages from node 1 after
+	// the kill are delivered.
+	if eng.Alive(1) {
+		t.Error("killed node reported alive")
+	}
+}
+
+func TestNoFalseSuspicionsWhileHealthy(t *testing.T) {
+	eng, _, nodes := buildCluster(4, Config{Tc: 1, TimeoutMult: 3, Cell: -1})
+	eng.Run(50)
+	for i, nd := range nodes {
+		if len(nd.Suspects()) != 0 {
+			t.Errorf("node %d has false suspicions %v", i, nd.Suspects())
+		}
+	}
+}
+
+func TestLeaderElectionConvergesAndRotates(t *testing.T) {
+	cfg := Config{Tc: 1, TimeoutMult: 3, Cell: 7, EpochLen: 10}
+	eng, _, nodes := buildCluster(3, cfg)
+	eng.Run(5)
+	// All nodes agree on the electorate and hence the leader.
+	for _, nd := range nodes {
+		members := nd.KnownAliveInCell()
+		if len(members) != 3 {
+			t.Fatalf("electorate = %v", members)
+		}
+	}
+	l0 := nodes[0].Leader(5)
+	for i, nd := range nodes {
+		if nd.Leader(5) != l0 {
+			t.Errorf("node %d disagrees on leader", i)
+		}
+	}
+	// Rotation: across three consecutive epochs all three nodes lead.
+	seen := map[int]bool{}
+	for _, epoch := range []sim.Time{5, 15, 25} {
+		seen[nodes[0].Leader(epoch)] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("rotation covered %d distinct leaders, want 3", len(seen))
+	}
+	// EpochLen 0 means stable lowest-ID leader.
+	stable := NewNode(9, network.New(geom.Square(10)), Config{Tc: 1, TimeoutMult: 3, Cell: 7})
+	if stable.Leader(123) != 9 {
+		t.Errorf("solo leader = %d", stable.Leader(123))
+	}
+}
+
+func TestLeaderReelectionAfterFailure(t *testing.T) {
+	cfg := Config{Tc: 1, TimeoutMult: 3, Cell: 1, EpochLen: 0}
+	eng, _, nodes := buildCluster(3, cfg)
+	eng.Run(5)
+	if l := nodes[2].Leader(5); l != 0 {
+		t.Fatalf("initial leader = %d, want 0", l)
+	}
+	eng.Kill(0)
+	eng.Run(30)
+	for _, observer := range []int{1, 2} {
+		if l := nodes[observer].Leader(30); l != 1 {
+			t.Errorf("node %d leader after failure = %d, want 1", observer, l)
+		}
+	}
+}
+
+func TestPlacementNotification(t *testing.T) {
+	eng, _, nodes := buildCluster(3, Config{Tc: 1, TimeoutMult: 3, Cell: -1})
+	eng.Run(2)
+	// Node 0 announces a placement; both neighbors must hear exactly one.
+	// Inject via a timer-less direct call using a context from a custom
+	// actor is awkward; instead reuse OnMessage path: announce from
+	// OnTimer by wrapping. Simpler: drive via the engine by registering
+	// an auxiliary actor that triggers the announcement.
+	aux := &announcer{node: nodes[0], pl: PlacementPayload{NewID: 42, Pos: geom.Pt(1, 2)}}
+	eng.Register(100, aux)
+	eng.Run(10)
+	for _, i := range []int{1, 2} {
+		if len(nodes[i].Placements) != 1 {
+			t.Fatalf("node %d received %d placements", i, len(nodes[i].Placements))
+		}
+		got := nodes[i].Placements[0]
+		if got.NewID != 42 || !got.Pos.Eq(geom.Pt(1, 2)) {
+			t.Errorf("node %d placement = %+v", i, got)
+		}
+	}
+	if len(nodes[0].Placements) != 0 {
+		t.Error("announcer should not hear its own placement")
+	}
+}
+
+// announcer triggers an AnnouncePlacement from inside the event loop.
+// Note it must send *as* the announcing node; the protocol attaches the
+// neighbor resolution to the node's own ID, so we call the node method
+// with the aux context only to reach scheduling — the message From will
+// be the aux ID, which is irrelevant to the payload assertions above.
+type announcer struct {
+	node *Node
+	pl   PlacementPayload
+}
+
+func (a *announcer) OnStart(ctx *sim.Context)                  { ctx.SetTimer(0.5, "go") }
+func (a *announcer) OnMessage(ctx *sim.Context, m sim.Message) {}
+func (a *announcer) OnTimer(ctx *sim.Context, tag string)      { a.node.AnnouncePlacement(ctx, a.pl) }
+
+func TestHeartbeatMessageVolumeScalesWithNeighbors(t *testing.T) {
+	// 2 nodes -> each heartbeat is 1 message; 5 nodes -> 4 messages.
+	engSmall, _, _ := buildCluster(2, Config{Tc: 1, TimeoutMult: 3, Cell: -1})
+	engBig, _, _ := buildCluster(5, Config{Tc: 1, TimeoutMult: 3, Cell: -1})
+	engSmall.Run(20)
+	engBig.Run(20)
+	small := engSmall.Stats().Sent
+	big := engBig.Stats().Sent
+	// Expected ratio ~ (5*4)/(2*1) = 10.
+	if big < 6*small {
+		t.Errorf("message volume small=%d big=%d; expected ~10x", small, big)
+	}
+}

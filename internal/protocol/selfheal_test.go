@@ -1,0 +1,122 @@
+package protocol
+
+import (
+	"testing"
+
+	"decor/internal/core"
+	"decor/internal/coverage"
+	"decor/internal/failure"
+	"decor/internal/geom"
+	"decor/internal/lowdisc"
+	"decor/internal/rng"
+	"decor/internal/sim"
+)
+
+func monitoredField(t *testing.T, k int) (*MonitoredField, *sim.Engine) {
+	t.Helper()
+	field := geom.Square(50)
+	pts := lowdisc.Halton{}.Points(500, field)
+	m := coverage.New(field, pts, 4, k)
+	r := rng.New(1)
+	for id := 0; id < 40; id++ {
+		m.AddSensor(id, r.PointInRect(field))
+	}
+	(core.Centralized{}).Deploy(m, rng.New(2), core.Options{})
+	eng := sim.NewEngine(0.01)
+	f := NewMonitoredField(m, eng, 5, 10, 3)
+	f.Start()
+	return f, eng
+}
+
+func TestSelfHealingAfterAreaFailure(t *testing.T) {
+	f, eng := monitoredField(t, 2)
+	eng.Run(50) // steady state: no repairs on a healthy field
+	if len(f.Repairs) != 0 {
+		t.Fatalf("healthy field produced %d repairs", len(f.Repairs))
+	}
+
+	// Disaster at t=50: a disc of sensors stops heartbeating.
+	disk := geom.DiskAt(25, 25, 10)
+	dead := (failure.Area{Disk: disk}).Select(f.M, nil)
+	if len(dead) == 0 {
+		t.Fatal("no sensors in the disaster disc")
+	}
+	for _, id := range dead {
+		f.Fail(id)
+	}
+	failTime := eng.Now()
+
+	// The field heals itself: detection via missed heartbeats, then
+	// greedy replacement — no external calls.
+	eng.Run(failTime + 100*f.Tc)
+	if !f.M.FullyCovered() {
+		t.Fatalf("field not healed: %.1f%% covered", 100*f.M.CoverageFrac(2))
+	}
+	if len(f.Repairs) == 0 {
+		t.Fatal("healing placed no sensors")
+	}
+	// Detection latency: first repair must come after the heartbeat
+	// timeout, not instantly. The last heard beat can predate the
+	// failure by up to one Tc, so the earliest legitimate detection is
+	// failTime + (TimeoutMult−1)·Tc.
+	first := f.Repairs[0].Time
+	if first < failTime+f.Tc*sim.Time(f.TimeoutMult-1) {
+		t.Errorf("first repair at %v, before the detection timeout window", first)
+	}
+	// Repairs land near the disaster.
+	for _, rep := range f.Repairs {
+		if rep.Pos.Dist(disk.Center) > disk.R+2*f.M.Rs()+f.CellSize {
+			t.Errorf("repair at %v far from the disaster", rep.Pos)
+		}
+	}
+}
+
+func TestSelfHealingRepeatedFailures(t *testing.T) {
+	f, eng := monitoredField(t, 1)
+	for wave := 0; wave < 3; wave++ {
+		eng.Run(eng.Now() + 100)
+		if !f.M.FullyCovered() {
+			t.Fatalf("wave %d: field not whole before failure", wave)
+		}
+		// Kill a few random sensors each wave.
+		ids := (failure.Random{Fraction: 0.05}).Select(f.M, rng.New(uint64(wave+10)))
+		for _, id := range ids {
+			f.Fail(id)
+		}
+		eng.Run(eng.Now() + 100*f.Tc)
+		if !f.M.FullyCovered() {
+			t.Fatalf("wave %d: healing failed", wave)
+		}
+	}
+	if len(f.Repairs) == 0 {
+		t.Fatal("no repairs across three failure waves")
+	}
+}
+
+func TestMonitoredFieldValidation(t *testing.T) {
+	m := coverage.New(geom.Square(10), nil, 4, 1)
+	eng := sim.NewEngine(0)
+	for _, bad := range []func(){
+		func() { NewMonitoredField(m, eng, 5, 0, 3) },
+		func() { NewMonitoredField(m, eng, 5, 1, 1) },
+		func() { NewMonitoredField(m, eng, 0, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestFailUnknownSensorIsNoop(t *testing.T) {
+	f, eng := monitoredField(t, 1)
+	f.Fail(999999)
+	eng.Run(eng.Now() + 100)
+	if len(f.Repairs) != 0 {
+		t.Error("phantom failure triggered repairs")
+	}
+}

@@ -1,0 +1,172 @@
+// Package reliability implements the paper's reliability calculus. The
+// abstract promises that "every point in the network is covered by at
+// least k sensors, where k is calculated based on user reliability
+// requirements", and §2.1 gives the model: sensors fail independently
+// with probability q, so a point covered by k sensors stays covered with
+// probability 1 − q^k.
+//
+// The package answers both directions — the k needed for a target
+// reliability, and the reliability delivered by an existing deployment —
+// and extends the model to level-j coverage survival via the binomial
+// tail.
+package reliability
+
+import (
+	"errors"
+	"math"
+
+	"decor/internal/coverage"
+	"decor/internal/stats"
+)
+
+// PointReliability returns the probability that a point covered by k
+// sensors remains covered by at least one when each sensor fails
+// independently with probability q (the paper's 1 − q^k).
+func PointReliability(k int, q float64) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if q <= 0 {
+		return 1
+	}
+	if q >= 1 {
+		return 0
+	}
+	return 1 - math.Pow(q, float64(k))
+}
+
+// KForTarget returns the smallest coverage degree k such that a point
+// covered by k sensors survives with probability at least target under
+// i.i.d. failure probability q. This is the "user reliability
+// requirement → k" translation the paper's abstract describes.
+//
+// It returns an error for unsatisfiable inputs (target >= 1 with q > 0,
+// or q >= 1).
+func KForTarget(q, target float64) (int, error) {
+	switch {
+	case target <= 0:
+		return 1, nil // any coverage suffices; k >= 1 by definition
+	case q <= 0:
+		return 1, nil
+	case q >= 1:
+		return 0, errors.New("reliability: q >= 1 means every sensor fails")
+	case target >= 1:
+		return 0, errors.New("reliability: target 1.0 is unattainable with q > 0")
+	}
+	// 1 - q^k >= target  <=>  k >= log(1-target) / log(q).
+	k := int(math.Ceil(math.Log(1-target) / math.Log(q)))
+	if k < 1 {
+		k = 1
+	}
+	// Guard against float edge cases at the boundary in both directions
+	// (e.g. q = 0.1, target = 0.9999 sits exactly on q^4 = 1e-4).
+	const eps = 1e-12
+	for PointReliability(k, q)+eps < target {
+		k++
+	}
+	for k > 1 && PointReliability(k-1, q)+eps >= target {
+		k--
+	}
+	return k, nil
+}
+
+// SurvivalProbability returns the probability that at least level of a
+// point's k covering sensors survive i.i.d. failures with probability q
+// (the binomial upper tail). level <= 0 yields 1; level > k yields 0.
+func SurvivalProbability(k, level int, q float64) float64 {
+	if level <= 0 {
+		return 1
+	}
+	if level > k {
+		return 0
+	}
+	if q <= 0 {
+		return 1
+	}
+	if q >= 1 {
+		return 0
+	}
+	p := 1 - q // per-sensor survival
+	total := 0.0
+	for j := level; j <= k; j++ {
+		total += binomialPMF(k, j, p)
+	}
+	if total > 1 {
+		total = 1
+	}
+	return total
+}
+
+// binomialPMF returns C(n, j) p^j (1-p)^(n-j), computed in log space for
+// stability at the deployment sizes DECOR produces.
+func binomialPMF(n, j int, p float64) float64 {
+	if j < 0 || j > n {
+		return 0
+	}
+	if p <= 0 {
+		if j == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if j == n {
+			return 1
+		}
+		return 0
+	}
+	logC := lgamma(float64(n+1)) - lgamma(float64(j+1)) - lgamma(float64(n-j+1))
+	return math.Exp(logC + float64(j)*math.Log(p) + float64(n-j)*math.Log(1-p))
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// FieldReport summarizes the reliability of a deployment.
+type FieldReport struct {
+	// Q is the assumed i.i.d. sensor failure probability.
+	Q float64
+	// PointReliability summarizes 1 − q^{k_p} across sample points.
+	PointReliability stats.Summary
+	// ExpectedCovered is the expected fraction of points still 1-covered
+	// after failures (mean of the per-point reliabilities).
+	ExpectedCovered float64
+	// ExpectedKCovered is the expected fraction of points still covered
+	// at the map's full requirement k after failures.
+	ExpectedKCovered float64
+	// WeakestPoints counts sample points whose reliability is below the
+	// field median minus one standard deviation — restoration targets.
+	WeakestPoints int
+}
+
+// Analyze computes the field reliability of a deployment under i.i.d.
+// failure probability q, exactly (no sampling): each point's coverage
+// count feeds the closed-form survival probabilities.
+func Analyze(m *coverage.Map, q float64) FieldReport {
+	n := m.NumPoints()
+	rep := FieldReport{Q: q}
+	if n == 0 {
+		rep.ExpectedCovered = 1
+		rep.ExpectedKCovered = 1
+		return rep
+	}
+	rels := make([]float64, n)
+	sumK := 0.0
+	for i := 0; i < n; i++ {
+		kp := m.Count(i)
+		rels[i] = PointReliability(kp, q)
+		sumK += SurvivalProbability(kp, m.K(), q)
+	}
+	rep.PointReliability = stats.Summarize(rels)
+	rep.ExpectedCovered = rep.PointReliability.Mean
+	rep.ExpectedKCovered = sumK / float64(n)
+	threshold := stats.Median(rels) - rep.PointReliability.Std
+	for _, r := range rels {
+		if r < threshold {
+			rep.WeakestPoints++
+		}
+	}
+	return rep
+}

@@ -1,0 +1,245 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"decor/internal/coverage"
+	"decor/internal/failure"
+	"decor/internal/geom"
+	"decor/internal/lowdisc"
+	"decor/internal/rng"
+
+	"decor/internal/core"
+)
+
+func TestPointReliability(t *testing.T) {
+	cases := []struct {
+		k    int
+		q    float64
+		want float64
+	}{
+		{1, 0.5, 0.5},
+		{2, 0.5, 0.75},
+		{3, 0.1, 0.999},
+		{0, 0.5, 0},
+		{5, 0, 1},
+		{5, 1, 0},
+	}
+	for _, c := range cases {
+		if got := PointReliability(c.k, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("PointReliability(%d, %v) = %v, want %v", c.k, c.q, got, c.want)
+		}
+	}
+}
+
+func TestKForTarget(t *testing.T) {
+	cases := []struct {
+		q, target float64
+		want      int
+	}{
+		{0.5, 0.75, 2},  // 1-0.25 = 0.75 exactly
+		{0.5, 0.9, 4},   // 1-0.5^3 = 0.875 < 0.9; 1-0.5^4 = 0.9375
+		{0.1, 0.999, 3}, // 1-0.001
+		{0.2, 0.99, 3},  // 0.2^2 = 0.04 > 0.01; 0.2^3 = 0.008
+		{0.3, 0.99, 4},  // 0.3^4 = 0.0081 <= 0.01
+		{0, 0.99, 1},
+		{0.5, 0, 1},
+	}
+	for _, c := range cases {
+		got, err := KForTarget(c.q, c.target)
+		if err != nil {
+			t.Fatalf("KForTarget(%v, %v): %v", c.q, c.target, err)
+		}
+		if got != c.want {
+			t.Errorf("KForTarget(%v, %v) = %d, want %d", c.q, c.target, got, c.want)
+		}
+	}
+	if _, err := KForTarget(1, 0.9); err == nil {
+		t.Error("q=1 should be unsatisfiable")
+	}
+	if _, err := KForTarget(0.5, 1); err == nil {
+		t.Error("target=1 should be unsatisfiable")
+	}
+}
+
+// Property: KForTarget returns the minimal satisfying k.
+func TestKForTargetMinimal(t *testing.T) {
+	f := func(rawQ, rawT float64) bool {
+		q := 0.05 + math.Mod(math.Abs(rawQ), 0.9)
+		target := 0.05 + math.Mod(math.Abs(rawT), 0.9499)
+		k, err := KForTarget(q, target)
+		if err != nil {
+			return false
+		}
+		if PointReliability(k, q) < target {
+			return false
+		}
+		return k == 1 || PointReliability(k-1, q) < target
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSurvivalProbability(t *testing.T) {
+	// k=3 sensors, q=0.5: P(>=2 survive) = C(3,2)/8 + C(3,3)/8 = 0.5.
+	if got := SurvivalProbability(3, 2, 0.5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("SurvivalProbability(3,2,0.5) = %v", got)
+	}
+	// Level 1 equals PointReliability.
+	for _, k := range []int{1, 2, 5, 10} {
+		for _, q := range []float64{0.1, 0.4, 0.8} {
+			a := SurvivalProbability(k, 1, q)
+			b := PointReliability(k, q)
+			if math.Abs(a-b) > 1e-9 {
+				t.Errorf("tail(%d,1,%v)=%v != 1-q^k=%v", k, q, a, b)
+			}
+		}
+	}
+	if SurvivalProbability(3, 0, 0.5) != 1 {
+		t.Error("level 0 should be certain")
+	}
+	if SurvivalProbability(3, 4, 0.5) != 0 {
+		t.Error("level > k should be impossible")
+	}
+	if SurvivalProbability(3, 2, 0) != 1 || SurvivalProbability(3, 2, 1) != 0 {
+		t.Error("degenerate q wrong")
+	}
+}
+
+func TestSurvivalMonotonicity(t *testing.T) {
+	// More coverage, more survival; higher level, less survival.
+	for k := 1; k < 20; k++ {
+		if SurvivalProbability(k+1, 3, 0.3) < SurvivalProbability(k, 3, 0.3)-1e-12 {
+			t.Fatalf("survival not monotone in k at %d", k)
+		}
+	}
+	for lvl := 1; lvl < 10; lvl++ {
+		if SurvivalProbability(10, lvl+1, 0.3) > SurvivalProbability(10, lvl, 0.3)+1e-12 {
+			t.Fatalf("survival not antitone in level at %d", lvl)
+		}
+	}
+}
+
+func deployedMap(k int) *coverage.Map {
+	field := geom.Square(50)
+	pts := lowdisc.Halton{}.Points(500, field)
+	m := coverage.New(field, pts, 4, k)
+	r := rng.New(5)
+	for id := 0; id < 40; id++ {
+		m.AddSensor(id, r.PointInRect(field))
+	}
+	(core.Centralized{}).Deploy(m, rng.New(6), core.Options{})
+	return m
+}
+
+func TestAnalyzeFullDeployment(t *testing.T) {
+	m := deployedMap(3)
+	rep := Analyze(m, 0.2)
+	// Every point has k_p >= 3, so reliability >= 1 - 0.2^3 = 0.992.
+	if rep.PointReliability.Min < 0.992-1e-9 {
+		t.Errorf("min reliability = %v", rep.PointReliability.Min)
+	}
+	if rep.ExpectedCovered < 0.992 || rep.ExpectedCovered > 1 {
+		t.Errorf("expected covered = %v", rep.ExpectedCovered)
+	}
+	if rep.ExpectedKCovered <= 0 || rep.ExpectedKCovered > rep.ExpectedCovered {
+		t.Errorf("expected k-covered = %v", rep.ExpectedKCovered)
+	}
+	if rep.Q != 0.2 {
+		t.Errorf("Q = %v", rep.Q)
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	m := coverage.New(geom.Square(10), nil, 4, 1)
+	rep := Analyze(m, 0.3)
+	if rep.ExpectedCovered != 1 || rep.ExpectedKCovered != 1 {
+		t.Errorf("empty field report = %+v", rep)
+	}
+}
+
+// The headline validation: the analytic expectation must match Monte
+// Carlo simulation of i.i.d. failures on a real DECOR deployment.
+func TestAnalyzeMatchesSimulation(t *testing.T) {
+	m := deployedMap(3)
+	const q = 0.3
+	rep := Analyze(m, q)
+	const draws = 60
+	sum1, sumK := 0.0, 0.0
+	for d := uint64(0); d < draws; d++ {
+		r := rng.New(100 + d)
+		clone := m.Clone()
+		ids := (failure.IID{Q: q}).Select(clone, r)
+		failure.Apply(clone, ids)
+		sum1 += clone.CoverageFrac(1)
+		sumK += clone.CoverageFrac(3)
+	}
+	mc1 := sum1 / draws
+	mcK := sumK / draws
+	if math.Abs(mc1-rep.ExpectedCovered) > 0.01 {
+		t.Errorf("1-coverage: analytic %v vs MC %v", rep.ExpectedCovered, mc1)
+	}
+	if math.Abs(mcK-rep.ExpectedKCovered) > 0.02 {
+		t.Errorf("k-coverage: analytic %v vs MC %v", rep.ExpectedKCovered, mcK)
+	}
+}
+
+// End-to-end: pick k from a reliability target, deploy, verify the field
+// meets the target — the paper's abstract as an executable statement.
+func TestReliabilityDrivenDeployment(t *testing.T) {
+	const q, target = 0.25, 0.995
+	k, err := KForTarget(q, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 4 { // 0.25^3 = 0.0156 > 0.005; 0.25^4 ≈ 0.0039 <= 0.005
+		t.Fatalf("k = %d", k)
+	}
+	m := deployedMap(k)
+	rep := Analyze(m, q)
+	if rep.PointReliability.Min < target {
+		t.Errorf("deployed field min reliability %v < target %v",
+			rep.PointReliability.Min, target)
+	}
+}
+
+func TestBinomialPMFEdges(t *testing.T) {
+	if binomialPMF(5, -1, 0.5) != 0 || binomialPMF(5, 6, 0.5) != 0 {
+		t.Error("out-of-range j should be 0")
+	}
+	if binomialPMF(5, 0, 0) != 1 || binomialPMF(5, 3, 0) != 0 {
+		t.Error("p=0 edge wrong")
+	}
+	if binomialPMF(5, 5, 1) != 1 || binomialPMF(5, 3, 1) != 0 {
+		t.Error("p=1 edge wrong")
+	}
+	// Sum over j equals 1.
+	sum := 0.0
+	for j := 0; j <= 20; j++ {
+		sum += binomialPMF(20, j, 0.37)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("pmf sums to %v", sum)
+	}
+}
+
+func TestAnalyzeWeakestPoints(t *testing.T) {
+	// A field with one barely-covered point: it must register as weak.
+	field := geom.Square(40)
+	pts := []geom.Point{{X: 5, Y: 5}, {X: 20, Y: 20}, {X: 21, Y: 20}, {X: 22, Y: 20}}
+	m := coverage.New(field, pts, 4, 1)
+	m.AddSensor(1, geom.Pt(5, 5)) // point 0: covered once
+	for id := 2; id < 8; id++ {   // points 1-3: covered many times
+		m.AddSensor(id, geom.Pt(21, 20))
+	}
+	rep := Analyze(m, 0.4)
+	if rep.WeakestPoints < 1 {
+		t.Errorf("WeakestPoints = %d, want >= 1", rep.WeakestPoints)
+	}
+	if rep.PointReliability.Min >= rep.PointReliability.Max {
+		t.Error("min/max reliability degenerate")
+	}
+}

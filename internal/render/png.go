@@ -1,0 +1,172 @@
+package render
+
+import (
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+
+	"decor/internal/coverage"
+	"decor/internal/geom"
+)
+
+// PNGOptions controls raster rendering.
+type PNGOptions struct {
+	// Scale converts field units to pixels (default 6).
+	Scale float64
+	// ShowPoints draws sample points (red when under-covered).
+	ShowPoints bool
+	// ShowSensors draws sensor positions and their sensing disk
+	// outlines.
+	ShowSensors bool
+	// FailureDisk, when non-zero, is shaded as the disaster region.
+	FailureDisk geom.Disk
+	// Heatmap shades each pixel by its analytic coverage count (slower;
+	// overrides the white background).
+	Heatmap bool
+}
+
+// PNG rasterizes the coverage map and encodes it as PNG to w.
+func PNG(w io.Writer, m *coverage.Map, opt PNGOptions) error {
+	scale := opt.Scale
+	if scale <= 0 {
+		scale = 6
+	}
+	field := m.Field()
+	width := int(field.W()*scale) + 1
+	height := int(field.H()*scale) + 1
+	img := image.NewRGBA(image.Rect(0, 0, width, height))
+
+	px := func(p geom.Point) (int, int) {
+		return int((p.X - field.Min.X) * scale), height - 1 - int((p.Y-field.Min.Y)*scale)
+	}
+	toField := func(x, y int) geom.Point {
+		return geom.Point{
+			X: field.Min.X + float64(x)/scale,
+			Y: field.Min.Y + float64(height-1-y)/scale,
+		}
+	}
+
+	// Background.
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			var c color.RGBA
+			if opt.Heatmap {
+				p := toField(x, y)
+				n := 0
+				for _, id := range m.SensorsInBall(p, m.MaxSensorRadius()) {
+					pos, _ := m.SensorPos(id)
+					rs, _ := m.SensorRadius(id)
+					if pos.Dist2(p) <= rs*rs {
+						n++
+					}
+				}
+				c = heatColor(n, m.K())
+			} else {
+				c = color.RGBA{255, 255, 255, 255}
+			}
+			img.SetRGBA(x, y, c)
+		}
+	}
+	// Failure disk shading.
+	if opt.FailureDisk.R > 0 {
+		shadeDisk(img, opt.FailureDisk, scale, field, color.RGBA{255, 200, 200, 255}, !opt.Heatmap)
+	}
+	// Sensing disk outlines + sensor dots.
+	if opt.ShowSensors {
+		for _, id := range m.SensorIDs() {
+			p, _ := m.SensorPos(id)
+			rs, _ := m.SensorRadius(id)
+			drawCircle(img, p, rs, scale, field, color.RGBA{150, 190, 255, 255})
+		}
+		for _, id := range m.SensorIDs() {
+			p, _ := m.SensorPos(id)
+			x, y := px(p)
+			fillSquare(img, x, y, 2, color.RGBA{0, 40, 200, 255})
+		}
+	}
+	// Sample points.
+	if opt.ShowPoints {
+		for i := 0; i < m.NumPoints(); i++ {
+			x, y := px(m.Point(i))
+			c := color.RGBA{120, 120, 120, 255}
+			if m.Count(i) < m.K() {
+				c = color.RGBA{220, 0, 0, 255}
+			}
+			fillSquare(img, x, y, 1, c)
+		}
+	}
+	return png.Encode(w, img)
+}
+
+// heatColor maps a coverage count to a blue gradient; deficits show red.
+func heatColor(n, k int) color.RGBA {
+	if n < k {
+		// Under-covered: red shades by severity.
+		v := uint8(200 - 150*n/maxI(k, 1))
+		return color.RGBA{255, 255 - v, 255 - v, 255}
+	}
+	// Covered: deepening blue with surplus, saturating at k+4.
+	surplus := n - k
+	if surplus > 4 {
+		surplus = 4
+	}
+	v := uint8(230 - 40*surplus)
+	return color.RGBA{v, v, 255, 255}
+}
+
+func shadeDisk(img *image.RGBA, d geom.Disk, scale float64, field geom.Rect, c color.RGBA, opaque bool) {
+	b := img.Bounds()
+	for y := b.Min.Y; y < b.Max.Y; y++ {
+		for x := b.Min.X; x < b.Max.X; x++ {
+			p := geom.Point{
+				X: field.Min.X + float64(x)/scale,
+				Y: field.Min.Y + float64(b.Max.Y-1-y)/scale,
+			}
+			if d.Contains(p) {
+				if opaque {
+					img.SetRGBA(x, y, c)
+				} else {
+					old := img.RGBAAt(x, y)
+					img.SetRGBA(x, y, color.RGBA{
+						avg(old.R, c.R), avg(old.G, c.G), avg(old.B, c.B), 255,
+					})
+				}
+			}
+		}
+	}
+}
+
+func drawCircle(img *image.RGBA, center geom.Point, r, scale float64, field geom.Rect, c color.RGBA) {
+	// Parametric outline with enough steps for pixel continuity.
+	steps := int(2*3.15*r*scale) + 8
+	h := img.Bounds().Max.Y
+	for i := 0; i < steps; i++ {
+		theta := float64(i) / float64(steps) * 2 * 3.141592653589793
+		p := geom.Disk{Center: center, R: r}.PointAt(theta)
+		x := int((p.X - field.Min.X) * scale)
+		y := h - 1 - int((p.Y-field.Min.Y)*scale)
+		if image.Pt(x, y).In(img.Bounds()) {
+			img.SetRGBA(x, y, c)
+		}
+	}
+}
+
+func fillSquare(img *image.RGBA, cx, cy, half int, c color.RGBA) {
+	for y := cy - half; y <= cy+half; y++ {
+		for x := cx - half; x <= cx+half; x++ {
+			if image.Pt(x, y).In(img.Bounds()) {
+				img.SetRGBA(x, y, c)
+			}
+		}
+	}
+}
+
+func avg(a, b uint8) uint8 { return uint8((int(a) + int(b)) / 2) }
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,78 @@
+package render
+
+import (
+	"bytes"
+	"image/png"
+	"strings"
+	"testing"
+
+	"decor/internal/geom"
+	"decor/internal/voronoi"
+)
+
+func TestPNGEncodesValidImage(t *testing.T) {
+	m := testMap()
+	var buf bytes.Buffer
+	if err := PNG(&buf, m, PNGOptions{ShowPoints: true, ShowSensors: true,
+		FailureDisk: geom.DiskAt(20, 20, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	b := img.Bounds()
+	// 40-unit field at default scale 6 -> 241x241.
+	if b.Dx() != 241 || b.Dy() != 241 {
+		t.Errorf("bounds = %v", b)
+	}
+}
+
+func TestPNGHeatmap(t *testing.T) {
+	m := testMap()
+	var buf bytes.Buffer
+	if err := PNG(&buf, m, PNGOptions{Heatmap: true, Scale: 3}); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heatmap: a pixel near a sensor must differ from a far pixel.
+	near := img.At(3*10, img.Bounds().Max.Y-1-3*10) // field (10,10): covered
+	far := img.At(3*20, img.Bounds().Max.Y-1-3*2)   // field (20,2): bare
+	if near == far {
+		t.Error("heatmap shows no contrast between covered and bare regions")
+	}
+}
+
+func TestSVGVoronoiOverlay(t *testing.T) {
+	m := testMap()
+	sites := []geom.Point{{X: 10, Y: 10}, {X: 30, Y: 30}}
+	cells := voronoi.Diagram(sites, m.Field())
+	svg := SVG(m, SVGOptions{VoronoiCells: cells})
+	if got := strings.Count(svg, "<polygon"); got != 2 {
+		t.Errorf("polygons = %d, want 2", got)
+	}
+	// Degenerate cells are skipped.
+	svg = SVG(m, SVGOptions{VoronoiCells: [][]geom.Point{nil, {{X: 1, Y: 1}}}})
+	if strings.Contains(svg, "<polygon") {
+		t.Error("degenerate cells should not render")
+	}
+}
+
+func TestHeatColorRanges(t *testing.T) {
+	k := 3
+	under := heatColor(0, k)
+	exact := heatColor(3, k)
+	over := heatColor(9, k)
+	if under.R != 255 || under.G == 255 {
+		t.Errorf("under-covered color = %v, want reddish", under)
+	}
+	if exact.B != 255 || exact.R == 255 {
+		t.Errorf("covered color = %v, want bluish", exact)
+	}
+	if over.R >= exact.R {
+		t.Errorf("over-covered should be deeper blue: %v vs %v", over, exact)
+	}
+}

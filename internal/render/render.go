@@ -1,0 +1,167 @@
+// Package render draws fields, sample-point sets, deployments and failure
+// regions as ASCII (for terminals and tests) and SVG (for reports),
+// reproducing the paper's illustration figures: the Halton-approximated
+// field (Fig. 4), a resulting DECOR deployment (Fig. 5) and an uncovered
+// disaster area (Fig. 6).
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"decor/internal/coverage"
+	"decor/internal/geom"
+)
+
+// ASCII renders the coverage map as a character grid of the given width
+// (height follows the field's aspect ratio). Each character cell shows
+// the minimum coverage count of the sample points inside it:
+//
+//	' '  no sample point in the cell
+//	'0'–'9' minimum coverage count (capped at 9)
+//	'*'  a sensor is located in the cell (overrides the digit)
+func ASCII(m *coverage.Map, width int) string {
+	if width < 1 {
+		panic("render: width must be positive")
+	}
+	field := m.Field()
+	height := int(float64(width) * field.H() / field.W() / 2) // terminal cells are ~2x tall
+	if height < 1 {
+		height = 1
+	}
+	cw := field.W() / float64(width)
+	ch := field.H() / float64(height)
+	minCount := make([]int, width*height)
+	for i := range minCount {
+		minCount[i] = -1
+	}
+	cellOf := func(p geom.Point) int {
+		cx := int((p.X - field.Min.X) / cw)
+		cy := int((p.Y - field.Min.Y) / ch)
+		if cx >= width {
+			cx = width - 1
+		}
+		if cy >= height {
+			cy = height - 1
+		}
+		if cx < 0 {
+			cx = 0
+		}
+		if cy < 0 {
+			cy = 0
+		}
+		return cy*width + cx
+	}
+	for i := 0; i < m.NumPoints(); i++ {
+		c := cellOf(m.Point(i))
+		if minCount[c] < 0 || m.Count(i) < minCount[c] {
+			minCount[c] = m.Count(i)
+		}
+	}
+	sensor := make([]bool, width*height)
+	for _, id := range m.SensorIDs() {
+		p, _ := m.SensorPos(id)
+		sensor[cellOf(p)] = true
+	}
+	var b strings.Builder
+	// Render top row (max Y) first.
+	for cy := height - 1; cy >= 0; cy-- {
+		for cx := 0; cx < width; cx++ {
+			i := cy*width + cx
+			switch {
+			case sensor[i]:
+				b.WriteByte('*')
+			case minCount[i] < 0:
+				b.WriteByte(' ')
+			case minCount[i] > 9:
+				b.WriteByte('9')
+			default:
+				b.WriteByte(byte('0' + minCount[i]))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SVGOptions controls SVG rendering.
+type SVGOptions struct {
+	// Scale converts field units to pixels (default 6).
+	Scale float64
+	// ShowPoints draws the sample points (uncovered points are
+	// highlighted).
+	ShowPoints bool
+	// ShowSensors draws the sensors with their sensing disks.
+	ShowSensors bool
+	// FailureDisk, if non-zero radius, is drawn as the disaster region.
+	FailureDisk geom.Disk
+	// VoronoiCells, if non-nil, are drawn as polygon outlines (e.g. the
+	// exact Voronoi diagram of the sensors from internal/voronoi).
+	VoronoiCells [][]geom.Point
+	// Tour, if non-nil, is drawn as the deployment robot's route: a
+	// polyline through the waypoints in order.
+	Tour []geom.Point
+}
+
+// SVG renders the coverage map as a standalone SVG document.
+func SVG(m *coverage.Map, opt SVGOptions) string {
+	scale := opt.Scale
+	if scale <= 0 {
+		scale = 6
+	}
+	field := m.Field()
+	w := field.W() * scale
+	h := field.H() * scale
+	// SVG y grows downward; flip so the field's min-y is at the bottom.
+	px := func(p geom.Point) (float64, float64) {
+		return (p.X - field.Min.X) * scale, h - (p.Y-field.Min.Y)*scale
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect width="%.0f" height="%.0f" fill="white" stroke="black"/>`+"\n", w, h)
+	if opt.FailureDisk.R > 0 {
+		x, y := px(opt.FailureDisk.Center)
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="#fdd" stroke="#c00" stroke-dasharray="4"/>`+"\n",
+			x, y, opt.FailureDisk.R*scale)
+	}
+	if len(opt.Tour) >= 2 {
+		b.WriteString(`<polyline points="`)
+		for _, p := range opt.Tour {
+			x, y := px(p)
+			fmt.Fprintf(&b, "%.1f,%.1f ", x, y)
+		}
+		b.WriteString(`" fill="none" stroke="#383" stroke-width="1.2" stroke-dasharray="6 3"/>` + "\n")
+	}
+	for _, cell := range opt.VoronoiCells {
+		if len(cell) < 3 {
+			continue
+		}
+		b.WriteString(`<polygon points="`)
+		for _, p := range cell {
+			x, y := px(p)
+			fmt.Fprintf(&b, "%.1f,%.1f ", x, y)
+		}
+		b.WriteString(`" fill="none" stroke="#cb8" stroke-width="0.7"/>` + "\n")
+	}
+	if opt.ShowSensors {
+		for _, id := range m.SensorIDs() {
+			p, _ := m.SensorPos(id)
+			x, y := px(p)
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="none" stroke="#9cf" stroke-width="0.5"/>`+"\n",
+				x, y, m.Rs()*scale)
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2" fill="#03c"/>`+"\n", x, y)
+		}
+	}
+	if opt.ShowPoints {
+		for i := 0; i < m.NumPoints(); i++ {
+			x, y := px(m.Point(i))
+			color := "#888"
+			if m.Count(i) < m.K() {
+				color = "#e00"
+			}
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="1" fill="%s"/>`+"\n", x, y, color)
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"decor/internal/coverage"
+	"decor/internal/geom"
+	"decor/internal/lowdisc"
+)
+
+func testMap() *coverage.Map {
+	field := geom.Square(40)
+	pts := lowdisc.Halton{}.Points(200, field)
+	m := coverage.New(field, pts, 4, 1)
+	m.AddSensor(1, geom.Pt(10, 10))
+	m.AddSensor(2, geom.Pt(30, 30))
+	return m
+}
+
+func TestASCIIDimensions(t *testing.T) {
+	m := testMap()
+	out := ASCII(m, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 20 { // square field, 2:1 aspect correction
+		t.Fatalf("lines = %d, want 20", len(lines))
+	}
+	for i, l := range lines {
+		if len(l) != 40 {
+			t.Fatalf("line %d width = %d", i, len(l))
+		}
+	}
+}
+
+func TestASCIIMarksSensorsAndCoverage(t *testing.T) {
+	m := testMap()
+	out := ASCII(m, 40)
+	if !strings.Contains(out, "*") {
+		t.Error("no sensor markers")
+	}
+	if !strings.Contains(out, "0") {
+		t.Error("no uncovered cells on a sparse field")
+	}
+	if !strings.Contains(out, "1") {
+		t.Error("no covered cells near sensors")
+	}
+}
+
+func TestASCIICoverageSaturation(t *testing.T) {
+	field := geom.Square(4)
+	pts := []geom.Point{{X: 2, Y: 2}}
+	m := coverage.New(field, pts, 4, 1)
+	for id := 0; id < 12; id++ {
+		m.AddSensor(id, geom.Pt(1, 1))
+	}
+	out := ASCII(m, 4)
+	if !strings.Contains(out, "9") && !strings.Contains(out, "*") {
+		t.Errorf("expected saturated digit or sensor marker, got:\n%s", out)
+	}
+}
+
+func TestASCIIPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("width 0 should panic")
+		}
+	}()
+	ASCII(testMap(), 0)
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	m := testMap()
+	svg := SVG(m, SVGOptions{ShowPoints: true, ShowSensors: true,
+		FailureDisk: geom.DiskAt(20, 20, 8)})
+	for _, want := range []string{
+		"<svg", "</svg>", "<rect", "stroke-dasharray", // failure disc
+		`fill="#e00"`, // uncovered points highlighted
+		`fill="#03c"`, // sensor dots
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	// One circle per point + two per sensor + failure disc.
+	circles := strings.Count(svg, "<circle")
+	want := m.NumPoints() + 2*m.NumSensors() + 1
+	if circles != want {
+		t.Errorf("circles = %d, want %d", circles, want)
+	}
+}
+
+func TestSVGOptionsRespected(t *testing.T) {
+	m := testMap()
+	bare := SVG(m, SVGOptions{})
+	if strings.Count(bare, "<circle") != 0 {
+		t.Error("bare SVG should contain no circles")
+	}
+	pointsOnly := SVG(m, SVGOptions{ShowPoints: true})
+	if got := strings.Count(pointsOnly, "<circle"); got != m.NumPoints() {
+		t.Errorf("points-only circles = %d", got)
+	}
+	scaled := SVG(m, SVGOptions{Scale: 10})
+	if !strings.Contains(scaled, `width="400"`) {
+		t.Error("scale not applied")
+	}
+}
+
+func TestSVGTourOverlay(t *testing.T) {
+	m := testMap()
+	svg := SVG(m, SVGOptions{Tour: []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 10}, {X: 20, Y: 5}}})
+	if !strings.Contains(svg, "<polyline") {
+		t.Error("tour polyline missing")
+	}
+	// A single waypoint is not a route.
+	if strings.Contains(SVG(m, SVGOptions{Tour: []geom.Point{{X: 1, Y: 1}}}), "<polyline") {
+		t.Error("degenerate tour should not render")
+	}
+}

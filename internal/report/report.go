@@ -1,0 +1,86 @@
+// Package report assembles the full reproduction report — every paper
+// figure, every extension experiment, and the claim-by-claim summary —
+// as a single Markdown document. `decor-bench -report` uses it to
+// produce an artifact equivalent to EXPERIMENTS.md's data sections from
+// one command.
+package report
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"decor/internal/experiment"
+)
+
+// Options selects the report contents.
+type Options struct {
+	// Figures runs the paper figures (fig7..fig14).
+	Figures bool
+	// Extensions runs the ext-* experiments.
+	Extensions bool
+	// Summary runs the paper-claims check.
+	Summary bool
+	// Dispersion renders mean±std tables where available.
+	Dispersion bool
+}
+
+// Full returns options selecting everything.
+func Full() Options {
+	return Options{Figures: true, Extensions: true, Summary: true, Dispersion: true}
+}
+
+// Write generates the report into w. It returns the first experiment
+// error encountered (the harness itself cannot fail on valid configs).
+func Write(w io.Writer, cfg experiment.Config, opt Options) error {
+	fmt.Fprintf(w, "# DECOR reproduction report\n\n")
+	fmt.Fprintf(w, "Configuration: field %.0f×%.0f, %d %s points, rs=%g, %d initial sensors, %d runs, seed %d.\n\n",
+		cfg.FieldSide, cfg.FieldSide, cfg.NumPoints, cfg.Generator, cfg.Rs,
+		cfg.InitialSensors, cfg.Runs, cfg.Seed)
+
+	if opt.Summary {
+		fmt.Fprintf(w, "## Paper-claim summary\n\n```\n%s```\n\n",
+			experiment.SummaryTable(experiment.Summary(cfg)))
+	}
+	if opt.Figures {
+		fmt.Fprintf(w, "## Paper figures\n\n")
+		for _, id := range experiment.AllIDs() {
+			start := time.Now()
+			fig, err := experiment.ByID(id, cfg)
+			if err != nil {
+				return err
+			}
+			writeFigure(w, fig, opt, time.Since(start))
+		}
+	}
+	if opt.Extensions {
+		fmt.Fprintf(w, "## Extension experiments\n\n")
+		for _, id := range experiment.ExtIDs() {
+			start := time.Now()
+			fig, err := experiment.ExtByID(id, cfg)
+			if err != nil {
+				return err
+			}
+			writeFigure(w, fig, opt, time.Since(start))
+		}
+	}
+	return nil
+}
+
+func writeFigure(w io.Writer, fig experiment.Figure, opt Options, elapsed time.Duration) {
+	body := fig.Table()
+	if opt.Dispersion && hasDispersion(fig) {
+		body = fig.TableErr()
+	}
+	fmt.Fprintf(w, "### %s\n\n```\n%s```\n*elapsed: %s*\n\n",
+		fig.ID, body, elapsed.Round(time.Millisecond))
+}
+
+func hasDispersion(fig experiment.Figure) bool {
+	for _, s := range fig.Series {
+		if s.Err != nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,69 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"decor/internal/experiment"
+)
+
+func quickCfg() experiment.Config {
+	c := experiment.Quick()
+	c.Runs = 1
+	c.FailureDraws = 2
+	return c
+}
+
+func TestWriteFiguresOnly(t *testing.T) {
+	var b strings.Builder
+	err := Write(&b, quickCfg(), Options{Figures: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, id := range experiment.AllIDs() {
+		if !strings.Contains(out, "### "+id) {
+			t.Errorf("report missing %s", id)
+		}
+	}
+	if strings.Contains(out, "## Extension") || strings.Contains(out, "claim summary") {
+		t.Error("unselected sections present")
+	}
+	if !strings.Contains(out, "Configuration: field 50×50") {
+		t.Error("configuration header missing")
+	}
+}
+
+func TestWriteDispersionToggle(t *testing.T) {
+	var plain, err1 strings.Builder
+	if err := Write(&plain, quickCfg(), Options{Figures: true}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg()
+	cfg.Runs = 2 // dispersion needs more than one run to be meaningful
+	if err := Write(&err1, cfg, Options{Figures: true, Dispersion: true}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(plain.String(), "±") != 0 {
+		t.Error("plain report shows dispersion")
+	}
+	if strings.Count(err1.String(), "±") == 0 {
+		t.Error("dispersion report shows none")
+	}
+}
+
+func TestWriteSummaryOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("summary at full scale skipped in -short mode")
+	}
+	cfg := experiment.Default()
+	cfg.Runs = 1
+	cfg.FailureDraws = 2
+	var b strings.Builder
+	if err := Write(&b, cfg, Options{Summary: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "claims within tolerance") {
+		t.Error("summary section missing")
+	}
+}

@@ -1,0 +1,196 @@
+// Package schedule implements the sleep scheduling that motivates
+// k-coverage in the paper's §1 (application 3): "When k nodes are
+// covering a point, we have the option of putting some of them to sleep
+// or balance the workload among all k nodes. Thus, k-coverage leads to
+// significant energy savings and increases the lifetime for the
+// network."
+//
+// It extracts disjoint sensor covers (subsets that each 1-cover every
+// sample point) with the same greedy-benefit heuristic DECOR uses for
+// placement, and converts cover counts into lifetime estimates via the
+// energy model.
+package schedule
+
+import (
+	"sort"
+
+	"decor/internal/coverage"
+	"decor/internal/energy"
+	"decor/internal/geom"
+)
+
+// Cover is one rotation shift: sensor IDs that jointly cover the field.
+type Cover []int
+
+// Plan is a full rotation schedule.
+type Plan struct {
+	// Covers are the disjoint 1-covering shifts, in extraction order.
+	Covers []Cover
+	// Spare lists sensors in no cover (kept asleep or as replacements).
+	Spare []int
+}
+
+// NumCovers returns the lifetime multiple the schedule achieves.
+func (p Plan) NumCovers() int { return len(p.Covers) }
+
+// Build extracts disjoint 1-covers with the critical-element heuristic
+// of Slijepcevic & Potkonjak (the paper's reference [16]): each step
+// first identifies the most-constrained uncovered point — the one with
+// the fewest unused sensors still able to cover it — and then picks,
+// among those sensors, the one covering the most uncovered points. This
+// protects scarce coverage and extracts far more disjoint covers than
+// plain greedy set cover. Extraction stops when a cover can no longer
+// be completed.
+func Build(m *coverage.Map) Plan {
+	used := map[int]bool{}
+	var plan Plan
+	allIDs := m.SensorIDs()
+	type sensor struct {
+		id  int
+		pos geom.Point
+		rs  float64
+	}
+	byID := map[int]sensor{}
+	for _, id := range allIDs {
+		pos, _ := m.SensorPos(id)
+		rs, _ := m.SensorRadius(id)
+		byID[id] = sensor{id, pos, rs}
+	}
+	pts := make([]geom.Point, m.NumPoints())
+	for i := range pts {
+		pts[i] = m.Point(i)
+	}
+	maxRs := m.MaxSensorRadius()
+	// unusedCovering returns the unused sensors able to cover point p,
+	// ascending.
+	unusedCovering := func(p geom.Point) []int {
+		var out []int
+		for _, id := range m.SensorsInBall(p, maxRs) {
+			if used[id] {
+				continue
+			}
+			s := byID[id]
+			if s.pos.Dist2(p) <= s.rs*s.rs {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	for {
+		shadow := coverage.New(m.Field(), pts, m.Rs(), 1)
+		var members Cover
+		feasible := true
+		for !shadow.FullyCovered() {
+			// Find the critical uncovered point.
+			critAvail := -1
+			var critOptions []int
+			for _, i := range shadow.UncoveredPoints() {
+				opts := unusedCovering(m.Point(i))
+				if len(opts) == 0 {
+					feasible = false
+					break
+				}
+				if critAvail < 0 || len(opts) < critAvail {
+					critAvail = len(opts)
+					critOptions = opts
+					if critAvail == 1 {
+						break // cannot get more constrained
+					}
+				}
+			}
+			if !feasible {
+				break
+			}
+			// Among the critical point's options, score each sensor by
+			// the uncovered points it gains minus a scarcity penalty for
+			// consuming points with few unused options left (the
+			// "redundancy" term of the Slijepcevic–Potkonjak objective):
+			// a sensor that covers many scarce points hurts future
+			// covers.
+			bestID, best := -1, -(1 << 30)
+			for _, id := range critOptions {
+				s := byID[id]
+				gain := 0
+				penalty := 0
+				shadow.VisitPointsInBall(s.pos, s.rs, func(i int, p geom.Point) bool {
+					if s.pos.Dist2(p) > s.rs*s.rs {
+						return true
+					}
+					if shadow.Count(i) > 0 {
+						return true // already covered this round: no cost
+					}
+					gain++
+					if avail := len(unusedCovering(p)); avail <= 3 {
+						penalty += 4 - avail // scarce point consumed
+					}
+					return true
+				})
+				if score := 2*gain - penalty; score > best {
+					best, bestID = score, id
+				}
+			}
+			s := byID[bestID]
+			shadow.AddSensorRadius(bestID, s.pos, s.rs)
+			members = append(members, bestID)
+		}
+		if !feasible {
+			plan.finishSpare(used, allIDs)
+			return plan
+		}
+		for _, id := range members {
+			used[id] = true
+		}
+		sort.Ints(members)
+		plan.Covers = append(plan.Covers, members)
+	}
+}
+
+func (p *Plan) finishSpare(used map[int]bool, all []int) {
+	for _, id := range all {
+		if !used[id] {
+			p.Spare = append(p.Spare, id)
+		}
+	}
+	sort.Ints(p.Spare)
+}
+
+// Verify checks that every cover in the plan actually 1-covers all of
+// m's sample points and that covers are pairwise disjoint.
+func Verify(m *coverage.Map, p Plan) bool {
+	seen := map[int]bool{}
+	pts := make([]geom.Point, m.NumPoints())
+	for i := range pts {
+		pts[i] = m.Point(i)
+	}
+	for _, cover := range p.Covers {
+		shadow := coverage.New(m.Field(), pts, m.Rs(), 1)
+		for _, id := range cover {
+			if seen[id] {
+				return false // overlap between covers
+			}
+			seen[id] = true
+			pos, ok := m.SensorPos(id)
+			if !ok {
+				return false
+			}
+			rs, _ := m.SensorRadius(id)
+			shadow.AddSensorRadius(id, pos, rs)
+		}
+		if !shadow.FullyCovered() {
+			return false
+		}
+	}
+	return true
+}
+
+// Lifetime estimates the whole-network monitored lifetime (in epochs of
+// epochSec) under round-robin cover rotation with the given energy model
+// and per-node battery capacity. Heartbeats cost hbPerEpoch
+// transmissions at range rc per awake node.
+func Lifetime(p Plan, model energy.Model, capacity, epochSec, rc float64, hbPerEpoch int) int {
+	covers := make([][]int, len(p.Covers))
+	for i, c := range p.Covers {
+		covers[i] = c
+	}
+	return energy.LifetimeEpochs(covers, model, capacity, epochSec, rc, hbPerEpoch)
+}

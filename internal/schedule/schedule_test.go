@@ -1,0 +1,120 @@
+package schedule
+
+import (
+	"testing"
+
+	"decor/internal/core"
+	"decor/internal/coverage"
+	"decor/internal/energy"
+	"decor/internal/geom"
+	"decor/internal/lowdisc"
+	"decor/internal/rng"
+)
+
+func deployedMap(k int, seed uint64) *coverage.Map {
+	field := geom.Square(50)
+	pts := lowdisc.Halton{}.Points(500, field)
+	m := coverage.New(field, pts, 4, k)
+	r := rng.New(seed)
+	for id := 0; id < 40; id++ {
+		m.AddSensor(id, r.PointInRect(field))
+	}
+	(core.Centralized{}).Deploy(m, rng.New(seed+1), core.Options{})
+	return m
+}
+
+func TestBuildProducesValidPlan(t *testing.T) {
+	for _, k := range []int{1, 3, 5} {
+		m := deployedMap(k, 3)
+		p := Build(m)
+		if !Verify(m, p) {
+			t.Fatalf("k=%d: plan failed verification", k)
+		}
+		// Every sensor is in exactly one cover or spare.
+		counted := len(p.Spare)
+		for _, c := range p.Covers {
+			counted += len(c)
+		}
+		if counted != m.NumSensors() {
+			t.Errorf("k=%d: %d sensors accounted, %d deployed", k, counted, m.NumSensors())
+		}
+	}
+}
+
+func TestMoreKMoreCovers(t *testing.T) {
+	covers := map[int]int{}
+	for _, k := range []int{1, 3, 5} {
+		m := deployedMap(k, 7)
+		covers[k] = Build(m).NumCovers()
+	}
+	if covers[1] < 1 {
+		t.Errorf("k=1 should yield at least one cover, got %d", covers[1])
+	}
+	// Disjoint-cover extraction is lossy (NP-hard problem, greedy
+	// heuristic): require monotonicity and a strict gain from k=1 to
+	// k=5 rather than strict steps everywhere.
+	if covers[3] < covers[1] || covers[5] < covers[3] {
+		t.Errorf("cover counts not monotone in k: %v", covers)
+	}
+	if covers[5] < covers[1]+2 {
+		t.Errorf("k=5 covers (%d) should exceed k=1 (%d) by at least 2", covers[5], covers[1])
+	}
+}
+
+func TestBuildOnUncoverableField(t *testing.T) {
+	field := geom.Square(50)
+	pts := lowdisc.Halton{}.Points(200, field)
+	m := coverage.New(field, pts, 4, 1)
+	m.AddSensor(1, geom.Pt(25, 25)) // a single sensor cannot cover 50x50
+	p := Build(m)
+	if p.NumCovers() != 0 {
+		t.Errorf("covers = %d, want 0", p.NumCovers())
+	}
+	if len(p.Spare) != 1 || p.Spare[0] != 1 {
+		t.Errorf("spare = %v", p.Spare)
+	}
+}
+
+func TestVerifyRejectsBadPlans(t *testing.T) {
+	m := deployedMap(2, 5)
+	good := Build(m)
+	if good.NumCovers() < 1 {
+		t.Skip("need at least one cover")
+	}
+	// Overlapping covers.
+	overlap := Plan{Covers: []Cover{good.Covers[0], good.Covers[0]}}
+	if Verify(m, overlap) {
+		t.Error("overlapping covers passed verification")
+	}
+	// Incomplete cover.
+	short := Plan{Covers: []Cover{good.Covers[0][:1]}}
+	if Verify(m, short) {
+		t.Error("incomplete cover passed verification")
+	}
+	// Unknown sensor.
+	bogus := Plan{Covers: []Cover{{999999}}}
+	if Verify(m, bogus) {
+		t.Error("unknown sensor passed verification")
+	}
+}
+
+func TestLifetimeScalesWithCovers(t *testing.T) {
+	m1 := deployedMap(1, 9)
+	m5 := deployedMap(5, 9)
+	p1, p5 := Build(m1), Build(m5)
+	if p5.NumCovers() <= p1.NumCovers() {
+		t.Skip("cover extraction did not separate k=1 and k=5 this seed")
+	}
+	model := energy.Default()
+	l1 := Lifetime(p1, model, 1e-3, 10, 8, 2)
+	l5 := Lifetime(p5, model, 1e-3, 10, 8, 2)
+	if l5 <= l1 {
+		t.Errorf("k=5 lifetime %d not above k=1 lifetime %d", l5, l1)
+	}
+	// Roughly proportional to the cover count.
+	ratio := float64(l5) / float64(l1)
+	want := float64(p5.NumCovers()) / float64(p1.NumCovers())
+	if ratio < want*0.6 || ratio > want*1.4 {
+		t.Errorf("lifetime ratio %.2f far from cover ratio %.2f", ratio, want)
+	}
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLossRateDropsFraction(t *testing.T) {
+	e := NewEngine(0.01)
+	e.SetLossRate(0.3, 42)
+	recv := &echoActor{}
+	e.Register(2, recv)
+	e.Register(1, &echoActor{onStart: func(ctx *Context) {
+		for i := 0; i < 5000; i++ {
+			ctx.Send(2, "x", i)
+		}
+	}})
+	e.Run(Inf)
+	st := e.Stats()
+	if st.Sent != 5000 {
+		t.Fatalf("sent = %d", st.Sent)
+	}
+	if st.Lost+st.Delivered != 5000 {
+		t.Fatalf("lost %d + delivered %d != 5000", st.Lost, st.Delivered)
+	}
+	frac := float64(st.Lost) / 5000
+	if math.Abs(frac-0.3) > 0.03 {
+		t.Errorf("loss fraction = %v, want ~0.3", frac)
+	}
+	if len(recv.messages) != st.Delivered {
+		t.Errorf("receiver saw %d, engine delivered %d", len(recv.messages), st.Delivered)
+	}
+}
+
+func TestLossDeterministic(t *testing.T) {
+	run := func() int {
+		e := NewEngine(0)
+		e.SetLossRate(0.5, 7)
+		e.Register(2, &echoActor{})
+		e.Register(1, &echoActor{onStart: func(ctx *Context) {
+			for i := 0; i < 100; i++ {
+				ctx.Send(2, "x", nil)
+			}
+		}})
+		e.Run(Inf)
+		return e.Stats().Lost
+	}
+	if run() != run() {
+		t.Error("loss pattern not deterministic")
+	}
+}
+
+func TestLossRateValidation(t *testing.T) {
+	for _, bad := range []float64{-0.1, 1.0, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("loss rate %v should panic", bad)
+				}
+			}()
+			NewEngine(0).SetLossRate(bad, 1)
+		}()
+	}
+	// Zero is allowed and means lossless.
+	e := NewEngine(0)
+	e.SetLossRate(0, 1)
+	e.Register(2, &echoActor{})
+	e.Register(1, &echoActor{onStart: func(ctx *Context) { ctx.Send(2, "x", nil) }})
+	e.Run(Inf)
+	if e.Stats().Lost != 0 || e.Stats().Delivered != 1 {
+		t.Error("zero loss rate dropped messages")
+	}
+}
+
+func TestTimersUnaffectedByLoss(t *testing.T) {
+	e := NewEngine(0)
+	e.SetLossRate(0.9, 3)
+	a := &echoActor{onStart: func(ctx *Context) {
+		for i := 0; i < 50; i++ {
+			ctx.SetTimer(Time(i+1), "t")
+		}
+	}}
+	e.Register(1, a)
+	e.Run(Inf)
+	if len(a.timers) != 50 {
+		t.Errorf("timers fired = %d, want 50 (loss must not affect timers)", len(a.timers))
+	}
+}

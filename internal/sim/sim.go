@@ -1,0 +1,253 @@
+// Package sim is a deterministic discrete-event simulator for sensor
+// networks. It provides virtual time, a message-delivery event queue, and
+// an actor abstraction for node protocols (heartbeats, failure detection,
+// leader election, placement notification) built in internal/protocol.
+//
+// The round-based algorithms in internal/core answer "where and how many
+// sensors"; this engine answers the systems questions the paper's §3.2
+// raises about how nodes actually learn things: periodic meta-information
+// exchange with period Tc, failure detection by missed heartbeats, and
+// the absence of any synchronization requirement.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"decor/internal/rng"
+)
+
+// Time is virtual simulation time in seconds.
+type Time float64
+
+// Message is an application payload exchanged between actors.
+type Message struct {
+	From, To int // actor IDs; To < 0 is invalid
+	Kind     string
+	Payload  any
+}
+
+// Actor is a protocol endpoint attached to the engine.
+type Actor interface {
+	// OnStart runs when the actor is registered; schedule initial timers
+	// here.
+	OnStart(ctx *Context)
+	// OnMessage handles a delivered message.
+	OnMessage(ctx *Context, msg Message)
+	// OnTimer handles an expired timer with its registration tag.
+	OnTimer(ctx *Context, tag string)
+}
+
+// Context gives an actor access to the engine during a callback.
+type Context struct {
+	eng *Engine
+	id  int
+}
+
+// ID returns the actor's ID.
+func (c *Context) ID() int { return c.id }
+
+// Now returns the current virtual time.
+func (c *Context) Now() Time { return c.eng.now }
+
+// Send enqueues a message for delivery after the engine's latency. Sends
+// to dead or unknown actors are silently dropped at delivery time, like
+// radio messages to a failed node. Each send counts toward the engine's
+// message statistics.
+func (c *Context) Send(to int, kind string, payload any) {
+	c.eng.stats.Sent++
+	c.eng.stats.SentBy[c.id]++
+	c.eng.schedule(event{
+		at:   c.eng.now + c.eng.latency,
+		kind: evMessage,
+		msg:  Message{From: c.id, To: to, Kind: kind, Payload: payload},
+	})
+}
+
+// SetTimer schedules OnTimer(tag) after d. Timers are not cancellable;
+// actors ignore stale tags instead (simpler and sufficient for heartbeat
+// protocols).
+func (c *Context) SetTimer(d Time, tag string) {
+	if d < 0 {
+		panic("sim: negative timer duration")
+	}
+	c.eng.schedule(event{at: c.eng.now + d, kind: evTimer, msg: Message{To: c.id, Kind: tag}})
+}
+
+// Engine runs the event loop.
+type Engine struct {
+	now      Time
+	latency  Time
+	actors   map[int]Actor
+	dead     map[int]bool
+	queue    eventQueue
+	seq      int
+	stats    Stats
+	trace    func(Time, string)
+	lossRate float64
+	lossRNG  *rng.RNG
+}
+
+// Stats aggregates engine-level counters.
+type Stats struct {
+	Sent      int // messages sent (incl. dropped at delivery)
+	Delivered int
+	Dropped   int // sends to dead/unknown actors
+	Lost      int // messages lost to simulated radio loss
+	Timers    int
+	SentBy    map[int]int
+}
+
+// NewEngine creates an engine with the given one-hop delivery latency.
+func NewEngine(latency Time) *Engine {
+	if latency < 0 {
+		panic("sim: negative latency")
+	}
+	return &Engine{
+		latency: latency,
+		actors:  map[int]Actor{},
+		dead:    map[int]bool{},
+		stats:   Stats{SentBy: map[int]int{}},
+	}
+}
+
+// SetTrace installs a trace hook invoked with every processed event.
+func (e *Engine) SetTrace(fn func(Time, string)) { e.trace = fn }
+
+// SetLossRate makes every message delivery fail independently with
+// probability p (deterministically, driven by seed) — the radio packet
+// loss the paper's §2.1 mentions ("sensors are also susceptible to
+// packet loss and link failures"). Timers are unaffected.
+func (e *Engine) SetLossRate(p float64, seed uint64) {
+	if p < 0 || p >= 1 {
+		panic("sim: loss rate must be in [0, 1)")
+	}
+	e.lossRate = p
+	e.lossRNG = rng.New(seed)
+}
+
+// Now returns current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Stats returns a copy of the counters.
+func (e *Engine) Stats() Stats {
+	s := e.stats
+	s.SentBy = make(map[int]int, len(e.stats.SentBy))
+	for k, v := range e.stats.SentBy {
+		s.SentBy[k] = v
+	}
+	return s
+}
+
+// Register attaches an actor under id and invokes OnStart. It panics on
+// duplicate registration.
+func (e *Engine) Register(id int, a Actor) {
+	if _, ok := e.actors[id]; ok {
+		panic(fmt.Sprintf("sim: duplicate actor %d", id))
+	}
+	e.actors[id] = a
+	delete(e.dead, id)
+	a.OnStart(&Context{eng: e, id: id})
+}
+
+// Kill marks an actor dead at the current time: pending deliveries to it
+// are dropped and it receives no further callbacks. The paper's node
+// failures map to Kill.
+func (e *Engine) Kill(id int) { e.dead[id] = true }
+
+// Alive reports whether id is registered and not killed.
+func (e *Engine) Alive(id int) bool {
+	_, ok := e.actors[id]
+	return ok && !e.dead[id]
+}
+
+// event kinds
+const (
+	evMessage = iota
+	evTimer
+)
+
+type event struct {
+	at   Time
+	kind int
+	seq  int
+	msg  Message
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq // FIFO among simultaneous events: determinism
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+func (e *Engine) schedule(ev event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.queue, ev)
+}
+
+// Run processes events until the queue is empty or virtual time exceeds
+// until. It returns the number of events processed.
+func (e *Engine) Run(until Time) int {
+	processed := 0
+	for e.queue.Len() > 0 {
+		ev := e.queue[0]
+		if ev.at > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = ev.at
+		processed++
+		target := ev.msg.To
+		actor, ok := e.actors[target]
+		if !ok || e.dead[target] {
+			if ev.kind == evMessage {
+				e.stats.Dropped++
+			}
+			continue
+		}
+		ctx := &Context{eng: e, id: target}
+		switch ev.kind {
+		case evMessage:
+			if e.lossRate > 0 && e.lossRNG.Bool(e.lossRate) {
+				e.stats.Lost++
+				continue
+			}
+			e.stats.Delivered++
+			if e.trace != nil {
+				e.trace(e.now, fmt.Sprintf("deliver %s %d->%d", ev.msg.Kind, ev.msg.From, target))
+			}
+			actor.OnMessage(ctx, ev.msg)
+		case evTimer:
+			e.stats.Timers++
+			if e.trace != nil {
+				e.trace(e.now, fmt.Sprintf("timer %s @%d", ev.msg.Kind, target))
+			}
+			actor.OnTimer(ctx, ev.msg.Kind)
+		}
+	}
+	if e.queue.Len() == 0 && until != Inf && e.now < until {
+		e.now = until
+	}
+	return processed
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Inf is a convenience for Run(sim.Inf): process everything.
+const Inf = Time(math.MaxFloat64)

@@ -1,0 +1,20 @@
+package tour
+
+import (
+	"testing"
+
+	"decor/internal/geom"
+	"decor/internal/rng"
+)
+
+func BenchmarkPlan200(b *testing.B) {
+	r := rng.New(1)
+	sites := make([]geom.Point, 200)
+	for i := range sites {
+		sites[i] = r.PointInRect(geom.Square(100))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Plan(geom.Point{}, sites, 0)
+	}
+}

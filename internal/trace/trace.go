@@ -1,0 +1,180 @@
+// Package trace serializes deployment runs as JSON Lines so external
+// tooling (plotting, regression diffing, replay) can consume them. A
+// trace is self-contained: a header record with the field parameters,
+// one record per placement in order, and a footer with the run metrics.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"decor/internal/core"
+	"decor/internal/coverage"
+	"decor/internal/geom"
+	"decor/internal/metrics"
+)
+
+// Record kinds.
+const (
+	KindHeader    = "header"
+	KindPlacement = "placement"
+	KindFooter    = "footer"
+)
+
+// Header describes the run configuration.
+type Header struct {
+	Kind      string  `json:"kind"`
+	Method    string  `json:"method"`
+	K         int     `json:"k"`
+	Rs        float64 `json:"rs"`
+	FieldW    float64 `json:"field_w"`
+	FieldH    float64 `json:"field_h"`
+	NumPoints int     `json:"num_points"`
+	Initial   int     `json:"initial_sensors"`
+}
+
+// PlacementRec is one deployed sensor.
+type PlacementRec struct {
+	Kind  string  `json:"kind"`
+	Seq   int     `json:"seq"`
+	ID    int     `json:"id"`
+	X     float64 `json:"x"`
+	Y     float64 `json:"y"`
+	Round int     `json:"round"`
+}
+
+// Footer carries the run's final metrics.
+type Footer struct {
+	Kind            string  `json:"kind"`
+	Placed          int     `json:"placed"`
+	TotalNodes      int     `json:"total_nodes"`
+	RedundantNodes  int     `json:"redundant_nodes"`
+	Messages        int     `json:"messages"`
+	MessagesPerCell float64 `json:"messages_per_cell"`
+	Rounds          int     `json:"rounds"`
+	Seeded          int     `json:"seeded"`
+	CoverageK       float64 `json:"coverage_k"`
+}
+
+// Trace is a parsed run record.
+type Trace struct {
+	Header     Header
+	Placements []PlacementRec
+	Footer     Footer
+}
+
+// Write serializes a finished run. The map must be in its post-run
+// state (Collect reads coverage and redundancy from it).
+func Write(w io.Writer, m *coverage.Map, res core.Result) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	dep := metrics.Collect(m, res)
+	head := Header{
+		Kind: KindHeader, Method: res.Method, K: m.K(), Rs: m.Rs(),
+		FieldW: m.Field().W(), FieldH: m.Field().H(),
+		NumPoints: m.NumPoints(),
+		Initial:   m.NumSensors() - res.NumPlaced(),
+	}
+	if err := enc.Encode(head); err != nil {
+		return err
+	}
+	for i, pl := range res.Placed {
+		rec := PlacementRec{Kind: KindPlacement, Seq: i, ID: pl.ID, X: pl.Pos.X, Y: pl.Pos.Y, Round: pl.Round}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	foot := Footer{
+		Kind: KindFooter, Placed: dep.PlacedNodes, TotalNodes: dep.TotalNodes,
+		RedundantNodes: dep.RedundantNodes, Messages: dep.Messages,
+		MessagesPerCell: dep.MessagesPerCell, Rounds: dep.Rounds,
+		Seeded: dep.Seeded, CoverageK: dep.CoverageK,
+	}
+	if err := enc.Encode(foot); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace written by Write. It validates record ordering and
+// placement sequence numbers.
+func Read(r io.Reader) (Trace, error) {
+	var t Trace
+	dec := json.NewDecoder(r)
+	// Header.
+	var probe struct {
+		Kind string `json:"kind"`
+	}
+	raw := json.RawMessage{}
+	state := 0 // 0=expect header, 1=placements/footer, 2=done
+	for {
+		if err := dec.Decode(&raw); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return t, err
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return t, err
+		}
+		switch probe.Kind {
+		case KindHeader:
+			if state != 0 {
+				return t, errors.New("trace: duplicate header")
+			}
+			if err := json.Unmarshal(raw, &t.Header); err != nil {
+				return t, err
+			}
+			state = 1
+		case KindPlacement:
+			if state != 1 {
+				return t, errors.New("trace: placement outside body")
+			}
+			var rec PlacementRec
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				return t, err
+			}
+			if rec.Seq != len(t.Placements) {
+				return t, fmt.Errorf("trace: placement seq %d out of order", rec.Seq)
+			}
+			t.Placements = append(t.Placements, rec)
+		case KindFooter:
+			if state != 1 {
+				return t, errors.New("trace: footer without header")
+			}
+			if err := json.Unmarshal(raw, &t.Footer); err != nil {
+				return t, err
+			}
+			state = 2
+		default:
+			return t, fmt.Errorf("trace: unknown record kind %q", probe.Kind)
+		}
+		if state == 2 {
+			break
+		}
+	}
+	if state != 2 {
+		return t, errors.New("trace: truncated (missing footer)")
+	}
+	if t.Footer.Placed != len(t.Placements) {
+		return t, fmt.Errorf("trace: footer claims %d placements, found %d",
+			t.Footer.Placed, len(t.Placements))
+	}
+	return t, nil
+}
+
+// Replay applies the trace's placements onto a coverage map built by the
+// caller to match the header (same field, points, rs, k, and initial
+// sensors), returning the map's coverage at the end.
+func Replay(m *coverage.Map, t Trace) (float64, error) {
+	if m.K() != t.Header.K || m.NumPoints() != t.Header.NumPoints {
+		return 0, errors.New("trace: map does not match header")
+	}
+	for _, rec := range t.Placements {
+		m.AddSensor(rec.ID, geom.Point{X: rec.X, Y: rec.Y})
+	}
+	return m.CoverageFrac(m.K()), nil
+}

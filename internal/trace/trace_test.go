@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"decor/internal/core"
+	"decor/internal/coverage"
+	"decor/internal/geom"
+	"decor/internal/lowdisc"
+	"decor/internal/rng"
+)
+
+func runDeployment(t *testing.T) (*coverage.Map, core.Result, func() *coverage.Map) {
+	t.Helper()
+	field := geom.Square(40)
+	pts := lowdisc.Halton{}.Points(300, field)
+	build := func() *coverage.Map {
+		m := coverage.New(field, pts, 4, 2)
+		r := rng.New(3)
+		for id := 0; id < 25; id++ {
+			m.AddSensor(id, r.PointInRect(field))
+		}
+		return m
+	}
+	m := build()
+	res := (core.VoronoiDECOR{Rc: 8}).Deploy(m, rng.New(4), core.Options{})
+	return m, res, build
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	m, res, _ := runDeployment(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, m, res); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Header.Method != "voronoi-small" || tr.Header.K != 2 || tr.Header.NumPoints != 300 {
+		t.Errorf("header = %+v", tr.Header)
+	}
+	if tr.Header.Initial != 25 {
+		t.Errorf("initial = %d", tr.Header.Initial)
+	}
+	if len(tr.Placements) != res.NumPlaced() {
+		t.Fatalf("placements = %d, want %d", len(tr.Placements), res.NumPlaced())
+	}
+	for i, rec := range tr.Placements {
+		if rec.ID != res.Placed[i].ID || rec.X != res.Placed[i].Pos.X {
+			t.Fatalf("placement %d mismatch", i)
+		}
+	}
+	if tr.Footer.CoverageK != 1 {
+		t.Errorf("footer coverage = %v", tr.Footer.CoverageK)
+	}
+	if tr.Footer.Messages != res.Messages {
+		t.Errorf("footer messages = %d", tr.Footer.Messages)
+	}
+}
+
+func TestReplayReachesRecordedCoverage(t *testing.T) {
+	m, res, build := runDeployment(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, m, res); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := build()
+	cov, err := Replay(fresh, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov != 1 {
+		t.Errorf("replayed coverage = %v, want 1", cov)
+	}
+	if fresh.NumSensors() != m.NumSensors() {
+		t.Errorf("replayed sensors = %d, want %d", fresh.NumSensors(), m.NumSensors())
+	}
+}
+
+func TestReplayRejectsMismatchedMap(t *testing.T) {
+	m, res, _ := runDeployment(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, m, res); err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := Read(&buf)
+	wrong := coverage.New(geom.Square(40), lowdisc.Halton{}.Points(100, geom.Square(40)), 4, 2)
+	if _, err := Replay(wrong, tr); err == nil {
+		t.Error("mismatched map should be rejected")
+	}
+}
+
+func TestReadRejectsMalformedTraces(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"no header":         `{"kind":"placement","seq":0,"id":1,"x":1,"y":2,"round":0}` + "\n",
+		"unknown kind":      `{"kind":"mystery"}` + "\n",
+		"missing footer":    `{"kind":"header","method":"x","k":1}` + "\n",
+		"bad seq":           `{"kind":"header","method":"x","k":1}` + "\n" + `{"kind":"placement","seq":5}` + "\n",
+		"double header":     `{"kind":"header"}` + "\n" + `{"kind":"header"}` + "\n",
+		"footer count lies": `{"kind":"header"}` + "\n" + `{"kind":"footer","placed":3}` + "\n",
+		"not json":          "hello\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReadStopsAtFooter(t *testing.T) {
+	// Trailing garbage after the footer is ignored (stream reuse).
+	in := `{"kind":"header","method":"x","k":1}` + "\n" +
+		`{"kind":"footer","placed":0}` + "\n" +
+		"TRAILING GARBAGE"
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if tr.Header.Method != "x" {
+		t.Error("header lost")
+	}
+}

@@ -1,0 +1,36 @@
+package voronoi
+
+import (
+	"testing"
+
+	"decor/internal/geom"
+	"decor/internal/rng"
+)
+
+// BenchmarkDiagram500 measures the half-plane-clipping diagram at a
+// deployment-sized site count.
+func BenchmarkDiagram500(b *testing.B) {
+	r := rng.New(1)
+	rect := geom.Square(100)
+	sites := make([]geom.Point, 500)
+	for i := range sites {
+		sites[i] = r.PointInRect(rect)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Diagram(sites, rect)
+	}
+}
+
+func BenchmarkSingleCell500(b *testing.B) {
+	r := rng.New(2)
+	rect := geom.Square(100)
+	sites := make([]geom.Point, 500)
+	for i := range sites {
+		sites[i] = r.PointInRect(rect)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Cell(sites, i%500, rect)
+	}
+}
