@@ -2,9 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench figures extensions summary clean
+.PHONY: all build vet test test-short check bench figures extensions summary clean
 
 all: build vet test
+
+# The CI gate: static analysis plus the full suite under the race
+# detector (the obs registry and engine instrumentation are concurrent).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...

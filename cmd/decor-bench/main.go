@@ -11,12 +11,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"decor/internal/experiment"
+	"decor/internal/metrics"
+	"decor/internal/obs"
 	"decor/internal/report"
 )
 
@@ -30,8 +33,21 @@ func main() {
 		gen        = flag.String("gen", "", "override the point generator (halton|hammersley|...)")
 		outDir     = flag.String("out", "", "also write each figure to <out>/<fig>.txt (or .csv with -csv)")
 		reportPath = flag.String("report", "", "write the complete Markdown reproduction report to this file and exit")
+		deployK    = flag.Int("deployments", 0, "run each method once at this coverage requirement and report per-deployment metrics (0 = off)")
+		jsonOut    = flag.String("json", "", `with -deployments, write the deployments as a JSON array to this file ("-" = stdout)`)
 	)
+	var ofl obs.RunFlags
+	ofl.Register(flag.CommandLine)
 	flag.Parse()
+	if err := ofl.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := ofl.Finish(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	cfg := experiment.Default()
 	if *quick {
@@ -45,6 +61,32 @@ func main() {
 	}
 	if *gen != "" {
 		cfg.Generator = *gen
+	}
+
+	if *deployK > 0 {
+		start := time.Now()
+		deps := experiment.Deployments(cfg, *deployK)
+		for _, d := range deps {
+			fmt.Println(d)
+		}
+		fmt.Printf("# elapsed: %v\n", time.Since(start).Round(time.Millisecond))
+		if *jsonOut != "" {
+			var w io.Writer = os.Stdout
+			if *jsonOut != "-" {
+				f, err := os.Create(*jsonOut)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				defer f.Close()
+				w = f
+			}
+			if err := metrics.WriteJSON(w, deps); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		return
 	}
 
 	if *reportPath != "" {

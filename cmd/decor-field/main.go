@@ -20,6 +20,7 @@ import (
 	"decor/internal/experiment"
 	"decor/internal/failure"
 	"decor/internal/geom"
+	"decor/internal/obs"
 	"decor/internal/render"
 	"decor/internal/rng"
 	"decor/internal/tour"
@@ -35,7 +36,18 @@ func main() {
 		k      = flag.Int("k", 1, "coverage requirement for deploy/failure")
 		seed   = flag.Uint64("seed", 1, "random seed")
 	)
+	var ofl obs.RunFlags
+	ofl.Register(flag.CommandLine)
 	flag.Parse()
+	if err := ofl.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := ofl.Finish(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	cfg := experiment.Default()
 	cfg.Seed = *seed

@@ -17,6 +17,7 @@ import (
 	"decor/internal/core"
 	"decor/internal/coverage"
 	"decor/internal/lowdisc"
+	"decor/internal/obs"
 	"decor/internal/protocol"
 	"decor/internal/rng"
 	"decor/internal/sim"
@@ -38,7 +39,18 @@ func main() {
 		period    = flag.Float64("period", 1.0, "leader wake-up period (s)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 	)
+	var ofl obs.RunFlags
+	ofl.Register(flag.CommandLine)
 	flag.Parse()
+	if err := ofl.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := ofl.Finish(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	build := func() *coverage.Map {
 		field := geom.Square(*fieldSide)

@@ -16,6 +16,7 @@ import (
 
 	"decor"
 	"decor/internal/geom"
+	"decor/internal/obs"
 	"decor/internal/tour"
 )
 
@@ -36,7 +37,18 @@ func main() {
 		ascii      = flag.Bool("ascii", false, "print an ASCII rendering of the final field")
 		showTour   = flag.Bool("tour", false, "plan and report the deployment robot's tour over the placed sensors")
 	)
+	var ofl obs.RunFlags
+	ofl.Register(flag.CommandLine)
 	flag.Parse()
+	if err := ofl.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := ofl.Finish(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	d, err := decor.NewDeployment(decor.Params{
 		FieldSide: *fieldSide, K: *k, Rs: *rs, Rc: *rc,

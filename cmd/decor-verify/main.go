@@ -24,6 +24,7 @@ import (
 	"decor/internal/core"
 	"decor/internal/coverage"
 	"decor/internal/lowdisc"
+	"decor/internal/obs"
 	"decor/internal/percover"
 	"decor/internal/reliability"
 	"decor/internal/rng"
@@ -45,7 +46,18 @@ func main() {
 		lattice   = flag.Int("lattice", 300, "lattice resolution for the brute-force check")
 		traceOut  = flag.String("trace", "", "write a JSONL trace of the run to this file")
 	)
+	var ofl obs.RunFlags
+	ofl.Register(flag.CommandLine)
 	flag.Parse()
+	if err := ofl.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := ofl.Finish(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	field := geom.Square(*fieldSide)
 	pts := lowdisc.Halton{}.Points(*points, field)
@@ -69,6 +81,12 @@ func main() {
 			os.Exit(1)
 		}
 		if err := trace.Write(f, m, res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		// Append the run's instrumentation snapshot (phase-latency spans,
+		// any engine counters) as an obs record.
+		if err := trace.AppendObs(f, obs.Default().Snapshot()); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

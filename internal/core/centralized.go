@@ -3,6 +3,7 @@ package core
 import (
 	"decor/internal/coverage"
 	"decor/internal/geom"
+	"decor/internal/obs"
 	"decor/internal/rng"
 )
 
@@ -59,6 +60,7 @@ func (c Centralized) deployRescan(m *coverage.Map, opt Options, res *Result) {
 		}
 		// Select the deficient candidate with maximum benefit for the
 		// new sensor's footprint, lowest index on ties.
+		scoreSpan := obs.StartSpan(obs.CoreCandidateScoringSeconds)
 		bestIdx, best := -1, 0
 		for i := 0; i < m.NumPoints(); i++ {
 			if m.Count(i) >= m.K() {
@@ -68,6 +70,7 @@ func (c Centralized) deployRescan(m *coverage.Map, opt Options, res *Result) {
 				best, bestIdx = b, i
 			}
 		}
+		scoreSpan.End()
 		if bestIdx < 0 {
 			return // unreachable: a deficient point always benefits itself
 		}
@@ -102,6 +105,7 @@ func (c Centralized) deployIncremental(m *coverage.Map, opt Options, res *Result
 		}
 		// Select the deficient candidate with max benefit, lowest index
 		// on ties — identical criterion to bestCandidate.
+		scoreSpan := obs.StartSpan(obs.CoreCandidateScoringSeconds)
 		bestIdx, best := -1, 0
 		for i := 0; i < n; i++ {
 			if m.Count(i) >= m.K() {
@@ -111,6 +115,7 @@ func (c Centralized) deployIncremental(m *coverage.Map, opt Options, res *Result
 				best, bestIdx = benefit[i], i
 			}
 		}
+		scoreSpan.End()
 		if bestIdx < 0 {
 			return
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"decor/internal/coverage"
 	"decor/internal/geom"
+	"decor/internal/obs"
 	"decor/internal/partition"
 	"decor/internal/rng"
 )
@@ -93,6 +94,7 @@ func (g GridDECOR) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
 		if res.Capped {
 			break
 		}
+		roundSpan := obs.StartSpan(obs.CoreRoundSeconds)
 		snap := m.Counts()
 		perceive := func(cell int) func(i int) int {
 			return func(i int) int {
@@ -109,6 +111,7 @@ func (g GridDECOR) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
 			ptIdx  int
 		}
 		var decided []placement
+		evalSpan := obs.StartSpan(obs.CoreBenefitEvalSeconds)
 		occupied := sortedKeys(st.members)
 		for _, c := range occupied {
 			if g.Sequential && len(decided) > 0 {
@@ -131,12 +134,14 @@ func (g GridDECOR) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
 				}
 			}
 		}
+		evalSpan.End()
 		if len(decided) == 0 {
 			// No leader can reach the remaining deficient points: the
 			// base station seeds the lowest deficient sample point (the
 			// paper's regular-positioning fallback for empty regions).
 			unc := m.UncoveredPoints()
 			if len(unc) == 0 {
+				roundSpan.End()
 				break
 			}
 			decided = append(decided, placement{leader: -1, cell: st.part.CellIndex(m.Point(unc[0])), pos: m.Point(unc[0]), ptIdx: unc[0]})
@@ -176,6 +181,7 @@ func (g GridDECOR) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
 			}
 		}
 		res.Rounds = round + 1
+		roundSpan.End()
 	}
 	return res
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"decor/internal/coverage"
 	"decor/internal/geom"
+	"decor/internal/obs"
 	"decor/internal/partition"
 	"decor/internal/rng"
 )
@@ -65,12 +66,14 @@ func (v VoronoiDECOR) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
 		if res.Capped {
 			break
 		}
+		roundSpan := obs.StartSpan(obs.CoreRoundSeconds)
 		snap := m.Counts()
 		type placement struct {
 			owner int
 			pos   geom.Point
 		}
 		var decided []placement
+		evalSpan := obs.StartSpan(obs.CoreBenefitEvalSeconds)
 		// Every sensor alive at round start acts concurrently on the
 		// round-start snapshot and ownership.
 		for _, id := range vor.SensorIDs() {
@@ -94,12 +97,14 @@ func (v VoronoiDECOR) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
 				decided = append(decided, placement{owner: id, pos: m.Point(idx)})
 			}
 		}
+		evalSpan.End()
 		if len(decided) == 0 {
 			// Remaining deficient points are orphans outside every
 			// sensor's communication radius; the base station seeds the
 			// lowest one (the paper's empty-region fallback).
 			unc := m.UncoveredPoints()
 			if len(unc) == 0 {
+				roundSpan.End()
 				break
 			}
 			decided = append(decided, placement{owner: -1, pos: m.Point(unc[0])})
@@ -128,6 +133,7 @@ func (v VoronoiDECOR) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
 			res.Placed = append(res.Placed, Placement{ID: id, Pos: d.pos, Round: round})
 		}
 		res.Rounds = round + 1
+		roundSpan.End()
 	}
 	// One node per cell: normalize messages by the final node count.
 	res.Cells = m.NumSensors()

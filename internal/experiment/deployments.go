@@ -1,0 +1,20 @@
+package experiment
+
+import (
+	"decor/internal/core"
+	"decor/internal/metrics"
+)
+
+// Deployments runs each of the paper's six methods once at coverage
+// requirement k on the run-0 field and returns their measured summaries —
+// the machine-readable per-deployment form behind decor-bench
+// -deployments/-json, complementing the averaged figure tables.
+func Deployments(cfg Config, k int) []metrics.Deployment {
+	out := make([]metrics.Deployment, 0, len(core.AllMethodNames()))
+	for _, meth := range cfg.Methods() {
+		m := cfg.NewMap(k, 0)
+		res := meth.Deploy(m, cfg.DeployRNG(0), core.Options{})
+		out = append(out, metrics.Collect(m, res))
+	}
+	return out
+}

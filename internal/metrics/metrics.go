@@ -5,7 +5,9 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 
 	"decor/internal/core"
 	"decor/internal/coverage"
@@ -13,18 +15,18 @@ import (
 
 // Deployment summarizes one deployment run against its coverage map.
 type Deployment struct {
-	Method          string
-	K               int
-	TotalNodes      int     // all sensors on the field after the run
-	PlacedNodes     int     // sensors the method added
-	RedundantNodes  int     // removable without losing k-coverage
-	RedundantFrac   float64 // RedundantNodes / TotalNodes
-	Messages        int
-	MessagesPerCell float64
-	Rounds          int
-	Seeded          int
-	CoverageK       float64 // fraction of points k-covered
-	Coverage1       float64 // fraction of points 1-covered
+	Method          string  `json:"method"`
+	K               int     `json:"k"`
+	TotalNodes      int     `json:"total_nodes"`     // all sensors on the field after the run
+	PlacedNodes     int     `json:"placed_nodes"`    // sensors the method added
+	RedundantNodes  int     `json:"redundant_nodes"` // removable without losing k-coverage
+	RedundantFrac   float64 `json:"redundant_frac"`  // RedundantNodes / TotalNodes
+	Messages        int     `json:"messages"`
+	MessagesPerCell float64 `json:"messages_per_cell"`
+	Rounds          int     `json:"rounds"`
+	Seeded          int     `json:"seeded"`
+	CoverageK       float64 `json:"coverage_k"` // fraction of points k-covered
+	Coverage1       float64 `json:"coverage_1"` // fraction of points 1-covered
 }
 
 // Collect measures a finished run.
@@ -46,6 +48,15 @@ func Collect(m *coverage.Map, res core.Result) Deployment {
 		d.RedundantFrac = float64(d.RedundantNodes) / float64(d.TotalNodes)
 	}
 	return d
+}
+
+// WriteJSON writes deployments as an indented JSON array — the
+// machine-readable companion to the one-line String() form, consumed by
+// decor-bench -json.
+func WriteJSON(w io.Writer, deps []Deployment) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(deps)
 }
 
 // String renders a one-line summary.

@@ -1,6 +1,9 @@
 package metrics
 
 import (
+	"bytes"
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -59,5 +62,48 @@ func TestCollectEmptyMap(t *testing.T) {
 	}
 	if d.CoverageK != 1 {
 		t.Errorf("empty field coverage = %v, want vacuous 1", d.CoverageK)
+	}
+}
+
+func TestDeploymentJSONTags(t *testing.T) {
+	d := Deployment{Method: "voronoi-big", K: 3, TotalNodes: 10, PlacedNodes: 4,
+		Messages: 20, MessagesPerCell: 2, Rounds: 5, CoverageK: 0.5, Coverage1: 1}
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"method", "k", "total_nodes", "placed_nodes", "redundant_nodes",
+		"redundant_frac", "messages", "messages_per_cell", "rounds",
+		"seeded", "coverage_k", "coverage_1",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("JSON key %q missing in %s", key, data)
+		}
+	}
+	if m["method"] != "voronoi-big" || m["coverage_k"] != 0.5 {
+		t.Errorf("values lost: %v", m)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	deps := []Deployment{
+		{Method: "centralized", K: 1, TotalNodes: 5},
+		{Method: "random", K: 2, TotalNodes: 9, MessagesPerCell: 1.5},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, deps); err != nil {
+		t.Fatal(err)
+	}
+	var back []Deployment
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, deps) {
+		t.Errorf("round trip = %+v, want %+v", back, deps)
 	}
 }

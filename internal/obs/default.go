@@ -1,0 +1,61 @@
+package obs
+
+// The process-wide default registry. The library packages (sim, protocol,
+// core) record into it unless explicitly rebound, and the decor-* binaries
+// export it via the -metrics flag.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// StartSpan begins timing the named phase on the default registry.
+func StartSpan(name string) Span { return defaultRegistry.StartSpan(name) }
+
+// Canonical metric names, grouped by emitting package. DESIGN.md §7
+// documents the taxonomy.
+const (
+	// internal/sim engine event counters and queue-depth gauge.
+	SimEvents     = "decor_sim_events_total"
+	SimSent       = "decor_sim_messages_sent_total"
+	SimDelivered  = "decor_sim_messages_delivered_total"
+	SimDropped    = "decor_sim_messages_dropped_total"
+	SimLost       = "decor_sim_messages_lost_total"
+	SimTimers     = "decor_sim_timers_fired_total"
+	SimQueueDepth = "decor_sim_queue_depth"
+
+	// internal/protocol heartbeat / election / placement counters.
+	ProtoHeartbeats          = "decor_protocol_heartbeats_total"
+	ProtoPlacementsAnnounced = "decor_protocol_placements_announced_total"
+	ProtoPlacementsReceived  = "decor_protocol_placements_received_total"
+	ProtoFailuresDetected    = "decor_protocol_failures_detected_total"
+	ProtoLeaderChanges       = "decor_protocol_leader_changes_total"
+
+	// Phase-latency histograms (span names, unit: seconds).
+	CoreRoundSeconds            = "decor_core_round_seconds"
+	CoreBenefitEvalSeconds      = "decor_core_benefit_eval_seconds"
+	CoreCandidateScoringSeconds = "decor_core_candidate_scoring_seconds"
+	ProtoLeaderElectionSeconds  = "decor_protocol_leader_election_seconds"
+	ProtoHeartbeatRoundSeconds  = "decor_protocol_heartbeat_round_seconds"
+)
+
+// RegisterStandard eagerly creates the full standard instrument set on r,
+// so an export after a zero-activity run (or a run that never touches the
+// sim engine, like a pure round-based deployment) still exposes every
+// series at zero — the Prometheus convention that lets rate() work from
+// the first scrape.
+func RegisterStandard(r *Registry) {
+	for _, name := range []string{
+		SimEvents, SimSent, SimDelivered, SimDropped, SimLost, SimTimers,
+		ProtoHeartbeats, ProtoPlacementsAnnounced, ProtoPlacementsReceived,
+		ProtoFailuresDetected, ProtoLeaderChanges,
+	} {
+		r.Counter(name)
+	}
+	r.Gauge(SimQueueDepth)
+	for _, name := range []string{
+		CoreRoundSeconds, CoreBenefitEvalSeconds, CoreCandidateScoringSeconds,
+		ProtoLeaderElectionSeconds, ProtoHeartbeatRoundSeconds,
+	} {
+		r.Histogram(name, DefLatencyBuckets)
+	}
+}

@@ -1,0 +1,260 @@
+// Package obs is the unified instrumentation layer for the DECOR
+// reproduction: a dependency-free (stdlib only) registry of named
+// counters, gauges and fixed-bucket histograms with atomic updates, plus
+// lightweight span timing for the hot phases (candidate scoring, benefit
+// evaluation, leader election, heartbeat rounds).
+//
+// The paper's evaluation (§4) is entirely about measured quantities —
+// messages per cell, rounds, redundant nodes, coverage fractions — but
+// internal/metrics only measures runs post-hoc. This package observes a
+// run while it executes: internal/sim emits per-event counters and a
+// queue-depth gauge, internal/protocol emits heartbeat/election/placement
+// counters, and internal/core records per-round benefit-evaluation wall
+// time. Two exporters make the data consumable: Prometheus text
+// exposition (WritePrometheus) and a JSON snapshot that internal/trace
+// appends to its JSONL schema as an "obs" record.
+//
+// All instruments are safe for concurrent use; Registry lookups use a
+// read-mostly map and instrument updates are single atomic operations, so
+// instrumented hot paths stay cheap.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for Prometheus semantics; this is
+// not enforced to keep the hot path branch-free).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a floating-point metric that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets. Bucket i counts
+// observations v with v <= upper[i] (and > upper[i-1]); one extra
+// overflow bucket holds everything above the last bound (+Inf in the
+// Prometheus exposition).
+type Histogram struct {
+	upper   []float64
+	buckets []atomic.Uint64 // len(upper)+1; last = overflow
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(upperBounds []float64) *Histogram {
+	if len(upperBounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	upper := append([]float64(nil), upperBounds...)
+	for i := 1; i < len(upper); i++ {
+		if upper[i] <= upper[i-1] {
+			panic("obs: histogram bounds must be strictly increasing")
+		}
+	}
+	return &Histogram{upper: upper, buckets: make([]atomic.Uint64, len(upper)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.upper, v) // first bound >= v: inclusive le
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// DefLatencyBuckets are the default span-duration bounds in seconds,
+// spanning 1µs..10s — wide enough for a single benefit evaluation and a
+// full deployment round alike.
+var DefLatencyBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10}
+
+// Registry holds named instruments. The zero value is not usable; create
+// with NewRegistry (or use the process-wide Default).
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// sanitizeName maps an arbitrary string onto the Prometheus metric-name
+// alphabet [a-zA-Z0-9_:], so exposition output is always parseable.
+func sanitizeName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	b := []byte(name)
+	for i, c := range b {
+		ok := c == '_' || c == ':' ||
+			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+			('0' <= c && c <= '9' && i > 0)
+		if !ok {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	name = sanitizeName(name)
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	name = sanitizeName(name)
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds on first use. An existing histogram is returned
+// as-is; its original buckets win.
+func (r *Registry) Histogram(name string, upperBounds []float64) *Histogram {
+	name = sanitizeName(name)
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; !ok {
+		h = newHistogram(upperBounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// HistSnapshot is the exported state of one histogram. Counts has one
+// entry per bucket plus a trailing overflow bucket (+Inf).
+type HistSnapshot struct {
+	Buckets []float64 `json:"buckets"`
+	Counts  []uint64  `json:"counts"`
+	Sum     float64   `json:"sum"`
+	Count   uint64    `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry; it
+// shares no state with the live registry and marshals directly to JSON
+// (the payload of the trace package's "obs" record).
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters,omitempty"`
+	Gauges     map[string]float64      `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistSnapshot{
+			Buckets: append([]float64(nil), h.upper...),
+			Counts:  make([]uint64, len(h.buckets)),
+			Sum:     h.Sum(),
+			Count:   h.Count(),
+		}
+		for i := range h.buckets {
+			hs.Counts[i] = h.buckets[i].Load()
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// sortedNames returns the keys of a metric map, ascending, for
+// deterministic export ordering.
+func sortedNames[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

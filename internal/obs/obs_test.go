@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("c_total") != c {
+		t.Error("Counter is not idempotent per name")
+	}
+	g := r.Gauge("g")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %g, want 1.5", got)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", []float64{1, 2})
+	// le semantics are inclusive: 1 lands in bucket 0, 2 in bucket 1,
+	// anything above the last bound in the overflow bucket.
+	for _, v := range []float64{0.5, 1, 1.0000001, 2, 2.5, 100} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot().Histograms["h_seconds"]
+	wantCounts := []uint64{2, 2, 2}
+	if !reflect.DeepEqual(snap.Counts, wantCounts) {
+		t.Errorf("bucket counts = %v, want %v", snap.Counts, wantCounts)
+	}
+	if snap.Count != 6 {
+		t.Errorf("count = %d, want 6", snap.Count)
+	}
+	if math.Abs(snap.Sum-107.0000001) > 1e-9 {
+		t.Errorf("sum = %g, want 107.0000001", snap.Sum)
+	}
+	if !reflect.DeepEqual(snap.Buckets, []float64{1, 2}) {
+		t.Errorf("buckets = %v", snap.Buckets)
+	}
+}
+
+func TestHistogramRejectsBadBuckets(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds %v: expected panic", bounds)
+				}
+			}()
+			newHistogram(bounds)
+		}()
+	}
+}
+
+// TestConcurrentUpdates exercises every instrument from many goroutines;
+// run with -race this is the registry's thread-safety regression test.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("shared_total").Inc()
+				r.Gauge("depth").Add(1)
+				r.Histogram("lat_seconds", DefLatencyBuckets).Observe(1e-4)
+				r.StartSpan("span_seconds").End()
+			}
+		}()
+	}
+	// Concurrent snapshots must not race with updates.
+	for i := 0; i < 10; i++ {
+		_ = r.Snapshot()
+	}
+	wg.Wait()
+	total := int64(workers * perWorker)
+	if got := r.Counter("shared_total").Value(); got != total {
+		t.Errorf("counter = %d, want %d", got, total)
+	}
+	if got := r.Gauge("depth").Value(); got != float64(total) {
+		t.Errorf("gauge = %g, want %d", got, total)
+	}
+	if got := r.Histogram("lat_seconds", DefLatencyBuckets).Count(); got != uint64(total) {
+		t.Errorf("histogram count = %d, want %d", got, total)
+	}
+	if got := r.Histogram("span_seconds", DefLatencyBuckets).Count(); got != uint64(total) {
+		t.Errorf("span count = %d, want %d", got, total)
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"ok_name:x":   "ok_name:x",
+		"bad.name/9":  "bad_name_9",
+		"9leading":    "_leading",
+		"":            "_",
+		"with spaces": "with_spaces",
+	}
+	for in, want := range cases {
+		if got := sanitizeName(in); got != want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSnapshotIsDetached(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total").Inc()
+	snap := r.Snapshot()
+	r.Counter("c_total").Add(10)
+	if snap.Counters["c_total"] != 1 {
+		t.Errorf("snapshot mutated by later updates: %v", snap.Counters)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total").Add(3)
+	r.Gauge("g").Set(1.25)
+	r.Histogram("h_seconds", []float64{1, 2}).Observe(1.5)
+	snap := r.Snapshot()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, snap)
+	}
+}
+
+func TestRegisterStandard(t *testing.T) {
+	r := NewRegistry()
+	RegisterStandard(r)
+	snap := r.Snapshot()
+	if _, ok := snap.Counters[SimEvents]; !ok {
+		t.Errorf("missing %s", SimEvents)
+	}
+	if _, ok := snap.Gauges[SimQueueDepth]; !ok {
+		t.Errorf("missing %s", SimQueueDepth)
+	}
+	if _, ok := snap.Histograms[CoreBenefitEvalSeconds]; !ok {
+		t.Errorf("missing %s", CoreBenefitEvalSeconds)
+	}
+}
+
+func TestZeroSpanEndIsNoop(t *testing.T) {
+	var s Span
+	if d := s.End(); d != 0 {
+		t.Errorf("zero span End = %v, want 0", d)
+	}
+}

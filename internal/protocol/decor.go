@@ -186,6 +186,7 @@ func (l *CellLeader) OnMessage(_ *sim.Context, msg sim.Message) {
 	}
 	if pl, ok := msg.Payload.(PlacementPayload); ok {
 		l.observe(pl.NewID, pl.Pos)
+		obsPlacementsIn.Inc()
 	}
 }
 
@@ -286,6 +287,7 @@ func bestDeficientInCell(w *World, cell int) (int, bool) {
 // cell is skipped (it observes its placements directly).
 func (l *CellLeader) notifyNeighbors(ctx *sim.Context, placedCell int, pl PlacementPayload) {
 	w := l.world
+	obsPlacementsOut.Inc()
 	disk := geom.Disk{Center: pl.Pos, R: w.M.Rs()}
 	for _, nc := range w.Part.Neighbors(placedCell) {
 		if nc == l.cell || w.leaders[nc] == nil {

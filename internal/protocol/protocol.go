@@ -20,7 +20,18 @@ import (
 
 	"decor/internal/geom"
 	"decor/internal/network"
+	"decor/internal/obs"
 	"decor/internal/sim"
+)
+
+// Package-level instruments on the process-wide registry. Counters are
+// atomic, so concurrent engines in parallel tests may share them safely.
+var (
+	obsHeartbeats       = obs.Default().Counter(obs.ProtoHeartbeats)
+	obsPlacementsOut    = obs.Default().Counter(obs.ProtoPlacementsAnnounced)
+	obsPlacementsIn     = obs.Default().Counter(obs.ProtoPlacementsReceived)
+	obsFailuresDetected = obs.Default().Counter(obs.ProtoFailuresDetected)
+	obsLeaderChanges    = obs.Default().Counter(obs.ProtoLeaderChanges)
 )
 
 // Message kinds exchanged by Node actors.
@@ -76,6 +87,10 @@ type Node struct {
 	DetectedAt map[int]sim.Time
 	// Placements records every placement notification received.
 	Placements []PlacementPayload
+
+	// lastLeader is the previous Leader() verdict, to count rotations
+	// (-1 until the first query).
+	lastLeader int
 }
 
 // NewNode creates a protocol actor for the sensor with the given ID in
@@ -97,6 +112,7 @@ func NewNode(id int, net *network.Network, cfg Config) *Node {
 		peerCell:   map[int]int{},
 		suspected:  map[int]bool{},
 		DetectedAt: map[int]sim.Time{},
+		lastLeader: -1,
 	}
 }
 
@@ -114,7 +130,10 @@ func (n *Node) OnStart(ctx *sim.Context) {
 func (n *Node) OnTimer(ctx *sim.Context, tag string) {
 	switch tag {
 	case timerHeartbeat:
+		sp := obs.StartSpan(obs.ProtoHeartbeatRoundSeconds)
 		n.broadcast(ctx, MsgHeartbeat, HeartbeatPayload{Pos: n.pos(), Cell: n.cfg.Cell})
+		sp.End()
+		obsHeartbeats.Inc()
 		ctx.SetTimer(n.cfg.Tc, timerHeartbeat)
 	case timerCheck:
 		now := ctx.Now()
@@ -125,6 +144,7 @@ func (n *Node) OnTimer(ctx *sim.Context, tag string) {
 			if now-last > n.cfg.timeout() {
 				n.suspected[peer] = true
 				n.DetectedAt[peer] = now
+				obsFailuresDetected.Inc()
 			}
 		}
 		ctx.SetTimer(n.cfg.Tc, timerCheck)
@@ -150,6 +170,7 @@ func (n *Node) OnMessage(ctx *sim.Context, msg sim.Message) {
 	case MsgPlacement:
 		if pl, ok := msg.Payload.(PlacementPayload); ok {
 			n.Placements = append(n.Placements, pl)
+			obsPlacementsIn.Inc()
 		}
 	}
 }
@@ -159,6 +180,7 @@ func (n *Node) OnMessage(ctx *sim.Context, msg sim.Message) {
 // counts).
 func (n *Node) AnnouncePlacement(ctx *sim.Context, pl PlacementPayload) {
 	n.broadcast(ctx, MsgPlacement, pl)
+	obsPlacementsOut.Inc()
 }
 
 // Suspects returns the neighbors this node currently believes failed,
@@ -191,6 +213,17 @@ func (n *Node) KnownAliveInCell() []int {
 // leader's energy cost across the cell (paper §3.1). With EpochLen 0 the
 // leader is simply the lowest alive ID.
 func (n *Node) Leader(now sim.Time) int {
+	sp := obs.StartSpan(obs.ProtoLeaderElectionSeconds)
+	leader := n.electLeader(now)
+	sp.End()
+	if n.lastLeader >= 0 && leader != n.lastLeader {
+		obsLeaderChanges.Inc()
+	}
+	n.lastLeader = leader
+	return leader
+}
+
+func (n *Node) electLeader(now sim.Time) int {
 	members := n.KnownAliveInCell()
 	if len(members) == 0 {
 		return n.id

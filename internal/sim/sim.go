@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 
+	"decor/internal/obs"
 	"decor/internal/rng"
 )
 
@@ -58,6 +59,7 @@ func (c *Context) Now() Time { return c.eng.now }
 func (c *Context) Send(to int, kind string, payload any) {
 	c.eng.stats.Sent++
 	c.eng.stats.SentBy[c.id]++
+	c.eng.ob.sent.Inc()
 	c.eng.schedule(event{
 		at:   c.eng.now + c.eng.latency,
 		kind: evMessage,
@@ -84,9 +86,29 @@ type Engine struct {
 	queue    eventQueue
 	seq      int
 	stats    Stats
+	ob       engineObs
 	trace    func(Time, string)
 	lossRate float64
 	lossRNG  *rng.RNG
+}
+
+// engineObs caches the engine's live instruments so the event loop never
+// pays a registry lookup.
+type engineObs struct {
+	events, sent, delivered, dropped, lost, timers *obs.Counter
+	queueDepth                                     *obs.Gauge
+}
+
+func bindEngineObs(r *obs.Registry) engineObs {
+	return engineObs{
+		events:     r.Counter(obs.SimEvents),
+		sent:       r.Counter(obs.SimSent),
+		delivered:  r.Counter(obs.SimDelivered),
+		dropped:    r.Counter(obs.SimDropped),
+		lost:       r.Counter(obs.SimLost),
+		timers:     r.Counter(obs.SimTimers),
+		queueDepth: r.Gauge(obs.SimQueueDepth),
+	}
 }
 
 // Stats aggregates engine-level counters.
@@ -109,11 +131,21 @@ func NewEngine(latency Time) *Engine {
 		actors:  map[int]Actor{},
 		dead:    map[int]bool{},
 		stats:   Stats{SentBy: map[int]int{}},
+		ob:      bindEngineObs(obs.Default()),
 	}
 }
 
 // SetTrace installs a trace hook invoked with every processed event.
 func (e *Engine) SetTrace(fn func(Time, string)) { e.trace = fn }
+
+// SetRegistry redirects this engine's instrumentation (event counters and
+// queue-depth gauge) to r instead of the process-wide obs.Default().
+func (e *Engine) SetRegistry(r *obs.Registry) {
+	if r == nil {
+		panic("sim: nil obs registry")
+	}
+	e.ob = bindEngineObs(r)
+}
 
 // SetLossRate makes every message delivery fail independently with
 // probability p (deterministically, driven by seed) — the radio packet
@@ -198,6 +230,7 @@ func (e *Engine) schedule(ev event) {
 	ev.seq = e.seq
 	e.seq++
 	heap.Push(&e.queue, ev)
+	e.ob.queueDepth.Set(float64(len(e.queue)))
 }
 
 // Run processes events until the queue is empty or virtual time exceeds
@@ -210,6 +243,8 @@ func (e *Engine) Run(until Time) int {
 			break
 		}
 		heap.Pop(&e.queue)
+		e.ob.queueDepth.Set(float64(len(e.queue)))
+		e.ob.events.Inc()
 		e.now = ev.at
 		processed++
 		target := ev.msg.To
@@ -217,6 +252,7 @@ func (e *Engine) Run(until Time) int {
 		if !ok || e.dead[target] {
 			if ev.kind == evMessage {
 				e.stats.Dropped++
+				e.ob.dropped.Inc()
 			}
 			continue
 		}
@@ -225,15 +261,18 @@ func (e *Engine) Run(until Time) int {
 		case evMessage:
 			if e.lossRate > 0 && e.lossRNG.Bool(e.lossRate) {
 				e.stats.Lost++
+				e.ob.lost.Inc()
 				continue
 			}
 			e.stats.Delivered++
+			e.ob.delivered.Inc()
 			if e.trace != nil {
 				e.trace(e.now, fmt.Sprintf("deliver %s %d->%d", ev.msg.Kind, ev.msg.From, target))
 			}
 			actor.OnMessage(ctx, ev.msg)
 		case evTimer:
 			e.stats.Timers++
+			e.ob.timers.Inc()
 			if e.trace != nil {
 				e.trace(e.now, fmt.Sprintf("timer %s @%d", ev.msg.Kind, target))
 			}

@@ -217,3 +217,34 @@ func TestRunAdvancesToUntilWhenIdle(t *testing.T) {
 		t.Errorf("idle Run should advance clock to until, got %v", e.Now())
 	}
 }
+
+// TestStatsCopyIsolation is the regression test for the Stats()
+// shallow-copy aliasing bug: the returned Stats must not share its
+// SentBy map with the engine, in either direction.
+func TestStatsCopyIsolation(t *testing.T) {
+	e := NewEngine(0)
+	e.Register(2, &echoActor{})
+	e.Register(1, &echoActor{onStart: func(ctx *Context) { ctx.Send(2, "a", nil) }})
+	st := e.Stats()
+	if st.SentBy[1] != 1 {
+		t.Fatalf("SentBy = %v", st.SentBy)
+	}
+
+	// Caller mutation must not leak into the engine.
+	st.SentBy[1] = 99
+	st.SentBy[7] = 5
+	if got := e.Stats().SentBy; got[1] != 1 || got[7] != 0 {
+		t.Errorf("caller mutation leaked into engine: %v", got)
+	}
+
+	// Later engine activity must not appear in a held copy.
+	held := e.Stats()
+	e.Register(3, &echoActor{onStart: func(ctx *Context) {
+		ctx.Send(2, "b", nil)
+		ctx.Send(2, "c", nil)
+	}})
+	e.Run(Inf)
+	if held.SentBy[3] != 0 || held.Sent != 1 {
+		t.Errorf("held copy sees live updates: %+v", held)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"decor/internal/coverage"
 	"decor/internal/geom"
 	"decor/internal/metrics"
+	"decor/internal/obs"
 )
 
 // Record kinds.
@@ -22,6 +23,14 @@ const (
 	KindHeader    = "header"
 	KindPlacement = "placement"
 	KindFooter    = "footer"
+	// KindObs records an instrumentation snapshot (counters, gauges,
+	// phase-latency histograms — see internal/obs). Obs records may appear
+	// anywhere after the header, including after the footer, so a run can
+	// append its final metrics once the deployment record is complete.
+	// Traces written before this record kind existed parse unchanged, and
+	// non-obs data after the footer is still left unconsumed (stream
+	// reuse), exactly as before.
+	KindObs = "obs"
 )
 
 // Header describes the run configuration.
@@ -59,11 +68,21 @@ type Footer struct {
 	CoverageK       float64 `json:"coverage_k"`
 }
 
+// ObsRec carries one instrumentation snapshot captured during or after
+// the run.
+type ObsRec struct {
+	Kind string       `json:"kind"`
+	Obs  obs.Snapshot `json:"obs"`
+}
+
 // Trace is a parsed run record.
 type Trace struct {
 	Header     Header
 	Placements []PlacementRec
 	Footer     Footer
+	// Obs holds any instrumentation snapshots found in the trace, in file
+	// order (empty for seed-format traces).
+	Obs []ObsRec
 }
 
 // Write serializes a finished run. The map must be in its post-run
@@ -99,6 +118,13 @@ func Write(w io.Writer, m *coverage.Map, res core.Result) error {
 	return bw.Flush()
 }
 
+// AppendObs appends an instrumentation-snapshot record to a trace stream.
+// Call it after Write (or between placements, for per-phase snapshots)
+// with the same writer.
+func AppendObs(w io.Writer, snap obs.Snapshot) error {
+	return json.NewEncoder(w).Encode(ObsRec{Kind: KindObs, Obs: snap})
+}
+
 // Read parses a trace written by Write. It validates record ordering and
 // placement sequence numbers.
 func Read(r io.Reader) (Trace, error) {
@@ -109,16 +135,27 @@ func Read(r io.Reader) (Trace, error) {
 		Kind string `json:"kind"`
 	}
 	raw := json.RawMessage{}
-	state := 0 // 0=expect header, 1=placements/footer, 2=done
+	state := 0 // 0=expect header, 1=placements/footer, 2=after footer
 	for {
 		if err := dec.Decode(&raw); err != nil {
 			if errors.Is(err, io.EOF) {
 				break
 			}
+			if state == 2 {
+				break // trailing non-trace data after the footer (stream reuse)
+			}
 			return t, err
 		}
 		if err := json.Unmarshal(raw, &probe); err != nil {
+			if state == 2 {
+				break
+			}
 			return t, err
+		}
+		if state == 2 && probe.Kind != KindObs {
+			// Past the footer only appended obs records belong to this
+			// trace; anything else is the next stream's data.
+			break
 		}
 		switch probe.Kind {
 		case KindHeader:
@@ -142,18 +179,24 @@ func Read(r io.Reader) (Trace, error) {
 			}
 			t.Placements = append(t.Placements, rec)
 		case KindFooter:
-			if state != 1 {
+			if state == 0 {
 				return t, errors.New("trace: footer without header")
 			}
 			if err := json.Unmarshal(raw, &t.Footer); err != nil {
 				return t, err
 			}
 			state = 2
+		case KindObs:
+			if state == 0 {
+				return t, errors.New("trace: obs record before header")
+			}
+			var rec ObsRec
+			if err := json.Unmarshal(raw, &rec); err != nil {
+				return t, err
+			}
+			t.Obs = append(t.Obs, rec)
 		default:
 			return t, fmt.Errorf("trace: unknown record kind %q", probe.Kind)
-		}
-		if state == 2 {
-			break
 		}
 	}
 	if state != 2 {
@@ -168,10 +211,22 @@ func Read(r io.Reader) (Trace, error) {
 
 // Replay applies the trace's placements onto a coverage map built by the
 // caller to match the header (same field, points, rs, k, and initial
-// sensors), returning the map's coverage at the end.
+// sensors), returning the map's coverage at the end. Every header
+// parameter the map can express is validated; the error names the first
+// mismatched field.
 func Replay(m *coverage.Map, t Trace) (float64, error) {
-	if m.K() != t.Header.K || m.NumPoints() != t.Header.NumPoints {
-		return 0, errors.New("trace: map does not match header")
+	h := t.Header
+	switch {
+	case m.K() != h.K:
+		return 0, fmt.Errorf("trace: map k=%d does not match header k=%d", m.K(), h.K)
+	case m.NumPoints() != h.NumPoints:
+		return 0, fmt.Errorf("trace: map has %d points, header declares num_points=%d", m.NumPoints(), h.NumPoints)
+	case m.Rs() != h.Rs:
+		return 0, fmt.Errorf("trace: map rs=%g does not match header rs=%g", m.Rs(), h.Rs)
+	case m.Field().W() != h.FieldW:
+		return 0, fmt.Errorf("trace: map field width %g does not match header field_w=%g", m.Field().W(), h.FieldW)
+	case m.Field().H() != h.FieldH:
+		return 0, fmt.Errorf("trace: map field height %g does not match header field_h=%g", m.Field().H(), h.FieldH)
 	}
 	for _, rec := range t.Placements {
 		m.AddSensor(rec.ID, geom.Point{X: rec.X, Y: rec.Y})

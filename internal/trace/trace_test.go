@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -9,6 +10,7 @@ import (
 	"decor/internal/coverage"
 	"decor/internal/geom"
 	"decor/internal/lowdisc"
+	"decor/internal/obs"
 	"decor/internal/rng"
 )
 
@@ -126,5 +128,113 @@ func TestReadStopsAtFooter(t *testing.T) {
 	}
 	if tr.Header.Method != "x" {
 		t.Error("header lost")
+	}
+}
+
+func TestObsRecordRoundTrip(t *testing.T) {
+	m, res, _ := runDeployment(t)
+	reg := obs.NewRegistry()
+	reg.Counter("decor_sim_events_total").Add(42)
+	reg.Gauge("decor_sim_queue_depth").Set(7)
+	reg.Histogram("decor_core_round_seconds", []float64{0.001, 1}).Observe(0.01)
+	snap := reg.Snapshot()
+
+	var buf bytes.Buffer
+	if err := Write(&buf, m, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendObs(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := AppendObs(&buf, snap); err != nil { // multiple snapshots are fine
+		t.Fatal(err)
+	}
+	tr, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Obs) != 2 {
+		t.Fatalf("obs records = %d, want 2", len(tr.Obs))
+	}
+	got := tr.Obs[0].Obs
+	if !reflect.DeepEqual(got, snap) {
+		t.Errorf("obs snapshot round trip mismatch:\n got %+v\nwant %+v", got, snap)
+	}
+	if len(tr.Placements) != res.NumPlaced() {
+		t.Errorf("placements lost alongside obs records")
+	}
+}
+
+func TestObsRecordInBody(t *testing.T) {
+	in := `{"kind":"header","method":"x","k":1}` + "\n" +
+		`{"kind":"obs","obs":{"counters":{"c_total":3}}}` + "\n" +
+		`{"kind":"footer","placed":0}` + "\n"
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Obs) != 1 || tr.Obs[0].Obs.Counters["c_total"] != 3 {
+		t.Errorf("obs = %+v", tr.Obs)
+	}
+}
+
+func TestObsRecordBeforeHeaderRejected(t *testing.T) {
+	in := `{"kind":"obs","obs":{}}` + "\n" + `{"kind":"header","k":1}` + "\n"
+	if _, err := Read(strings.NewReader(in)); err == nil {
+		t.Error("obs before header should be rejected")
+	}
+}
+
+// TestSeedFormatTraceStillParses pins backward compatibility: a trace in
+// the exact pre-obs format (header, placements, footer, nothing else)
+// must parse unchanged.
+func TestSeedFormatTraceStillParses(t *testing.T) {
+	in := `{"kind":"header","method":"voronoi-small","k":2,"rs":4,"field_w":40,"field_h":40,"num_points":300,"initial_sensors":25}` + "\n" +
+		`{"kind":"placement","seq":0,"id":25,"x":1.5,"y":2.5,"round":0}` + "\n" +
+		`{"kind":"placement","seq":1,"id":26,"x":3,"y":4,"round":1}` + "\n" +
+		`{"kind":"footer","placed":2,"total_nodes":27,"redundant_nodes":0,"messages":9,"messages_per_cell":0.3,"rounds":2,"seeded":0,"coverage_k":1}` + "\n"
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Placements) != 2 || tr.Footer.Messages != 9 || len(tr.Obs) != 0 {
+		t.Errorf("seed-format trace parsed wrong: %+v", tr)
+	}
+}
+
+// TestReplayNamesMismatchedField checks that each Replay validation
+// failure names the offending header field.
+func TestReplayNamesMismatchedField(t *testing.T) {
+	field := geom.Square(40)
+	pts := lowdisc.Halton{}.Points(300, field)
+	base := Header{Kind: KindHeader, K: 2, Rs: 4, FieldW: 40, FieldH: 40, NumPoints: 300}
+	cases := []struct {
+		name   string
+		mutate func(*Header)
+		want   string
+	}{
+		{"k", func(h *Header) { h.K = 3 }, "k="},
+		{"points", func(h *Header) { h.NumPoints = 100 }, "num_points="},
+		{"rs", func(h *Header) { h.Rs = 5 }, "rs="},
+		{"field_w", func(h *Header) { h.FieldW = 50 }, "field_w="},
+		{"field_h", func(h *Header) { h.FieldH = 50 }, "field_h="},
+	}
+	for _, tc := range cases {
+		h := base
+		tc.mutate(&h)
+		m := coverage.New(field, pts, 4, 2)
+		_, err := Replay(m, Trace{Header: h})
+		if err == nil {
+			t.Errorf("%s: mismatch not rejected", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name field %q", tc.name, err, tc.want)
+		}
+	}
+	// A fully matching header replays fine.
+	m := coverage.New(field, pts, 4, 2)
+	if _, err := Replay(m, Trace{Header: base}); err != nil {
+		t.Errorf("matching header rejected: %v", err)
 	}
 }
