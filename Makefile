@@ -2,15 +2,18 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check bench figures extensions summary clean
+.PHONY: all build vet test test-short check bench bench-json figures extensions summary clean
 
 all: build vet test
 
-# The CI gate: static analysis plus the full suite under the race
-# detector (the obs registry and engine instrumentation are concurrent).
+# The CI gate: static analysis, the full suite under the race detector
+# (the obs registry, engine instrumentation, and experiment worker pool
+# are concurrent), and a one-iteration bench smoke so the benchmarks
+# never rot.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 
 build:
 	$(GO) build ./...
@@ -28,7 +31,12 @@ test-short:
 bench:
 	$(GO) test -bench . -benchmem ./...
 
-# Regenerate the paper's evaluation tables (full parameters, ~15 s).
+# Refresh the committed benchmark baseline (BENCH_core.json): the
+# micro-benches of the placement hot path, three samples each.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkBenefitRadius|BenchmarkIndexBall|BenchmarkDeployAblation' -benchtime=1x -count=3 ./internal/... | $(GO) run ./cmd/decor-benchjson -o BENCH_core.json
+
+# Regenerate the paper's evaluation tables (full parameters, ~4 s).
 figures:
 	$(GO) run ./cmd/decor-bench -fig all
 

@@ -1,0 +1,139 @@
+// Command decor-benchjson converts `go test -bench` text output (read
+// from stdin) into a stable JSON document, so benchmark baselines can be
+// committed and diffed — the `make bench-json` target writes
+// BENCH_core.json with it.
+//
+// Repeated samples of the same benchmark (-count=N) are aggregated into
+// min/mean/max ns/op; B/op, allocs/op and any custom metrics keep the
+// values of the last sample (they are deterministic for these benches).
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x -count=3 ./... | decor-benchjson -o BENCH_core.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one aggregated benchmark result.
+type Entry struct {
+	Pkg         string             `json:"pkg"`
+	Name        string             `json:"name"`
+	Samples     int                `json:"samples"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     Stat               `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Stat summarizes the ns/op samples of one benchmark.
+type Stat struct {
+	Min  float64 `json:"min"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+// benchLine matches "BenchmarkX/sub-8   10   123 ns/op   [pairs...]".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func main() {
+	out := flag.String("o", "-", `output file ("-" = stdout)`)
+	flag.Parse()
+
+	entries := map[string]*Entry{} // keyed by pkg + "\t" + name
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		mt := benchLine.FindStringSubmatch(line)
+		if mt == nil {
+			continue
+		}
+		name := mt[1]
+		iters, _ := strconv.ParseInt(mt[2], 10, 64)
+		key := pkg + "\t" + name
+		e := entries[key]
+		if e == nil {
+			e = &Entry{Pkg: pkg, Name: name, NsPerOp: Stat{Min: -1}}
+			entries[key] = e
+		}
+		e.Samples++
+		e.Iterations = iters
+		// The tail is "value unit" pairs: "123 ns/op 4 B/op 0.5 custom".
+		fields := strings.Fields(mt[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				if e.NsPerOp.Min < 0 || v < e.NsPerOp.Min {
+					e.NsPerOp.Min = v
+				}
+				if v > e.NsPerOp.Max {
+					e.NsPerOp.Max = v
+				}
+				// Accumulate the mean incrementally in Mean.
+				e.NsPerOp.Mean += (v - e.NsPerOp.Mean) / float64(e.Samples)
+			case "B/op":
+				b := v
+				e.BytesPerOp = &b
+			case "allocs/op":
+				a := v
+				e.AllocsPerOp = &a
+			default:
+				if e.Metrics == nil {
+					e.Metrics = map[string]float64{}
+				}
+				e.Metrics[unit] = v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	keys := make([]string, 0, len(entries))
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	list := make([]*Entry, len(keys))
+	for i, k := range keys {
+		list[i] = entries[k]
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(list); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -6,13 +6,18 @@
 //	decor-sim -k 3 -method voronoi-big
 //	decor-sim -k 2 -method grid-small -fail-area 24 -restore voronoi-small
 //	decor-sim -k 1 -method centralized -ascii
+//	decor-sim -method grid-small,voronoi-big -parallel 2
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"decor"
 	"decor/internal/geom"
@@ -29,13 +34,14 @@ func main() {
 		points     = flag.Int("points", 2000, "low-discrepancy sample points")
 		gen        = flag.String("gen", "halton", "point generator: halton|hammersley|sobol|uniform|jittered|lhs")
 		initial    = flag.Int("initial", 200, "randomly pre-deployed sensors")
-		method     = flag.String("method", "voronoi-big", "deployment method: "+strings.Join(decor.MethodNames(), "|"))
+		method     = flag.String("method", "voronoi-big", "deployment method, or a comma-separated list run as independent scenarios: "+strings.Join(decor.MethodNames(), "|"))
 		seed       = flag.Uint64("seed", 1, "random seed")
 		failArea   = flag.Float64("fail-area", 0, "after deploying, destroy a disc of this radius at the field center")
 		failRandom = flag.Float64("fail-random", 0, "after deploying, destroy this fraction of nodes at random")
 		restore    = flag.String("restore", "", "method used to restore coverage after failures (default: same as -method)")
 		ascii      = flag.Bool("ascii", false, "print an ASCII rendering of the final field")
 		showTour   = flag.Bool("tour", false, "plan and report the deployment robot's tour over the placed sensors")
+		parallel   = flag.Int("parallel", 0, "worker goroutines when -method lists several scenarios (0 = GOMAXPROCS); reports print in list order either way")
 	)
 	var ofl obs.RunFlags
 	ofl.Register(flag.CommandLine)
@@ -50,76 +56,152 @@ func main() {
 		}
 	}()
 
+	methods := strings.Split(*method, ",")
+	for i := range methods {
+		methods[i] = strings.TrimSpace(methods[i])
+	}
+	sc := scenario{
+		fieldSide: *fieldSide, k: *k, rs: *rs, rc: *rc,
+		points: *points, gen: *gen, initial: *initial, seed: *seed,
+		failArea: *failArea, failRandom: *failRandom, restore: *restore,
+		ascii: *ascii, showTour: *showTour,
+	}
+
+	// Each method is an independent scenario over its own deployment, so
+	// a list fans out across workers; buffered reports print in list
+	// order, making the output independent of the worker count.
+	outs := make([]string, len(methods))
+	errs := make([]error, len(methods))
+	forEach(len(methods), *parallel, func(i int) {
+		var b strings.Builder
+		errs[i] = sc.run(&b, methods[i])
+		outs[i] = b.String()
+	})
+	for i := range methods {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(outs[i])
+		if errs[i] != nil {
+			fmt.Fprintln(os.Stderr, errs[i])
+			os.Exit(2)
+		}
+	}
+}
+
+// forEach runs job(0..n-1) across up to workers goroutines (0 =
+// GOMAXPROCS). Jobs write only to their own result slots.
+func forEach(n, workers int, job func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for g := 0; g < workers; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// scenario is one full deploy/fail/restore run, written to w.
+type scenario struct {
+	fieldSide, rs, rc    float64
+	k, points, initial   int
+	gen                  string
+	seed                 uint64
+	failArea, failRandom float64
+	restore              string
+	ascii, showTour      bool
+}
+
+func (s scenario) run(w io.Writer, method string) error {
 	d, err := decor.NewDeployment(decor.Params{
-		FieldSide: *fieldSide, K: *k, Rs: *rs, Rc: *rc,
-		NumPoints: *points, Generator: *gen, Seed: *seed,
+		FieldSide: s.fieldSide, K: s.k, Rs: s.rs, Rc: s.rc,
+		NumPoints: s.points, Generator: s.gen, Seed: s.seed,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return err
 	}
-	d.ScatterRandom(*initial)
-	fmt.Printf("field %.0fx%.0f, %d points (%s), rs=%g, k=%d, %d initial sensors\n",
-		*fieldSide, *fieldSide, *points, *gen, *rs, *k, *initial)
-	fmt.Printf("initial coverage: %.1f%% k-covered, %.1f%% 1-covered\n",
-		100*d.Coverage(*k), 100*d.Coverage(1))
+	d.ScatterRandom(s.initial)
+	fmt.Fprintf(w, "field %.0fx%.0f, %d points (%s), rs=%g, k=%d, %d initial sensors\n",
+		s.fieldSide, s.fieldSide, s.points, s.gen, s.rs, s.k, s.initial)
+	fmt.Fprintf(w, "initial coverage: %.1f%% k-covered, %.1f%% 1-covered\n",
+		100*d.Coverage(s.k), 100*d.Coverage(1))
 
-	rep, err := d.Deploy(*method)
+	rep, err := d.Deploy(method)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return err
 	}
-	printReport("deployment", rep, d, *k)
-	if *showTour {
-		printTour(rep)
+	printReport(w, "deployment", rep, d, s.k)
+	if s.showTour {
+		printTour(w, rep)
 	}
 
-	if *failArea > 0 || *failRandom > 0 {
-		if *failArea > 0 {
-			dead := d.FailArea(decor.Point{X: *fieldSide / 2, Y: *fieldSide / 2}, *failArea)
-			fmt.Printf("\narea failure: disc r=%g destroyed %d sensors\n", *failArea, len(dead))
+	if s.failArea > 0 || s.failRandom > 0 {
+		if s.failArea > 0 {
+			dead := d.FailArea(decor.Point{X: s.fieldSide / 2, Y: s.fieldSide / 2}, s.failArea)
+			fmt.Fprintf(w, "\narea failure: disc r=%g destroyed %d sensors\n", s.failArea, len(dead))
 		}
-		if *failRandom > 0 {
-			dead := d.FailRandom(*failRandom)
-			fmt.Printf("\nrandom failure: destroyed %d sensors (%.0f%%)\n", len(dead), 100**failRandom)
+		if s.failRandom > 0 {
+			dead := d.FailRandom(s.failRandom)
+			fmt.Fprintf(w, "\nrandom failure: destroyed %d sensors (%.0f%%)\n", len(dead), 100*s.failRandom)
 		}
-		fmt.Printf("post-failure coverage: %.1f%% k-covered, %.1f%% 1-covered\n",
-			100*d.Coverage(*k), 100*d.Coverage(1))
-		rm := *restore
+		fmt.Fprintf(w, "post-failure coverage: %.1f%% k-covered, %.1f%% 1-covered\n",
+			100*d.Coverage(s.k), 100*d.Coverage(1))
+		rm := s.restore
 		if rm == "" {
-			rm = *method
+			rm = method
 		}
 		rrep, err := d.Deploy(rm)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return err
 		}
-		printReport("restoration", rrep, d, *k)
+		printReport(w, "restoration", rrep, d, s.k)
 	}
 
-	if *ascii {
-		fmt.Println()
-		fmt.Print(d.ASCII(100))
+	if s.ascii {
+		fmt.Fprintln(w)
+		fmt.Fprint(w, d.ASCII(100))
 	}
+	return nil
 }
 
 // printTour plans the deployment robot's route over the new sensors
 // (nearest-neighbor + 2-opt) from the field origin.
-func printTour(rep decor.Report) {
+func printTour(w io.Writer, rep decor.Report) {
 	sites := make([]geom.Point, len(rep.Placements))
 	for i, p := range rep.Placements {
 		sites[i] = geom.Point(p)
 	}
 	t := tour.Plan(geom.Point{}, sites, 0)
-	fmt.Printf("  robot tour: %d stops, %.1f field units of travel\n",
+	fmt.Fprintf(w, "  robot tour: %d stops, %.1f field units of travel\n",
 		len(t.Stops), t.Length())
 }
 
-func printReport(phase string, rep decor.Report, d *decor.Deployment, k int) {
-	fmt.Printf("\n%s with %s:\n", phase, rep.Method)
-	fmt.Printf("  placed %d sensors (%d total), %d rounds, %d seeded\n",
+func printReport(w io.Writer, phase string, rep decor.Report, d *decor.Deployment, k int) {
+	fmt.Fprintf(w, "\n%s with %s:\n", phase, rep.Method)
+	fmt.Fprintf(w, "  placed %d sensors (%d total), %d rounds, %d seeded\n",
 		rep.Placed, rep.TotalSensors, rep.Rounds, rep.Seeded)
-	fmt.Printf("  messages: %d total, %.1f per cell\n", rep.Messages, rep.MessagesPerCell)
-	fmt.Printf("  coverage: %.1f%% k-covered; redundant sensors: %d\n",
+	fmt.Fprintf(w, "  messages: %d total, %.1f per cell\n", rep.Messages, rep.MessagesPerCell)
+	fmt.Fprintf(w, "  coverage: %.1f%% k-covered; redundant sensors: %d\n",
 		100*d.Coverage(k), len(d.Redundant()))
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"decor/internal/coverage"
-	"decor/internal/geom"
 	"decor/internal/obs"
 	"decor/internal/rng"
 )
@@ -87,17 +86,20 @@ func (c Centralized) deployRescan(m *coverage.Map, opt Options, res *Result) {
 func (c Centralized) deployIncremental(m *coverage.Map, opt Options, res *Result) {
 	n := m.NumPoints()
 	rs := c.newRadius(m)
+	// Candidates sit on sample points, so all three ball queries of the
+	// incremental scheme (initial accumulation, affected set, delta
+	// update) walk the precomputed within-rs adjacency.
+	nb := m.PointNeighborhoods(rs)
 	benefit := make([]int, n)
 	for j := 0; j < n; j++ {
 		if d := m.Deficit(j); d > 0 {
-			pj := m.Point(j)
-			m.VisitPointsInBall(pj, rs, func(i int, _ geom.Point) bool {
+			for _, i := range nb.At(j) {
 				benefit[i] += d
-				return true
-			})
+			}
 		}
 	}
 	id := nextSensorID(m)
+	var affected []int32
 	for !m.FullyCovered() {
 		if len(res.Placed) >= opt.maxPlacements() {
 			res.Capped = true
@@ -121,19 +123,21 @@ func (c Centralized) deployIncremental(m *coverage.Map, opt Options, res *Result
 		}
 		p := m.Point(bestIdx)
 		// Points whose deficit will shrink by this placement.
-		var affected []int
-		m.VisitPointsInBall(p, rs, func(j int, _ geom.Point) bool {
-			if m.Deficit(j) > 0 {
+		affected = affected[:0]
+		for _, j := range nb.At(bestIdx) {
+			if m.Deficit(int(j)) > 0 {
 				affected = append(affected, j)
 			}
-			return true
-		})
-		m.AddSensorRadius(id, p, rs)
+		}
+		if rs == m.Rs() {
+			m.AddSensorAtPoint(id, bestIdx)
+		} else {
+			m.AddSensorRadius(id, p, rs)
+		}
 		for _, j := range affected {
-			m.VisitPointsInBall(m.Point(j), rs, func(i int, _ geom.Point) bool {
+			for _, i := range nb.At(int(j)) {
 				benefit[i]--
-				return true
-			})
+			}
 		}
 		res.Placed = append(res.Placed, Placement{ID: id, Pos: p})
 		id++

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"decor/internal/coverage"
 	"decor/internal/geom"
 	"decor/internal/obs"
@@ -27,6 +29,12 @@ type GridDECOR struct {
 	// much of DECOR's overhead vs the centralized greedy is coordination
 	// cost (same-round races) rather than knowledge locality.
 	Sequential bool
+	// FullRescan disables the incremental per-cell benefit cache and
+	// re-evaluates every candidate's benefit from the round snapshot each
+	// round, exactly as the seed implementation did. Placements are
+	// identical either way (the parity tests assert it); this exists as
+	// the reference path and for the ablation benchmark in DESIGN.md §8.
+	FullRescan bool
 	// NewRs overrides the sensing radius of newly placed sensors
 	// (0 = the map default), the paper's heterogeneous setting.
 	NewRs float64
@@ -45,8 +53,35 @@ type gridState struct {
 	m     *coverage.Map
 	part  *partition.Grid
 	cells [][]int // cell -> sample point indices (ascending)
-	// members maps cell -> sorted sensor IDs currently in the cell.
-	members map[int][]int
+	// members lists each cell's sensor IDs in arrival order, indexed
+	// densely by cell (the cell count is fixed for a run).
+	members [][]int
+	// occ lists the occupied cells ascending, maintained incrementally —
+	// always equal to sortedKeys(members).
+	occ []int
+	// nbrs precomputes every cell's Moore neighborhood.
+	nbrs [][]int
+	// cellOf maps sample point index -> containing cell.
+	cellOf []int
+}
+
+// addMember records sensor id as a member of cell, keeping occ sorted.
+func (st *gridState) addMember(cell, id int) {
+	if len(st.members[cell]) == 0 {
+		i := sort.SearchInts(st.occ, cell)
+		st.occ = append(st.occ, 0)
+		copy(st.occ[i+1:], st.occ[i:])
+		st.occ[i] = cell
+	}
+	st.members[cell] = append(st.members[cell], id)
+}
+
+// gridPlacement is one leader decision within a round.
+type gridPlacement struct {
+	leader int
+	cell   int
+	pos    geom.Point
+	ptIdx  int
 }
 
 // Deploy implements Method.
@@ -61,27 +96,42 @@ func (g GridDECOR) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
 	}
 	res := Result{Method: g.Name(), NodeMessages: map[int]int{}}
 	st := &gridState{
-		m:       m,
-		part:    partition.NewGrid(m.Field(), g.CellSize),
-		members: map[int][]int{},
+		m:    m,
+		part: partition.NewGrid(m.Field(), g.CellSize),
 	}
+	st.members = make([][]int, st.part.NumCells())
 	pts := make([]geom.Point, m.NumPoints())
 	for i := range pts {
 		pts[i] = m.Point(i)
 	}
 	st.cells = st.part.AssignPoints(pts)
+	st.cellOf = make([]int, len(pts))
+	for c, idxs := range st.cells {
+		for _, i := range idxs {
+			st.cellOf[i] = c
+		}
+	}
+	st.nbrs = make([][]int, st.part.NumCells())
+	for c := range st.nbrs {
+		st.nbrs[c] = st.part.Neighbors(c)
+	}
 	res.Cells = st.part.NumCells()
 	for _, id := range m.SensorIDs() {
 		p, _ := m.SensorPos(id)
-		c := st.part.CellIndex(p)
-		st.members[c] = append(st.members[c], id)
+		st.addMember(st.part.CellIndex(p), id)
+	}
+
+	var cache *benefitCache
+	if !g.FullRescan {
+		cache = newBenefitCache(m, newRs, st.cellOf)
+		defer cache.flush()
 	}
 
 	// Initial position exchange: each occupied cell's leader advertises
 	// its sensors to occupied Moore neighbors (one message each).
-	for _, c := range sortedKeys(st.members) {
+	for _, c := range st.occ {
 		leader := st.members[c][0]
-		for _, nc := range st.part.Neighbors(c) {
+		for _, nc := range st.nbrs[c] {
 			if len(st.members[nc]) > 0 {
 				res.Messages++
 				res.NodeMessages[leader]++
@@ -90,49 +140,20 @@ func (g GridDECOR) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
 	}
 
 	nextID := nextSensorID(m)
+	var decided []gridPlacement
+	var snapBuf []int
 	for round := 0; !m.FullyCovered() && round < opt.maxRounds(); round++ {
 		if res.Capped {
 			break
 		}
 		roundSpan := obs.StartSpan(obs.CoreRoundSeconds)
-		snap := m.Counts()
-		perceive := func(cell int) func(i int) int {
-			return func(i int) int {
-				if st.part.CellIndex(m.Point(i)) != cell {
-					return -1 // outside the leader's knowledge
-				}
-				return snap[i]
-			}
-		}
-		type placement struct {
-			leader int
-			cell   int
-			pos    geom.Point
-			ptIdx  int
-		}
-		var decided []placement
+		decided = decided[:0]
 		evalSpan := obs.StartSpan(obs.CoreBenefitEvalSeconds)
-		occupied := sortedKeys(st.members)
-		for _, c := range occupied {
-			if g.Sequential && len(decided) > 0 {
-				break
-			}
-			leader := st.members[c][round%len(st.members[c])]
-			// Own cell first.
-			if idx, _, ok := bestCandidateRadius(m, newRs, st.cells[c], perceive(c)); ok {
-				decided = append(decided, placement{leader, c, m.Point(idx), idx})
-				continue
-			}
-			// Own cell covered: adopt the first empty deficient neighbor.
-			for _, nc := range st.part.Neighbors(c) {
-				if len(st.members[nc]) > 0 {
-					continue
-				}
-				if idx, _, ok := bestCandidateRadius(m, newRs, st.cells[nc], perceive(nc)); ok {
-					decided = append(decided, placement{leader, nc, m.Point(idx), idx})
-					break
-				}
-			}
+		if cache != nil {
+			decided = g.decideCached(st, cache, round, decided)
+		} else {
+			snapBuf = m.CountsInto(snapBuf)
+			decided = g.decideRescan(st, snapBuf, newRs, round, decided)
 		}
 		evalSpan.End()
 		if len(decided) == 0 {
@@ -144,7 +165,7 @@ func (g GridDECOR) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
 				roundSpan.End()
 				break
 			}
-			decided = append(decided, placement{leader: -1, cell: st.part.CellIndex(m.Point(unc[0])), pos: m.Point(unc[0]), ptIdx: unc[0]})
+			decided = append(decided, gridPlacement{leader: -1, cell: st.cellOf[unc[0]], pos: m.Point(unc[0]), ptIdx: unc[0]})
 			res.Seeded++
 		}
 		// Apply all of this round's placements; notifications go out
@@ -156,8 +177,15 @@ func (g GridDECOR) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
 			}
 			id := nextID
 			nextID++
-			m.AddSensorRadius(id, d.pos, newRs)
-			st.members[d.cell] = append(st.members[d.cell], id)
+			if cache != nil && newRs == m.Rs() {
+				m.AddSensorAtPoint(id, d.ptIdx)
+			} else {
+				m.AddSensorRadius(id, d.pos, newRs)
+			}
+			st.addMember(d.cell, id)
+			if cache != nil {
+				cache.applyPlacement(d.ptIdx)
+			}
 			res.Placed = append(res.Placed, Placement{ID: id, Pos: d.pos, Round: round})
 			if d.leader < 0 {
 				continue // base-station seed: no leader messages
@@ -166,7 +194,7 @@ func (g GridDECOR) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
 			// new sensor's disk overlaps (§3.3 border exchange), plus one
 			// to the adopted cell's new sensor if placed remotely.
 			disk := geom.Disk{Center: d.pos, R: newRs}
-			for _, nc := range st.part.Neighbors(d.cell) {
+			for _, nc := range st.nbrs[d.cell] {
 				if len(st.members[nc]) == 0 {
 					continue
 				}
@@ -184,4 +212,67 @@ func (g GridDECOR) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
 		roundSpan.End()
 	}
 	return res
+}
+
+// decideCached collects one round's leader decisions from the incremental
+// benefit cache.
+func (g GridDECOR) decideCached(st *gridState, cache *benefitCache, round int, decided []gridPlacement) []gridPlacement {
+	for _, c := range st.occ {
+		if g.Sequential && len(decided) > 0 {
+			break
+		}
+		leader := st.members[c][round%len(st.members[c])]
+		// Own cell first.
+		if idx, _, ok := cache.best(st.cells[c]); ok {
+			decided = append(decided, gridPlacement{leader, c, st.m.Point(idx), idx})
+			continue
+		}
+		// Own cell covered: adopt the first empty deficient neighbor.
+		for _, nc := range st.nbrs[c] {
+			if len(st.members[nc]) > 0 {
+				continue
+			}
+			if idx, _, ok := cache.best(st.cells[nc]); ok {
+				decided = append(decided, gridPlacement{leader, nc, st.m.Point(idx), idx})
+				break
+			}
+		}
+	}
+	return decided
+}
+
+// decideRescan is the reference decision path: every candidate's benefit
+// is recomputed from the round snapshot through bestCandidateRadius.
+func (g GridDECOR) decideRescan(st *gridState, snap []int, newRs float64, round int, decided []gridPlacement) []gridPlacement {
+	m := st.m
+	perceive := func(cell int) func(i int) int {
+		return func(i int) int {
+			if st.cellOf[i] != cell {
+				return -1 // outside the leader's knowledge
+			}
+			return snap[i]
+		}
+	}
+	for _, c := range st.occ {
+		if g.Sequential && len(decided) > 0 {
+			break
+		}
+		leader := st.members[c][round%len(st.members[c])]
+		// Own cell first.
+		if idx, _, ok := bestCandidateRadius(m, newRs, st.cells[c], perceive(c)); ok {
+			decided = append(decided, gridPlacement{leader, c, m.Point(idx), idx})
+			continue
+		}
+		// Own cell covered: adopt the first empty deficient neighbor.
+		for _, nc := range st.nbrs[c] {
+			if len(st.members[nc]) > 0 {
+				continue
+			}
+			if idx, _, ok := bestCandidateRadius(m, newRs, st.cells[nc], perceive(nc)); ok {
+				decided = append(decided, gridPlacement{leader, nc, m.Point(idx), idx})
+				break
+			}
+		}
+	}
+	return decided
 }

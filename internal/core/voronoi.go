@@ -3,6 +3,7 @@ package core
 import (
 	"decor/internal/coverage"
 	"decor/internal/geom"
+	"decor/internal/index"
 	"decor/internal/obs"
 	"decor/internal/partition"
 	"decor/internal/rng"
@@ -23,6 +24,12 @@ type VoronoiDECOR struct {
 	// Sequential serializes the distributed execution: one placement per
 	// round (see GridDECOR.Sequential).
 	Sequential bool
+	// FullRescan disables the incremental benefit cache and re-evaluates
+	// every owned candidate from the round snapshot each round, exactly as
+	// the seed implementation did. Placements are identical either way
+	// (the parity tests assert it); this exists as the reference path and
+	// for the ablation benchmark in DESIGN.md §8.
+	FullRescan bool
 	// NewRs overrides the sensing radius of newly placed sensors
 	// (0 = the map default).
 	NewRs float64
@@ -34,6 +41,20 @@ func (v VoronoiDECOR) Name() string {
 		return "voronoi-small"
 	}
 	return "voronoi-big"
+}
+
+// voronoiNode is one acting sensor, tracked in an ascending-id slice so
+// the round loop never re-sorts the sensor set.
+type voronoiNode struct {
+	id  int
+	pos geom.Point
+}
+
+// voronoiPlacement is one node decision within a round.
+type voronoiPlacement struct {
+	owner int
+	pos   geom.Point
+	ptIdx int
 }
 
 // Deploy implements Method.
@@ -56,45 +77,73 @@ func (v VoronoiDECOR) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
 		pts[i] = m.Point(i)
 	}
 	vor := partition.NewVoronoi(m.Field(), pts, v.Rc)
+	// nodes stays ascending by id: the initial sensors are sorted and
+	// every placed id exceeds all previous ones.
+	var nodes []voronoiNode
 	for _, id := range m.SensorIDs() {
 		p, _ := m.SensorPos(id)
 		vor.AddSensor(id, p)
+		nodes = append(nodes, voronoiNode{id, p})
+	}
+
+	var cache *benefitCache
+	var nbRc *index.Neighborhoods
+	if !v.FullRescan {
+		cache = newBenefitCache(m, newRs, nil)
+		defer cache.flush()
+		// The rc adjacency turns each placement's ownership claim into a
+		// precomputed-list walk (AddSensorAt); shared across deployments
+		// via the map's neighborhood cache.
+		nbRc = m.PointNeighborhoods(v.Rc)
 	}
 
 	nextID := nextSensorID(m)
+	var decided []voronoiPlacement
+	var snapBuf []int
 	for round := 0; !m.FullyCovered() && round < opt.maxRounds(); round++ {
 		if res.Capped {
 			break
 		}
 		roundSpan := obs.StartSpan(obs.CoreRoundSeconds)
-		snap := m.Counts()
-		type placement struct {
-			owner int
-			pos   geom.Point
-		}
-		var decided []placement
+		decided = decided[:0]
 		evalSpan := obs.StartSpan(obs.CoreBenefitEvalSeconds)
 		// Every sensor alive at round start acts concurrently on the
 		// round-start snapshot and ownership.
-		for _, id := range vor.SensorIDs() {
-			if v.Sequential && len(decided) > 0 {
-				break
-			}
-			owned := vor.OwnedPoints(id)
-			if len(owned) == 0 {
-				continue
-			}
-			nodePos, _ := m.SensorPos(id)
-			perceive := func(i int) int {
-				// The node accurately knows the coverage of every point
-				// within its communication radius (§3.3, rs <= rc).
-				if nodePos.Dist2(m.Point(i)) > v.Rc*v.Rc {
-					return -1
+		if cache != nil {
+			for _, nd := range nodes {
+				if v.Sequential && len(decided) > 0 {
+					break
 				}
-				return snap[i]
+				if vor.NumOwned(nd.id) == 0 {
+					continue
+				}
+				if idx, _, ok := cache.bestOwned(nd.pos, v.Rc, vor, nd.id); ok {
+					decided = append(decided, voronoiPlacement{owner: nd.id, pos: m.Point(idx), ptIdx: idx})
+				}
 			}
-			if idx, _, ok := bestCandidateRadius(m, newRs, owned, perceive); ok {
-				decided = append(decided, placement{owner: id, pos: m.Point(idx)})
+		} else {
+			snapBuf = m.CountsInto(snapBuf)
+			snap := snapBuf
+			for _, nd := range nodes {
+				if v.Sequential && len(decided) > 0 {
+					break
+				}
+				owned := vor.OwnedPoints(nd.id)
+				if len(owned) == 0 {
+					continue
+				}
+				nodePos := nd.pos
+				perceive := func(i int) int {
+					// The node accurately knows the coverage of every point
+					// within its communication radius (§3.3, rs <= rc).
+					if nodePos.Dist2(m.Point(i)) > v.Rc*v.Rc {
+						return -1
+					}
+					return snap[i]
+				}
+				if idx, _, ok := bestCandidateRadius(m, newRs, owned, perceive); ok {
+					decided = append(decided, voronoiPlacement{owner: nd.id, pos: m.Point(idx), ptIdx: idx})
+				}
 			}
 		}
 		evalSpan.End()
@@ -107,7 +156,7 @@ func (v VoronoiDECOR) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
 				roundSpan.End()
 				break
 			}
-			decided = append(decided, placement{owner: -1, pos: m.Point(unc[0])})
+			decided = append(decided, voronoiPlacement{owner: -1, pos: m.Point(unc[0]), ptIdx: unc[0]})
 			res.Seeded++
 		}
 		// Apply placements at the end of the round; ownership and
@@ -122,14 +171,26 @@ func (v VoronoiDECOR) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
 				// neighborhood: one message per communication neighbor,
 				// plus one to initialize the new node. Message cost is
 				// therefore proportional to rc, as in Fig. 10.
-				n := len(vor.Neighbors(d.owner)) + 1
+				n := vor.NeighborCount(d.owner) + 1
 				res.Messages += n
 				res.NodeMessages[d.owner] += n
 			}
 			id := nextID
 			nextID++
-			m.AddSensorRadius(id, d.pos, newRs)
-			vor.AddSensor(id, d.pos)
+			if cache != nil && newRs == m.Rs() {
+				m.AddSensorAtPoint(id, d.ptIdx)
+			} else {
+				m.AddSensorRadius(id, d.pos, newRs)
+			}
+			if nbRc != nil {
+				vor.AddSensorAt(id, d.ptIdx, nbRc)
+			} else {
+				vor.AddSensor(id, d.pos)
+			}
+			nodes = append(nodes, voronoiNode{id, d.pos})
+			if cache != nil {
+				cache.applyPlacement(d.ptIdx)
+			}
 			res.Placed = append(res.Placed, Placement{ID: id, Pos: d.pos, Round: round})
 		}
 		res.Rounds = round + 1

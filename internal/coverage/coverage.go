@@ -29,12 +29,24 @@ type Map struct {
 
 	sensors   map[int]geom.Point
 	sensorIdx *index.Grid
+	// sortedIDs mirrors the key set of sensors in ascending order, kept
+	// in step on every add/remove so SensorIDs never sorts. Failure
+	// models draw from it thousands of times per experiment cell.
+	sortedIDs []int
 	// sensorRs holds per-sensor sensing radii for heterogeneous
 	// deployments (paper §2: radii "may vary, depending on the type of
 	// the sensors and on the deployment conditions"). Sensors absent
 	// from the map use the default rs.
 	sensorRs map[int]float64
 	maxRs    float64 // largest radius ever added; bounds ball queries
+
+	// nbCache memoizes PointNeighborhoods per radius: the adjacency
+	// depends only on the immutable sample-point set, so a restoration
+	// pass on the same map reuses the deployment's build. nbShared,
+	// when set via ShareNeighborhoods, replaces it with a cache shared
+	// between maps with identical point sets.
+	nbCache  map[float64]*index.Neighborhoods
+	nbShared *index.NeighborhoodCache
 }
 
 // New creates a coverage map over field, approximated by pts, with sensing
@@ -60,9 +72,7 @@ func New(field geom.Rect, pts []geom.Point, rs float64, k int) *Map {
 		sensorRs:  make(map[int]float64),
 		maxRs:     rs,
 	}
-	for i, p := range m.pts {
-		m.ptIdx.Insert(i, p)
-	}
+	m.ptIdx.InsertDense(m.pts)
 	return m
 }
 
@@ -110,6 +120,19 @@ func (m *Map) Count(i int) int { return m.counts[i] }
 // round-based distributed simulation).
 func (m *Map) Counts() []int { return append([]int(nil), m.counts...) }
 
+// CountsInto copies all coverage counts into dst, growing it only when
+// too small, and returns the snapshot. Round loops that need a fresh
+// snapshot every iteration pass the previous round's slice back in and
+// stop allocating after the first round.
+func (m *Map) CountsInto(dst []int) []int {
+	if cap(dst) < len(m.counts) {
+		dst = make([]int, len(m.counts))
+	}
+	dst = dst[:len(m.counts)]
+	copy(dst, m.counts)
+	return dst
+}
+
 // Deficit returns max(k - k_p, 0) for sample point i.
 func (m *Map) Deficit(i int) int {
 	if d := m.k - m.counts[i]; d > 0 {
@@ -129,12 +152,27 @@ func (m *Map) NumSensors() int { return len(m.sensors) }
 
 // SensorIDs returns all sensor IDs in ascending order.
 func (m *Map) SensorIDs() []int {
-	out := make([]int, 0, len(m.sensors))
-	for id := range m.sensors {
-		out = append(out, id)
+	return append([]int(nil), m.sortedIDs...)
+}
+
+// insertSortedID keeps sortedIDs ascending. Placement engines allocate
+// IDs in increasing order, so the append path is the common case.
+func (m *Map) insertSortedID(id int) {
+	if n := len(m.sortedIDs); n == 0 || id > m.sortedIDs[n-1] {
+		m.sortedIDs = append(m.sortedIDs, id)
+		return
 	}
-	sort.Ints(out)
-	return out
+	i := sort.SearchInts(m.sortedIDs, id)
+	m.sortedIDs = append(m.sortedIDs, 0)
+	copy(m.sortedIDs[i+1:], m.sortedIDs[i:])
+	m.sortedIDs[i] = id
+}
+
+func (m *Map) removeSortedID(id int) {
+	i := sort.SearchInts(m.sortedIDs, id)
+	if i < len(m.sortedIDs) && m.sortedIDs[i] == id {
+		m.sortedIDs = append(m.sortedIDs[:i], m.sortedIDs[i+1:]...)
+	}
 }
 
 // SensorPos returns the position of a sensor and whether it exists.
@@ -163,6 +201,7 @@ func (m *Map) AddSensorRadius(id int, p geom.Point, rs float64) {
 	}
 	m.sensors[id] = p
 	m.sensorIdx.Insert(id, p)
+	m.insertSortedID(id)
 	if rs != m.rs {
 		m.sensorRs[id] = rs
 	}
@@ -176,6 +215,32 @@ func (m *Map) AddSensorRadius(id int, p geom.Point, rs float64) {
 		}
 		return true
 	})
+}
+
+// AddSensorAtPoint deploys sensor id exactly at sample point ptIdx with
+// the map's default radius. When the rs adjacency is already built
+// (placement engines construct it for their benefit caches) the
+// coverage update walks the precomputed neighbor list instead of a
+// geometric ball query; otherwise it behaves exactly like AddSensor.
+func (m *Map) AddSensorAtPoint(id, ptIdx int) {
+	p := m.pts[ptIdx]
+	nb := m.cachedNeighborhoods(m.rs)
+	if nb == nil {
+		m.AddSensor(id, p)
+		return
+	}
+	if _, ok := m.sensors[id]; ok {
+		panic(fmt.Sprintf("coverage: duplicate sensor id %d", id))
+	}
+	m.sensors[id] = p
+	m.sensorIdx.Insert(id, p)
+	m.insertSortedID(id)
+	for _, j := range nb.At(ptIdx) {
+		m.counts[j]++
+		if m.counts[j] == m.k {
+			m.deficient--
+		}
+	}
 }
 
 // MaxSensorRadius returns the largest sensing radius ever deployed on
@@ -206,6 +271,7 @@ func (m *Map) RemoveSensor(id int) bool {
 	delete(m.sensors, id)
 	delete(m.sensorRs, id)
 	m.sensorIdx.Remove(id)
+	m.removeSortedID(id)
 	m.ptIdx.VisitBall(p, rs, func(i int, _ geom.Point) bool {
 		if m.counts[i] == m.k {
 			m.deficient++
@@ -245,11 +311,73 @@ func (m *Map) PointsInBall(c geom.Point, r float64) []int {
 	return out
 }
 
+// AppendPointsInBall is PointsInBall with a caller-supplied buffer:
+// matching indices are appended to dst (sorted ascending among
+// themselves) and the extended slice returned. Reusing the buffer across
+// a round loop makes the query allocation-free.
+func (m *Map) AppendPointsInBall(dst []int, c geom.Point, r float64) []int {
+	n := len(dst)
+	dst = m.ptIdx.AppendBall(dst, c, r)
+	sort.Ints(dst[n:])
+	return dst
+}
+
 // SensorsInBall returns the IDs of sensors within r of c, sorted.
 func (m *Map) SensorsInBall(c geom.Point, r float64) []int {
 	out := m.sensorIdx.Ball(c, r)
 	sort.Ints(out)
 	return out
+}
+
+// AppendSensorsInBall is SensorsInBall with a caller-supplied buffer,
+// mirroring AppendPointsInBall.
+func (m *Map) AppendSensorsInBall(dst []int, c geom.Point, r float64) []int {
+	n := len(dst)
+	dst = m.sensorIdx.AppendBall(dst, c, r)
+	sort.Ints(dst[n:])
+	return dst
+}
+
+// PointNeighborhoods precomputes, for every sample point, the indices of
+// sample points within r of it (ascending, self included) — the fixed
+// adjacency the incremental benefit caches walk on every delta update.
+// The result is immutable and safe for concurrent readers. Builds are
+// memoized per radius: the adjacency depends only on the sample points,
+// never on sensors, so restoring coverage on a map reuses the
+// deployment pass's build for free.
+func (m *Map) PointNeighborhoods(r float64) *index.Neighborhoods {
+	if m.nbShared != nil {
+		return m.nbShared.Get(r, func() *index.Neighborhoods {
+			return m.ptIdx.BuildNeighborhoods(len(m.pts), r)
+		})
+	}
+	if nb, ok := m.nbCache[r]; ok {
+		return nb
+	}
+	nb := m.ptIdx.BuildNeighborhoods(len(m.pts), r)
+	if m.nbCache == nil {
+		m.nbCache = make(map[float64]*index.Neighborhoods)
+	}
+	m.nbCache[r] = nb
+	return nb
+}
+
+// ShareNeighborhoods routes PointNeighborhoods through shared, a cache
+// that outlives this map. Experiment sweeps attach one cache to every
+// cell's map: all cells sample the field identically, so the adjacency
+// is built once per process instead of once per deployment. The caller
+// must guarantee the sharing maps have identical sample-point sets.
+func (m *Map) ShareNeighborhoods(shared *index.NeighborhoodCache) {
+	m.nbShared = shared
+}
+
+// cachedNeighborhoods returns the adjacency for radius r only if it has
+// already been built, never triggering a build.
+func (m *Map) cachedNeighborhoods(r float64) *index.Neighborhoods {
+	if m.nbShared != nil {
+		return m.nbShared.Peek(r)
+	}
+	return m.nbCache[r]
 }
 
 // Benefit computes the paper's Eq. 1 for a candidate sensor position c
@@ -375,13 +503,34 @@ func (m *Map) RedundantSensors() []int {
 	return removed
 }
 
-// Clone returns a deep copy of the coverage map, including sensors and
-// their individual radii.
+// Clone returns an independent copy of the map, including sensors and
+// their individual radii. Only immutable state is shared: the sample
+// points, their spatial index (never mutated after construction), and
+// the shared neighborhood cache. Sensors can be added to or removed from
+// the clone without affecting the original — an experiment builds the
+// initial deployment once and hands each method a private copy, skipping
+// the per-method ball queries of re-scattering.
 func (m *Map) Clone() *Map {
-	c := New(m.field, m.pts, m.rs, m.k)
+	c := &Map{
+		field:     m.field,
+		rs:        m.rs,
+		k:         m.k,
+		pts:       m.pts,
+		ptIdx:     m.ptIdx,
+		counts:    append([]int(nil), m.counts...),
+		deficient: m.deficient,
+		sensors:   make(map[int]geom.Point, len(m.sensors)),
+		sensorIdx: m.sensorIdx.Clone(),
+		sortedIDs: append([]int(nil), m.sortedIDs...),
+		sensorRs:  make(map[int]float64, len(m.sensorRs)),
+		maxRs:     m.maxRs,
+		nbShared:  m.nbShared,
+	}
 	for id, p := range m.sensors {
-		rs, _ := m.SensorRadius(id)
-		c.AddSensorRadius(id, p, rs)
+		c.sensors[id] = p
+	}
+	for id, r := range m.sensorRs {
+		c.sensorRs[id] = r
 	}
 	return c
 }

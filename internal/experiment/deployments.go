@@ -10,11 +10,12 @@ import (
 // the machine-readable per-deployment form behind decor-bench
 // -deployments/-json, complementing the averaged figure tables.
 func Deployments(cfg Config, k int) []metrics.Deployment {
-	out := make([]metrics.Deployment, 0, len(core.AllMethodNames()))
-	for _, meth := range cfg.Methods() {
+	methods := cfg.Methods()
+	out := make([]metrics.Deployment, len(methods))
+	cfg.forEachCell(len(methods), func(i int) {
 		m := cfg.NewMap(k, 0)
-		res := meth.Deploy(m, cfg.DeployRNG(0), core.Options{})
-		out = append(out, metrics.Collect(m, res))
-	}
+		res := methods[i].Deploy(m, cfg.DeployRNG(0), core.Options{})
+		out[i] = metrics.Collect(m, res)
+	})
 	return out
 }

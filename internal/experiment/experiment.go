@@ -9,10 +9,12 @@ package experiment
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"decor/internal/core"
 	"decor/internal/coverage"
 	"decor/internal/geom"
+	"decor/internal/index"
 	"decor/internal/lowdisc"
 	"decor/internal/rng"
 )
@@ -31,6 +33,10 @@ type Config struct {
 	// FailureDraws averages this many random failure samples per
 	// deployment in Figs. 11–12.
 	FailureDraws int
+	// Parallel is the worker count for fanning independent
+	// (method, k, run) cells across goroutines; 0 means GOMAXPROCS.
+	// Results are byte-identical for any value (see parallel.go).
+	Parallel int
 }
 
 // Default returns the paper's configuration.
@@ -72,15 +78,62 @@ func (c Config) Points() []geom.Point {
 	return gen.Points(c.NumPoints, c.Field())
 }
 
+// nbShare caches per-field work across experiment cells: every cell of
+// a sweep samples the field with the same generator, seed, point count
+// and bounds, so the sample-point set and the radius-keyed adjacency are
+// built once per process and shared between all cells (and workers — the
+// cache is concurrency-safe, its contents immutable; coverage.New copies
+// the point slice it is given).
+var nbShare sync.Map // nbShareKey -> *fieldCache
+
+type nbShareKey struct {
+	gen  string
+	seed uint64
+	n    int
+	side float64
+}
+
+type fieldCache struct {
+	nb   index.NeighborhoodCache
+	once sync.Once
+	pts  []geom.Point
+	// proto holds the fully initialized pre-deployment map per (k, run):
+	// every method of a sweep cell starts from the same initial random
+	// scatter, so it is built once and cloned per method.
+	mu    sync.Mutex
+	proto map[protoKey]*coverage.Map
+}
+
+type protoKey struct {
+	k, run, init int
+	rs           float64
+}
+
 // NewMap builds the coverage map for requirement k and pre-deploys the
 // initial random sensors for the given run index.
 func (c Config) NewMap(k, run int) *coverage.Map {
-	m := coverage.New(c.Field(), c.Points(), c.Rs, k)
-	r := rng.New(c.Seed + uint64(run)*1000003)
-	for id := 0; id < c.InitialSensors; id++ {
-		m.AddSensor(id, r.PointInRect(c.Field()))
+	shared, _ := nbShare.LoadOrStore(
+		nbShareKey{c.Generator, c.Seed, c.NumPoints, c.FieldSide},
+		&fieldCache{})
+	fc := shared.(*fieldCache)
+	fc.once.Do(func() { fc.pts = c.Points() })
+	pk := protoKey{k, run, c.InitialSensors, c.Rs}
+	fc.mu.Lock()
+	proto := fc.proto[pk]
+	if proto == nil {
+		proto = coverage.New(c.Field(), fc.pts, c.Rs, k)
+		proto.ShareNeighborhoods(&fc.nb)
+		r := rng.New(c.Seed + uint64(run)*1000003)
+		for id := 0; id < c.InitialSensors; id++ {
+			proto.AddSensor(id, r.PointInRect(c.Field()))
+		}
+		if fc.proto == nil {
+			fc.proto = map[protoKey]*coverage.Map{}
+		}
+		fc.proto[pk] = proto
 	}
-	return m
+	fc.mu.Unlock()
+	return proto.Clone()
 }
 
 // DeployRNG returns the method RNG stream for a run.

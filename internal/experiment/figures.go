@@ -9,33 +9,6 @@ import (
 	"decor/internal/stats"
 )
 
-// coverageAfterFailure returns the fraction of sample points that would
-// still be covered by at least level sensors if the given sensors failed,
-// without mutating the map.
-func coverageAfterFailure(m *coverage.Map, failed []int, level int) float64 {
-	counts := m.Counts()
-	for _, id := range failed {
-		p, ok := m.SensorPos(id)
-		if !ok {
-			continue
-		}
-		m.VisitPointsInBall(p, m.Rs(), func(i int, _ geom.Point) bool {
-			counts[i]--
-			return true
-		})
-	}
-	if len(counts) == 0 {
-		return 1
-	}
-	n := 0
-	for _, c := range counts {
-		if c >= level {
-			n++
-		}
-	}
-	return float64(n) / float64(len(counts))
-}
-
 // kRange returns the paper's x axis for the k sweeps.
 func kRange() []float64 { return []float64{1, 2, 3, 4, 5} }
 
@@ -52,30 +25,35 @@ func Fig7(cfg Config) Figure {
 		ID: "fig7", Title: "Coverage achieved with different number of sensors, k=3",
 		XLabel: "nodes", YLabel: "percentage of covered area",
 	}
-	for _, meth := range cfg.Methods() {
-		var runs [][]float64
-		for run := 0; run < cfg.Runs; run++ {
-			m := cfg.NewMap(k, run)
-			res := meth.Deploy(m, cfg.DeployRNG(run), core.Options{MaxPlacements: int(xmax)})
-			// Replay the placement order on a fresh field, sampling the
-			// k-coverage fraction after each number of added nodes (the
-			// x axis counts nodes the algorithm deploys, matching Fig. 8's
-			// restoration accounting; the pre-deployed network contributes
-			// the small nonzero coverage at x = 0).
-			replay := cfg.NewMap(k, run)
-			ys := make([]float64, len(xs))
-			next := 0
-			for i, x := range xs {
-				for next < int(x) && next < len(res.Placed) {
-					pl := res.Placed[next]
-					replay.AddSensor(pl.ID, pl.Pos)
-					next++
-				}
-				ys[i] = 100 * replay.CoverageFrac(k)
+	methods := cfg.Methods()
+	runs := make([][][]float64, len(methods)) // [method][run] -> series
+	for mi := range runs {
+		runs[mi] = make([][]float64, cfg.Runs)
+	}
+	cfg.forEachCell(len(methods)*cfg.Runs, func(cell int) {
+		mi, run := cell/cfg.Runs, cell%cfg.Runs
+		m := cfg.NewMap(k, run)
+		res := methods[mi].Deploy(m, cfg.DeployRNG(run), core.Options{MaxPlacements: int(xmax)})
+		// Replay the placement order on a fresh field, sampling the
+		// k-coverage fraction after each number of added nodes (the
+		// x axis counts nodes the algorithm deploys, matching Fig. 8's
+		// restoration accounting; the pre-deployed network contributes
+		// the small nonzero coverage at x = 0).
+		replay := cfg.NewMap(k, run)
+		ys := make([]float64, len(xs))
+		next := 0
+		for i, x := range xs {
+			for next < int(x) && next < len(res.Placed) {
+				pl := res.Placed[next]
+				replay.AddSensor(pl.ID, pl.Pos)
+				next++
 			}
-			runs = append(runs, ys)
+			ys[i] = 100 * replay.CoverageFrac(k)
 		}
-		fig.Series = append(fig.Series, Series{Label: meth.Name(), X: xs, Y: stats.MeanSeries(runs)})
+		runs[mi][run] = ys
+	})
+	for mi, meth := range methods {
+		fig.Series = append(fig.Series, Series{Label: meth.Name(), X: xs, Y: stats.MeanSeries(runs[mi])})
 	}
 	return fig
 }
@@ -126,20 +104,26 @@ func Fig10(cfg Config) Figure {
 }
 
 // forEachMethodK runs every method over k = 1..5 × cfg.Runs fields and
-// aggregates measure() into one series per method.
+// aggregates measure() into one series per method. The (method, k, run)
+// cells fan out across the worker pool; measure must be safe to call from
+// any goroutine on the cell's own map.
 func forEachMethodK(cfg Config, methods []core.Method, fig *Figure, measure func(*coverage.Map, core.Result) float64) {
 	ks := kRange()
-	for _, meth := range methods {
+	perK := len(ks) * cfg.Runs
+	vals := make([]float64, len(methods)*perK) // [method][k][run] flattened
+	cfg.forEachCell(len(vals), func(cell int) {
+		mi, rem := cell/perK, cell%perK
+		ki, run := rem/cfg.Runs, rem%cfg.Runs
+		m := cfg.NewMap(int(ks[ki]), run)
+		res := methods[mi].Deploy(m, cfg.DeployRNG(run), core.Options{})
+		vals[cell] = measure(m, res)
+	})
+	for mi, meth := range methods {
 		ys := make([]float64, len(ks))
 		errs := make([]float64, len(ks))
-		for i, kf := range ks {
-			vals := make([]float64, 0, cfg.Runs)
-			for run := 0; run < cfg.Runs; run++ {
-				m := cfg.NewMap(int(kf), run)
-				res := meth.Deploy(m, cfg.DeployRNG(run), core.Options{})
-				vals = append(vals, measure(m, res))
-			}
-			sum := stats.Summarize(vals)
+		for i := range ks {
+			row := vals[mi*perK+i*cfg.Runs : mi*perK+(i+1)*cfg.Runs]
+			sum := stats.Summarize(row)
 			ys[i] = sum.Mean
 			errs[i] = sum.Std
 		}
@@ -157,24 +141,30 @@ func Fig11(cfg Config) Figure {
 		ID: "fig11", Title: "3-coverage under random failures",
 		XLabel: "percentage of nodes failed", YLabel: "percentage of covered points",
 	}
-	for _, meth := range cfg.Methods() {
-		var runs [][]float64
-		for run := 0; run < cfg.Runs; run++ {
-			m := cfg.NewMap(k, run)
-			meth.Deploy(m, cfg.DeployRNG(run), core.Options{})
-			ys := make([]float64, len(xs))
-			for i, pct := range xs {
-				sum := 0.0
-				for d := 0; d < cfg.FailureDraws; d++ {
-					r := cfg.failRNG(run, d)
-					ids := (failure.Random{Fraction: pct / 100}).Select(m, r)
-					sum += coverageAfterFailure(m, ids, 1)
-				}
-				ys[i] = 100 * sum / float64(cfg.FailureDraws)
+	methods := cfg.Methods()
+	runs := make([][][]float64, len(methods)) // [method][run] -> series
+	for mi := range runs {
+		runs[mi] = make([][]float64, cfg.Runs)
+	}
+	cfg.forEachCell(len(methods)*cfg.Runs, func(cell int) {
+		mi, run := cell/cfg.Runs, cell%cfg.Runs
+		m := cfg.NewMap(k, run)
+		methods[mi].Deploy(m, cfg.DeployRNG(run), core.Options{})
+		eval := newFailureEval(m)
+		ys := make([]float64, len(xs))
+		for i, pct := range xs {
+			sum := 0.0
+			for d := 0; d < cfg.FailureDraws; d++ {
+				r := cfg.failRNG(run, d)
+				ids := (failure.Random{Fraction: pct / 100}).Select(m, r)
+				sum += eval.after(ids, 1)
 			}
-			runs = append(runs, ys)
+			ys[i] = 100 * sum / float64(cfg.FailureDraws)
 		}
-		fig.Series = append(fig.Series, Series{Label: meth.Name(), X: xs, Y: stats.MeanSeries(runs)})
+		runs[mi][run] = ys
+	})
+	for mi, meth := range methods {
+		fig.Series = append(fig.Series, Series{Label: meth.Name(), X: xs, Y: stats.MeanSeries(runs[mi])})
 	}
 	return fig
 }
@@ -188,25 +178,30 @@ func Fig12(cfg Config) Figure {
 		ID: "fig12", Title: "Maximum allowed failures for 1-coverage of 90% of the area",
 		XLabel: "k", YLabel: "maximum percentage of failed nodes",
 	}
-	for _, meth := range cfg.Methods() {
-		ys := make([]float64, len(ks))
-		for i, kf := range ks {
-			vals := make([]float64, 0, cfg.Runs)
-			for run := 0; run < cfg.Runs; run++ {
-				m := cfg.NewMap(int(kf), run)
-				meth.Deploy(m, cfg.DeployRNG(run), core.Options{})
-				tolerated := stats.MaxTrueFraction(1, 0.005, func(f float64) bool {
-					sum := 0.0
-					for d := 0; d < cfg.FailureDraws; d++ {
-						r := cfg.failRNG(run, d)
-						ids := (failure.Random{Fraction: f}).Select(m, r)
-						sum += coverageAfterFailure(m, ids, 1)
-					}
-					return sum/float64(cfg.FailureDraws) >= 0.9
-				})
-				vals = append(vals, 100*tolerated)
+	methods := cfg.Methods()
+	perK := len(ks) * cfg.Runs
+	vals := make([]float64, len(methods)*perK) // [method][k][run] flattened
+	cfg.forEachCell(len(vals), func(cell int) {
+		mi, rem := cell/perK, cell%perK
+		ki, run := rem/cfg.Runs, rem%cfg.Runs
+		m := cfg.NewMap(int(ks[ki]), run)
+		methods[mi].Deploy(m, cfg.DeployRNG(run), core.Options{})
+		eval := newFailureEval(m)
+		tolerated := stats.MaxTrueFraction(1, 0.005, func(f float64) bool {
+			sum := 0.0
+			for d := 0; d < cfg.FailureDraws; d++ {
+				r := cfg.failRNG(run, d)
+				ids := (failure.Random{Fraction: f}).Select(m, r)
+				sum += eval.after(ids, 1)
 			}
-			ys[i] = stats.Mean(vals)
+			return sum/float64(cfg.FailureDraws) >= 0.9
+		})
+		vals[cell] = 100 * tolerated
+	})
+	for mi, meth := range methods {
+		ys := make([]float64, len(ks))
+		for i := range ks {
+			ys[i] = stats.Mean(vals[mi*perK+i*cfg.Runs : mi*perK+(i+1)*cfg.Runs])
 		}
 		fig.Series = append(fig.Series, Series{Label: meth.Name(), X: ks, Y: ys})
 	}
@@ -245,19 +240,23 @@ func Fig14(cfg Config) Figure {
 		ID: "fig14", Title: "Nodes required to recover coverage of a failure area",
 		XLabel: "k", YLabel: "extra nodes needed",
 	}
-	for _, meth := range cfg.Methods() {
+	methods := cfg.Methods()
+	perK := len(ks) * cfg.Runs
+	vals := make([]float64, len(methods)*perK) // [method][k][run] flattened
+	cfg.forEachCell(len(vals), func(cell int) {
+		mi, rem := cell/perK, cell%perK
+		ki, run := rem/cfg.Runs, rem%cfg.Runs
+		m := cfg.NewMap(int(ks[ki]), run)
+		methods[mi].Deploy(m, cfg.DeployRNG(run), core.Options{})
+		ids := (failure.Area{Disk: cfg.AreaFailureDisk()}).Select(m, nil)
+		failure.Apply(m, ids)
+		res := methods[mi].Deploy(m, cfg.restoreRNG(run), core.Options{})
+		vals[cell] = float64(res.NumPlaced())
+	})
+	for mi, meth := range methods {
 		ys := make([]float64, len(ks))
-		for i, kf := range ks {
-			vals := make([]float64, 0, cfg.Runs)
-			for run := 0; run < cfg.Runs; run++ {
-				m := cfg.NewMap(int(kf), run)
-				meth.Deploy(m, cfg.DeployRNG(run), core.Options{})
-				ids := (failure.Area{Disk: cfg.AreaFailureDisk()}).Select(m, nil)
-				failure.Apply(m, ids)
-				res := meth.Deploy(m, cfg.restoreRNG(run), core.Options{})
-				vals = append(vals, float64(res.NumPlaced()))
-			}
-			ys[i] = stats.Mean(vals)
+		for i := range ks {
+			ys[i] = stats.Mean(vals[mi*perK+i*cfg.Runs : mi*perK+(i+1)*cfg.Runs])
 		}
 		fig.Series = append(fig.Series, Series{Label: meth.Name(), X: ks, Y: ys})
 	}

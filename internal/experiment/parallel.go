@@ -1,0 +1,154 @@
+package experiment
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"decor/internal/coverage"
+)
+
+// The figure workloads are embarrassingly parallel: every (method, k, run)
+// cell builds its own map from deterministic RNG streams (DeployRNG,
+// failRNG, restoreRNG) and writes one indexed result slot. The worker pool
+// here fans those cells across goroutines; because each cell's inputs are
+// derived only from (Config, cell index) and aggregation happens after the
+// join in slot order, figure output is byte-identical for any worker
+// count — the property TestParallelFiguresIdentical locks in.
+
+// Workers resolves the effective worker count: Parallel when positive,
+// otherwise GOMAXPROCS.
+func (c Config) Workers() int {
+	if c.Parallel > 0 {
+		return c.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEachCell executes job(0..n-1), fanning across Workers() goroutines.
+// Jobs must be independent and write only to their own result slots. The
+// call blocks until every job has finished.
+func (c Config) forEachCell(n int, job func(i int)) {
+	w := c.Workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// failureEval answers "what fraction of points stays level-covered if
+// these sensors fail?" repeatedly against one finished deployment. It
+// precomputes each sensor's covered-point list once and reuses a counts
+// scratch, so the failure-sweep inner loops (hundreds of draws per
+// deployment in Figs. 11–12) do no spatial queries and no allocation.
+// Not safe for concurrent use; each worker builds its own.
+type failureEval struct {
+	m         *coverage.Map
+	base      []int       // live coverage counts, restored after each draw
+	levelBase map[int]int // level -> #points with base count >= level
+	ids       []int       // the deployment's sensors, ascending (snapshot)
+	covered   [][]int     // covered[j] = points within m.Rs() of ids[j]
+	built     []bool
+	touched   []int // scratch: covered-list indices applied this draw
+}
+
+func newFailureEval(m *coverage.Map) *failureEval {
+	ids := m.SensorIDs()
+	return &failureEval{
+		m:       m,
+		ids:     ids,
+		covered: make([][]int, len(ids)),
+		built:   make([]bool, len(ids)),
+	}
+}
+
+// after returns the fraction of sample points that would still be covered
+// by at least level sensors if the given sensors failed, without mutating
+// the map. Matches the paper's accounting: every sensor subtracts
+// coverage over the map's default sensing radius.
+//
+// Two properties keep a draw cheap: failure models return IDs ascending,
+// so the lookup is a merge walk over the sensor snapshot (out-of-order
+// inputs still work — the walk restarts); and the level count is tracked
+// through the decrements (a point leaves the level exactly when its count
+// drops from level to level-1) and the counts undone afterwards, so no
+// draw rescans all sample points.
+func (e *failureEval) after(failed []int, level int) float64 {
+	m := e.m
+	if e.base == nil {
+		e.base = m.CountsInto(nil)
+		e.levelBase = make(map[int]int)
+	}
+	n, ok := e.levelBase[level]
+	if !ok {
+		for _, c := range e.base {
+			if c >= level {
+				n++
+			}
+		}
+		e.levelBase[level] = n
+	}
+	e.touched = e.touched[:0]
+	j, prev := 0, -1
+	for _, id := range failed {
+		if id < prev {
+			j = 0 // unsorted input: restart the walk
+		}
+		prev = id
+		for j < len(e.ids) && e.ids[j] < id {
+			j++
+		}
+		if j == len(e.ids) || e.ids[j] != id {
+			continue // unknown or already-dead sensor: skip
+		}
+		if !e.built[j] {
+			if p, live := m.SensorPos(id); live {
+				e.covered[j] = m.AppendPointsInBall(nil, p, m.Rs())
+			}
+			e.built[j] = true
+		}
+		e.touched = append(e.touched, j)
+		for _, i := range e.covered[j] {
+			if e.base[i] == level {
+				n--
+			}
+			e.base[i]--
+		}
+	}
+	for _, t := range e.touched {
+		for _, i := range e.covered[t] {
+			e.base[i]++
+		}
+	}
+	if len(e.base) == 0 {
+		return 1
+	}
+	return float64(n) / float64(len(e.base))
+}
+
+// coverageAfterFailure is the one-shot form of failureEval.after, kept for
+// callers that evaluate a single failure set per deployment.
+func coverageAfterFailure(m *coverage.Map, failed []int, level int) float64 {
+	return newFailureEval(m).after(failed, level)
+}

@@ -1,0 +1,96 @@
+package experiment
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCellCoversAllCells(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		cfg := Quick()
+		cfg.Parallel = workers
+		var hits [97]atomic.Int32
+		cfg.forEachCell(len(hits), func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: cell %d executed %d times", workers, i, got)
+			}
+		}
+		// n == 0 must be a no-op, not a hang.
+		cfg.forEachCell(0, func(i int) { t.Fatalf("job ran for n=0") })
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	cfg := Quick()
+	if cfg.Workers() < 1 {
+		t.Fatalf("default Workers() = %d, want >= 1", cfg.Workers())
+	}
+	cfg.Parallel = 7
+	if cfg.Workers() != 7 {
+		t.Fatalf("Workers() = %d, want 7", cfg.Workers())
+	}
+}
+
+// The headline property: figure output is byte-identical for any worker
+// count. Run under -race (make check does) this also proves the fan-out
+// is data-race-free.
+func TestParallelFiguresIdentical(t *testing.T) {
+	cfg := Quick()
+	cfg.Runs = 2
+	for _, id := range []string{"fig8", "fig10", "fig11", "fig13"} {
+		seq := cfg
+		seq.Parallel = 1
+		par := cfg
+		par.Parallel = 4
+		fseq, err := ByID(id, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fpar, err := ByID(id, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fseq, fpar) {
+			t.Errorf("%s: parallel output differs from sequential\nseq:\n%s\npar:\n%s",
+				id, fseq.Table(), fpar.Table())
+		}
+	}
+}
+
+func TestParallelDeploymentsIdentical(t *testing.T) {
+	seq := Quick()
+	seq.Parallel = 1
+	par := Quick()
+	par.Parallel = 4
+	a := Deployments(seq, 2)
+	b := Deployments(par, 2)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("parallel Deployments differ from sequential")
+	}
+}
+
+// failureEval must agree with a from-scratch evaluation, including dead
+// sensors in the failed set and repeated reuse of the scratch.
+func TestFailureEvalMatchesOneShot(t *testing.T) {
+	cfg := Quick()
+	m := cfg.NewMap(2, 0)
+	eval := newFailureEval(m)
+	ids := m.SensorIDs()
+	sets := [][]int{
+		nil,
+		{ids[0]},
+		ids[:len(ids)/2],
+		append([]int{999999}, ids[:3]...), // unknown id is skipped
+		ids,
+	}
+	for _, level := range []int{1, 2} {
+		for si, failed := range sets {
+			want := coverageAfterFailure(m, failed, level)
+			if got := eval.after(failed, level); got != want {
+				t.Fatalf("set %d level %d: eval %v, one-shot %v", si, level, got, want)
+			}
+		}
+	}
+}

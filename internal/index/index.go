@@ -19,7 +19,11 @@ type Grid struct {
 	cell       float64
 	cols, rows int
 	buckets    [][]entry
-	pos        map[int]geom.Point
+	// dense holds positions for the contiguous ID prefix 0..len(dense)-1
+	// loaded by InsertDense (the immutable sample-point set); pos holds
+	// everything inserted afterwards (sensors, arbitrary IDs).
+	dense []geom.Point
+	pos   map[int]geom.Point
 }
 
 type entry struct {
@@ -53,16 +57,22 @@ func NewGrid(bounds geom.Rect, cell float64) *Grid {
 }
 
 // Len returns the number of indexed points.
-func (g *Grid) Len() int { return len(g.pos) }
+func (g *Grid) Len() int { return len(g.dense) + len(g.pos) }
 
 // Contains reports whether id is currently indexed.
 func (g *Grid) Contains(id int) bool {
+	if id >= 0 && id < len(g.dense) {
+		return true
+	}
 	_, ok := g.pos[id]
 	return ok
 }
 
 // At returns the position of id and whether it is indexed.
 func (g *Grid) At(id int) (geom.Point, bool) {
+	if id >= 0 && id < len(g.dense) {
+		return g.dense[id], true
+	}
 	p, ok := g.pos[id]
 	return p, ok
 }
@@ -78,7 +88,7 @@ func (g *Grid) bucketIdx(p geom.Point) int {
 // Insert adds id at p. It panics if id is already present (a logic error
 // in the caller: DECOR never re-places an existing sensor).
 func (g *Grid) Insert(id int, p geom.Point) {
-	if _, ok := g.pos[id]; ok {
+	if g.Contains(id) {
 		panic("index: duplicate id")
 	}
 	g.pos[id] = p
@@ -86,8 +96,61 @@ func (g *Grid) Insert(id int, p geom.Point) {
 	g.buckets[b] = append(g.buckets[b], entry{id, p})
 }
 
+// InsertDense bulk-loads points with IDs 0..len(pts)-1 into an empty
+// grid, presizing every bucket into one backing array — the
+// construction fast path for the fixed sample-point set, whose
+// one-at-a-time insertion otherwise dominates map setup. The dense
+// prefix is immutable: Remove on those IDs panics.
+func (g *Grid) InsertDense(pts []geom.Point) {
+	if g.Len() != 0 {
+		panic("index: InsertDense on non-empty grid")
+	}
+	g.dense = append([]geom.Point(nil), pts...)
+	counts := make([]int, len(g.buckets))
+	for _, p := range pts {
+		counts[g.bucketIdx(p)]++
+	}
+	backing := make([]entry, len(pts))
+	off := 0
+	for b, c := range counts {
+		g.buckets[b] = backing[off : off : off+c]
+		off += c
+	}
+	for i, p := range pts {
+		b := g.bucketIdx(p)
+		g.buckets[b] = append(g.buckets[b], entry{i, p})
+	}
+}
+
+// Clone returns an independent copy of the index. The dense prefix is
+// shared (it is immutable by construction); buckets and the sparse
+// position map are copied, so clone and original mutate independently.
+func (g *Grid) Clone() *Grid {
+	c := &Grid{
+		bounds:  g.bounds,
+		cell:    g.cell,
+		cols:    g.cols,
+		rows:    g.rows,
+		buckets: make([][]entry, len(g.buckets)),
+		dense:   g.dense,
+		pos:     make(map[int]geom.Point, len(g.pos)),
+	}
+	for i, b := range g.buckets {
+		if len(b) > 0 {
+			c.buckets[i] = append([]entry(nil), b...)
+		}
+	}
+	for id, p := range g.pos {
+		c.pos[id] = p
+	}
+	return c
+}
+
 // Remove deletes id from the index, reporting whether it was present.
 func (g *Grid) Remove(id int) bool {
+	if id >= 0 && id < len(g.dense) {
+		panic("index: cannot remove an InsertDense id")
+	}
 	p, ok := g.pos[id]
 	if !ok {
 		return false
@@ -132,12 +195,33 @@ func (g *Grid) VisitBall(c geom.Point, r float64, fn func(id int, p geom.Point) 
 
 // Ball returns the IDs of all indexed points within distance r of c.
 func (g *Grid) Ball(c geom.Point, r float64) []int {
-	var out []int
-	g.VisitBall(c, r, func(id int, _ geom.Point) bool {
-		out = append(out, id)
-		return true
-	})
-	return out
+	return g.AppendBall(nil, c, r)
+}
+
+// AppendBall appends the IDs of all indexed points within distance r of c
+// to dst and returns the extended slice. Passing a reused buffer
+// (dst[:0]) makes repeated ball queries allocation-free once the buffer
+// has grown to the working-set size; order is unspecified, as in
+// VisitBall.
+func (g *Grid) AppendBall(dst []int, c geom.Point, r float64) []int {
+	if r < 0 {
+		return dst
+	}
+	r2 := r * r
+	x0 := clampInt(int((c.X-r-g.bounds.Min.X)/g.cell), 0, g.cols-1)
+	x1 := clampInt(int((c.X+r-g.bounds.Min.X)/g.cell), 0, g.cols-1)
+	y0 := clampInt(int((c.Y-r-g.bounds.Min.Y)/g.cell), 0, g.rows-1)
+	y1 := clampInt(int((c.Y+r-g.bounds.Min.Y)/g.cell), 0, g.rows-1)
+	for cy := y0; cy <= y1; cy++ {
+		for cx := x0; cx <= x1; cx++ {
+			for _, e := range g.buckets[cy*g.cols+cx] {
+				if e.p.Dist2(c) <= r2 {
+					dst = append(dst, e.id)
+				}
+			}
+		}
+	}
+	return dst
 }
 
 // CountBall returns the number of indexed points within distance r of c.
@@ -234,7 +318,10 @@ func (g *Grid) visitRing(ccx, ccy, ring int, fn func(entry)) {
 
 // IDs returns all indexed IDs in unspecified order.
 func (g *Grid) IDs() []int {
-	out := make([]int, 0, len(g.pos))
+	out := make([]int, 0, g.Len())
+	for id := range g.dense {
+		out = append(out, id)
+	}
 	for id := range g.pos {
 		out = append(out, id)
 	}

@@ -1,0 +1,41 @@
+package index
+
+import "sync"
+
+// NeighborhoodCache is a concurrency-safe, radius-keyed store of
+// Neighborhoods builds meant to be shared between coverage maps with
+// identical sample-point sets — e.g. the cells of one experiment sweep,
+// which all sample the field with the same generator and seed. The
+// adjacency depends only on the points and the radius, so one build
+// serves every cell; Neighborhoods are immutable, making concurrent
+// readers safe. Callers are responsible for only sharing a cache
+// between maps whose point sets really are identical.
+type NeighborhoodCache struct {
+	mu  sync.Mutex
+	byR map[float64]*Neighborhoods
+}
+
+// Get returns the cached adjacency for radius r, calling build to
+// create it on first use. Builds are serialized under the cache lock so
+// concurrent first requests for the same radius build only once.
+func (c *NeighborhoodCache) Get(r float64, build func() *Neighborhoods) *Neighborhoods {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if nb, ok := c.byR[r]; ok {
+		return nb
+	}
+	nb := build()
+	if c.byR == nil {
+		c.byR = make(map[float64]*Neighborhoods)
+	}
+	c.byR[r] = nb
+	return nb
+}
+
+// Peek returns the cached adjacency for radius r, or nil when it has
+// not been built yet.
+func (c *NeighborhoodCache) Peek(r float64) *Neighborhoods {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.byR[r]
+}

@@ -30,10 +30,19 @@ const (
 	ProtoFailuresDetected    = "decor_protocol_failures_detected_total"
 	ProtoLeaderChanges       = "decor_protocol_leader_changes_total"
 
+	// internal/core incremental benefit-cache counters: how many cached
+	// candidate benefits each delta update touched, and how often the
+	// Voronoi scheme fell back to an exact knowledge-restricted
+	// evaluation for a candidate near the communication-radius boundary
+	// (DESIGN.md §8).
+	CoreCacheDeltaUpdates = "decor_core_benefit_cache_delta_updates_total"
+	CoreCacheFallbacks    = "decor_core_benefit_cache_fallback_evals_total"
+
 	// Phase-latency histograms (span names, unit: seconds).
 	CoreRoundSeconds            = "decor_core_round_seconds"
 	CoreBenefitEvalSeconds      = "decor_core_benefit_eval_seconds"
 	CoreCandidateScoringSeconds = "decor_core_candidate_scoring_seconds"
+	CoreCacheBuildSeconds       = "decor_core_benefit_cache_build_seconds"
 	ProtoLeaderElectionSeconds  = "decor_protocol_leader_election_seconds"
 	ProtoHeartbeatRoundSeconds  = "decor_protocol_heartbeat_round_seconds"
 )
@@ -48,12 +57,14 @@ func RegisterStandard(r *Registry) {
 		SimEvents, SimSent, SimDelivered, SimDropped, SimLost, SimTimers,
 		ProtoHeartbeats, ProtoPlacementsAnnounced, ProtoPlacementsReceived,
 		ProtoFailuresDetected, ProtoLeaderChanges,
+		CoreCacheDeltaUpdates, CoreCacheFallbacks,
 	} {
 		r.Counter(name)
 	}
 	r.Gauge(SimQueueDepth)
 	for _, name := range []string{
 		CoreRoundSeconds, CoreBenefitEvalSeconds, CoreCandidateScoringSeconds,
+		CoreCacheBuildSeconds,
 		ProtoLeaderElectionSeconds, ProtoHeartbeatRoundSeconds,
 	} {
 		r.Histogram(name, DefLatencyBuckets)

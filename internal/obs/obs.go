@@ -132,6 +132,22 @@ func sanitizeName(name string) string {
 	if name == "" {
 		return "_"
 	}
+	// Fast path: canonical names are already clean; don't allocate for
+	// them (StartSpan sanitizes on every call, including round loops).
+	clean := true
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+			('0' <= c && c <= '9' && i > 0)
+		if !ok {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return name
+	}
 	b := []byte(name)
 	for i, c := range b {
 		ok := c == '_' || c == ':' ||

@@ -21,7 +21,20 @@ type Voronoi struct {
 	sensors map[int]geom.Point
 	sIdx    *index.Grid
 	owner   []int
-	owned   map[int]map[int]bool // sensor id -> set of owned point indices
+	// ownerD2 caches the squared distance from each point to its owner,
+	// so contested ownership checks never look up the incumbent's
+	// position; pos holds each point's index within its owner's list,
+	// making dispossession an O(1) swap-delete. Together they keep the
+	// AddSensor hot loop free of per-point map operations.
+	ownerD2 []float64
+	pos     []int
+	owned   map[int]*ownedSet // sensor id -> owned point indices
+}
+
+// ownedSet is one sensor's owned-point list, in unspecified order.
+// Held by pointer so list mutations never write back through the map.
+type ownedSet struct {
+	ids []int
 }
 
 // NewVoronoi creates the ownership structure for the given sample points
@@ -37,10 +50,12 @@ func NewVoronoi(field geom.Rect, pts []geom.Point, rc float64) *Voronoi {
 		sensors: make(map[int]geom.Point),
 		sIdx:    index.NewGrid(field, rc/2),
 		owner:   make([]int, len(pts)),
-		owned:   make(map[int]map[int]bool),
+		ownerD2: make([]float64, len(pts)),
+		pos:     make([]int, len(pts)),
+		owned:   make(map[int]*ownedSet),
 	}
-	for i, p := range v.pts {
-		v.ptIdx.Insert(i, p)
+	v.ptIdx.InsertDense(v.pts)
+	for i := range v.owner {
 		v.owner[i] = -1
 	}
 	return v
@@ -58,12 +73,37 @@ func (v *Voronoi) Owner(i int) int { return v.owner[i] }
 // OwnedPoints returns the sample points owned by sensor id, ascending.
 func (v *Voronoi) OwnedPoints(id int) []int {
 	set := v.owned[id]
-	out := make([]int, 0, len(set))
-	for i := range set {
-		out = append(out, i)
+	if set == nil {
+		return nil
 	}
+	out := append([]int(nil), set.ids...)
 	sort.Ints(out)
 	return out
+}
+
+// VisitOwnedPoints calls fn for every sample point owned by sensor id,
+// in unspecified order; returning false stops the visit. It allocates
+// nothing, unlike OwnedPoints — callers that need the paper's
+// lowest-index determinism must break ties explicitly.
+func (v *Voronoi) VisitOwnedPoints(id int, fn func(i int) bool) {
+	set := v.owned[id]
+	if set == nil {
+		return
+	}
+	for _, i := range set.ids {
+		if !fn(i) {
+			return
+		}
+	}
+}
+
+// NumOwned returns the number of sample points owned by sensor id.
+func (v *Voronoi) NumOwned(id int) int {
+	set := v.owned[id]
+	if set == nil {
+		return 0
+	}
+	return len(set.ids)
 }
 
 // Orphans returns all sample points with no owner, ascending.
@@ -106,23 +146,76 @@ func (v *Voronoi) AddSensor(id int, p geom.Point) []int {
 	}
 	v.sensors[id] = p
 	v.sIdx.Insert(id, p)
-	set := make(map[int]bool)
+	set := &ownedSet{}
 	v.owned[id] = set
 	var acquired []int
 	v.ptIdx.VisitBall(p, v.rc, func(i int, pp geom.Point) bool {
 		cur := v.owner[i]
-		if cur < 0 || closer(id, p, cur, v.sensors[cur], pp) {
-			if cur >= 0 {
-				delete(v.owned[cur], i)
-			}
-			v.owner[i] = id
-			set[i] = true
-			acquired = append(acquired, i)
+		d2 := p.Dist2(pp)
+		// The incumbent keeps the point when strictly closer, or at
+		// equal distance with the lower id (same rule as closer()),
+		// decided from the cached owner distance alone.
+		if cur >= 0 && (d2 > v.ownerD2[i] || (d2 == v.ownerD2[i] && cur < id)) {
+			return true
 		}
+		if cur >= 0 {
+			v.detach(cur, i)
+		}
+		v.owner[i] = id
+		v.ownerD2[i] = d2
+		v.pos[i] = len(set.ids)
+		set.ids = append(set.ids, i)
+		acquired = append(acquired, i)
 		return true
 	})
 	sort.Ints(acquired)
 	return acquired
+}
+
+// AddSensorAt registers a sensor positioned exactly at sample point
+// ptIdx, claiming ownership by walking nb's precomputed within-rc row
+// for that point instead of a geometric ball query — the placement
+// engines' fast path. nb must be an adjacency over this partition's
+// sample points built with radius exactly rc (it panics otherwise).
+// Unlike AddSensor it does not report the acquired points.
+func (v *Voronoi) AddSensorAt(id, ptIdx int, nb *index.Neighborhoods) {
+	if nb.Radius() != v.rc {
+		panic("partition: AddSensorAt requires an adjacency built with radius rc")
+	}
+	if _, ok := v.sensors[id]; ok {
+		panic("partition: duplicate sensor id")
+	}
+	p := v.pts[ptIdx]
+	v.sensors[id] = p
+	v.sIdx.Insert(id, p)
+	set := &ownedSet{}
+	v.owned[id] = set
+	for _, i32 := range nb.At(ptIdx) {
+		i := int(i32)
+		cur := v.owner[i]
+		d2 := p.Dist2(v.pts[i])
+		if cur >= 0 && (d2 > v.ownerD2[i] || (d2 == v.ownerD2[i] && cur < id)) {
+			continue
+		}
+		if cur >= 0 {
+			v.detach(cur, i)
+		}
+		v.owner[i] = id
+		v.ownerD2[i] = d2
+		v.pos[i] = len(set.ids)
+		set.ids = append(set.ids, i)
+	}
+}
+
+// detach removes point i from its current owner's list by swap-delete.
+func (v *Voronoi) detach(owner, i int) {
+	set := v.owned[owner]
+	j := v.pos[i]
+	last := len(set.ids) - 1
+	moved := set.ids[last]
+	set.ids[j] = moved
+	v.pos[moved] = j
+	set.ids = set.ids[:last]
 }
 
 // RemoveSensor unregisters a sensor (e.g. after a failure) and reassigns
@@ -136,19 +229,23 @@ func (v *Voronoi) RemoveSensor(id int) bool {
 	delete(v.sensors, id)
 	delete(v.owned, id)
 	v.sIdx.Remove(id)
-	for i := range orphaned {
+	for _, i := range orphaned.ids {
 		v.owner[i] = -1
 		p := v.pts[i]
-		best, bestPos := -1, geom.Point{}
+		best, bestD2 := -1, 0.0
 		v.sIdx.VisitBall(p, v.rc, func(sid int, sp geom.Point) bool {
-			if best < 0 || closer(sid, sp, best, bestPos, p) {
-				best, bestPos = sid, sp
+			d2 := sp.Dist2(p)
+			if best < 0 || d2 < bestD2 || (d2 == bestD2 && sid < best) {
+				best, bestD2 = sid, d2
 			}
 			return true
 		})
 		if best >= 0 {
 			v.owner[i] = best
-			v.owned[best][i] = true
+			v.ownerD2[i] = bestD2
+			set := v.owned[best]
+			v.pos[i] = len(set.ids)
+			set.ids = append(set.ids, i)
 		}
 	}
 	return true
@@ -173,14 +270,38 @@ func (v *Voronoi) Neighbors(id int) []int {
 	return out
 }
 
+// NeighborCount returns the number of sensors within rc of sensor id
+// (excluding id) without materializing or sorting the list — message
+// accounting only needs the size.
+func (v *Voronoi) NeighborCount(id int) int {
+	p, ok := v.sensors[id]
+	if !ok {
+		return 0
+	}
+	n := 0
+	v.sIdx.VisitBall(p, v.rc, func(sid int, _ geom.Point) bool {
+		if sid != id {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
 // CheckInvariants verifies internal consistency (owner array vs owned
 // sets vs nearest-sensor semantics) and returns false with a description
 // on the first violation. Used by property tests.
 func (v *Voronoi) CheckInvariants() (bool, string) {
 	for id, set := range v.owned {
-		for i := range set {
+		for j, i := range set.ids {
 			if v.owner[i] != id {
 				return false, "owned set disagrees with owner array"
+			}
+			if v.pos[i] != j {
+				return false, "pos index disagrees with owned list"
+			}
+			if v.ownerD2[i] != v.sensors[id].Dist2(v.pts[i]) {
+				return false, "cached owner distance is stale"
 			}
 		}
 	}

@@ -39,6 +39,9 @@ type MonitoredField struct {
 	nextID   int
 	// Repairs records every replacement sensor with its placement time.
 	Repairs []RepairRecord
+	// countsBuf is the reusable coverage-snapshot scratch for repair
+	// surveys (coverage.Map.CountsInto), so heal timers allocate nothing.
+	countsBuf []int
 }
 
 // RepairRecord is one autonomous replacement.
@@ -202,9 +205,13 @@ func (c *CellMonitor) OnTimer(ctx *sim.Context, tag string) {
 
 func (c *CellMonitor) bestDeficient() (int, bool) {
 	f := c.field
+	// One consistent snapshot per survey through the shared scratch
+	// buffer — no per-survey allocation.
+	f.countsBuf = f.M.CountsInto(f.countsBuf)
+	snap := f.countsBuf
 	bestIdx, best := -1, 0
 	for _, i := range c.pts {
-		if f.M.Count(i) >= f.M.K() {
+		if snap[i] >= f.M.K() {
 			continue
 		}
 		if b := f.M.Benefit(f.M.Point(i)); b > best {
