@@ -2,18 +2,26 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check bench bench-json figures extensions summary clean
+.PHONY: all build vet test test-short check bench bench-json serve-smoke figures extensions summary clean
 
 all: build vet test
 
 # The CI gate: static analysis, the full suite under the race detector
 # (the obs registry, engine instrumentation, and experiment worker pool
-# are concurrent), and a one-iteration bench smoke so the benchmarks
-# never rot.
+# are concurrent), a one-iteration bench smoke so the benchmarks never
+# rot, and the decor-serve end-to-end smoke (throughput + graceful drain).
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+	$(MAKE) serve-smoke
+
+# End-to-end service gate: boot decor-serve on GOMAXPROCS=4, drive a
+# decor-load burst (>= 500 plans/s, bounded p99, zero 5xx), refresh
+# BENCH_serve.json, and assert SIGTERM drains cleanly. Tunable via
+# SMOKE_DURATION / SMOKE_MIN_RPS / SMOKE_MAX_P99 / SMOKE_JSON.
+serve-smoke:
+	sh scripts/serve-smoke.sh
 
 build:
 	$(GO) build ./...

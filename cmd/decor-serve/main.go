@@ -1,0 +1,125 @@
+// Command decor-serve exposes the DECOR planner as a long-running HTTP
+// JSON service (see internal/service and DESIGN.md §9).
+//
+//	POST /v1/plan    field + sensors + k + method → placement plan
+//	POST /v1/repair  deployment + failed IDs      → restoration plan
+//	GET  /healthz    liveness (503 while draining)
+//	GET  /metrics    live Prometheus scrape
+//
+// Examples:
+//
+//	decor-serve -addr :8080
+//	decor-serve -addr 127.0.0.1:0 -workers 4 -queue 64
+//
+// SIGINT/SIGTERM triggers a graceful drain: the listener stops accepting,
+// in-flight plans run to completion (bounded by -drain-timeout), then the
+// process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"decor/internal/obs"
+	"decor/internal/service"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port; the chosen address is printed)")
+		workers      = flag.Int("workers", 0, "planner worker goroutines (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 0, "admission queue depth (0 = default 256); a full queue answers 503 + Retry-After")
+		cacheEntries = flag.Int("cache", 0, "LRU plan cache entries (0 = default 512, negative disables)")
+		maxBody      = flag.Int64("max-body", 0, "request body size cap in bytes (0 = default 1 MiB); larger bodies get 413")
+		maxPoints    = flag.Int("max-points", 0, "per-request num_points cap (0 = default)")
+		maxSensors   = flag.Int("max-sensors", 0, "per-request sensors+scatter cap (0 = default)")
+		defTimeout   = flag.Duration("timeout", 0, "default per-request planning deadline (0 = built-in default)")
+		maxTimeout   = flag.Duration("max-timeout", 0, "ceiling on client-requested timeout_ms (0 = built-in default)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a TERM/INT drain may take before in-flight plans are aborted")
+	)
+	var ofl obs.RunFlags
+	ofl.Register(flag.CommandLine)
+	flag.Parse()
+	if err := ofl.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	defer func() {
+		if err := ofl.Finish(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
+
+	svc := service.New(service.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cacheEntries,
+		Limits: service.Limits{
+			MaxBodyBytes:   *maxBody,
+			MaxPoints:      *maxPoints,
+			MaxSensors:     *maxSensors,
+			DefaultTimeout: *defTimeout,
+			MaxTimeout:     *maxTimeout,
+		},
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	// Parseable by scripts (serve-smoke) and humans alike; with -addr :0
+	// this is the only way to learn the port.
+	fmt.Printf("decor-serve listening on http://%s\n", ln.Addr())
+
+	httpSrv := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("decor-serve: %s, draining (max %s)\n", s, *drainTimeout)
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	// Drain order matters: stop the listener and wait for in-flight
+	// handlers (which wait for their jobs), then retire the worker pool.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	code := 0
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "decor-serve: http shutdown: %v\n", err)
+		code = 1
+	}
+	if err := svc.Shutdown(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "decor-serve: pool shutdown: %v\n", err)
+		code = 1
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, err)
+		code = 1
+	}
+	if code == 0 {
+		fmt.Println("decor-serve: drained, bye")
+	}
+	return code
+}

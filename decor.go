@@ -22,6 +22,7 @@
 package decor
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -95,7 +96,17 @@ func (p Params) normalize() (Params, error) {
 }
 
 // Deployment is a live field: sample points, sensors and coverage state.
-// It is not safe for concurrent use.
+//
+// # Concurrency contract
+//
+// A Deployment is confined to a single goroutine: every method —
+// including apparent reads like Coverage and Sensors — may touch shared
+// mutable state (coverage counts, spatial indexes, the RNG stream)
+// without synchronization. Callers that need concurrency take one of two
+// shapes: give each goroutine its own Deployment built from its own
+// Params (deployments built from equal Params behave identically), or
+// build one and hand each goroutine a private Clone. The decor-serve
+// request path does the latter for every request; see DESIGN.md §9.
 type Deployment struct {
 	params Params
 	m      *coverage.Map
@@ -129,6 +140,35 @@ func (d *Deployment) AddSensor(pos Point) int {
 	id := nextID(d.m)
 	d.m.AddSensor(id, geom.Point(pos))
 	return id
+}
+
+// AddSensorID places a sensor with a caller-chosen ID — the entry point
+// for reconstructing an existing deployment (the decor-serve /v1/repair
+// path, where failed-sensor references must use the caller's IDs). It
+// rejects negative and duplicate IDs.
+func (d *Deployment) AddSensorID(id int, pos Point) error {
+	if id < 0 {
+		return fmt.Errorf("decor: sensor id %d must be non-negative", id)
+	}
+	if _, ok := d.m.SensorPos(id); ok {
+		return fmt.Errorf("decor: duplicate sensor id %d", id)
+	}
+	d.m.AddSensor(id, geom.Point(pos))
+	return nil
+}
+
+// FailSensors destroys exactly the identified sensors — the
+// deterministic counterpart of FailRandom/FailArea for callers that know
+// which devices died (a monitoring report, a /v1/repair request). It is
+// atomic: if any ID is unknown, nothing is destroyed.
+func (d *Deployment) FailSensors(ids ...int) error {
+	for _, id := range ids {
+		if _, ok := d.m.SensorPos(id); !ok {
+			return fmt.Errorf("decor: unknown sensor id %d", id)
+		}
+	}
+	failure.Apply(d.m, ids)
+	return nil
 }
 
 // ScatterRandom uniformly scatters n sensors (the paper's initial
@@ -185,6 +225,17 @@ type Report struct {
 // centralized, random, grid-small, grid-big, voronoi-small, voronoi-big
 // (see MethodNames). Deploy on an already-covered field is a no-op.
 func (d *Deployment) Deploy(method string) (Report, error) {
+	return d.DeployContext(context.Background(), method)
+}
+
+// DeployContext is Deploy with cancellation: the placement loop polls ctx
+// at its round (or per-placement) boundaries and stops early when the
+// context is done, returning the context's error. Sensors placed before
+// the interrupt remain on the field — callers that must not observe a
+// partial restoration run against a throwaway Clone, as the decor-serve
+// request path does. A run that completes is placement-for-placement
+// identical to an uncancelled Deploy.
+func (d *Deployment) DeployContext(ctx context.Context, method string) (Report, error) {
 	meth, err := core.MethodByName(method, d.params.Rs)
 	if err != nil {
 		return Report{}, err
@@ -195,12 +246,12 @@ func (d *Deployment) Deploy(method string) (Report, error) {
 		v.Rc = d.params.Rc
 		meth = v
 	}
-	res := meth.Deploy(d.m, d.r.Split(), core.Options{})
+	res := meth.Deploy(d.m, d.r.Split(), core.Options{Ctx: ctx})
 	placements := make([]Point, len(res.Placed))
 	for i, pl := range res.Placed {
 		placements[i] = Point(pl.Pos)
 	}
-	return Report{
+	rep := Report{
 		Method:          res.Method,
 		Placed:          res.NumPlaced(),
 		TotalSensors:    d.m.NumSensors(),
@@ -209,7 +260,21 @@ func (d *Deployment) Deploy(method string) (Report, error) {
 		Rounds:          res.Rounds,
 		Seeded:          res.Seeded,
 		Placements:      placements,
-	}, nil
+	}
+	if res.Interrupted {
+		return rep, ctx.Err()
+	}
+	return rep, nil
+}
+
+// Clone returns an independent copy of the deployment: private coverage
+// counts, sensor set and RNG state, sharing only immutable structure (the
+// sample points and their spatial index). Clone and original may then be
+// used concurrently from different goroutines; the clone replays the
+// original's random stream, so equal operation sequences on both yield
+// identical results.
+func (d *Deployment) Clone() *Deployment {
+	return &Deployment{params: d.params, m: d.m.Clone(), r: d.r.Clone()}
 }
 
 // MethodNames lists the deployment algorithms accepted by Deploy.

@@ -57,6 +57,10 @@ func (c Centralized) deployRescan(m *coverage.Map, opt Options, res *Result) {
 			res.Capped = true
 			return
 		}
+		if opt.interrupted() {
+			res.Interrupted = true
+			return
+		}
 		// Select the deficient candidate with maximum benefit for the
 		// new sensor's footprint, lowest index on ties.
 		scoreSpan := obs.StartSpan(obs.CoreCandidateScoringSeconds)
@@ -103,6 +107,10 @@ func (c Centralized) deployIncremental(m *coverage.Map, opt Options, res *Result
 	for !m.FullyCovered() {
 		if len(res.Placed) >= opt.maxPlacements() {
 			res.Capped = true
+			return
+		}
+		if opt.interrupted() {
+			res.Interrupted = true
 			return
 		}
 		// Select the deficient candidate with max benefit, lowest index
@@ -160,6 +168,10 @@ func (rp RandomPlacement) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Resul
 	for !m.FullyCovered() {
 		if len(res.Placed) >= opt.maxPlacements() {
 			res.Capped = true
+			return res
+		}
+		if opt.interrupted() {
+			res.Interrupted = true
 			return res
 		}
 		p := r.PointInRect(m.Field())

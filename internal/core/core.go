@@ -23,6 +23,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -39,6 +40,13 @@ type Options struct {
 	// MaxRounds bounds distributed rounds (0 = unlimited); a safety net
 	// against livelock bugs, not expected to trigger.
 	MaxRounds int
+	// Ctx, when non-nil, is polled at round boundaries (distributed
+	// methods) or per placement (centralized/random): once it is done the
+	// run stops early with Result.Interrupted set. Placements applied
+	// before the interrupt stay on the map. Cancellation never alters the
+	// placements of a run that completes: the polled decision points are
+	// loop boundaries, not tie-breakers.
+	Ctx context.Context
 }
 
 func (o Options) maxPlacements() int {
@@ -53,6 +61,11 @@ func (o Options) maxRounds() int {
 		return int(^uint(0) >> 1)
 	}
 	return o.MaxRounds
+}
+
+// interrupted reports whether the run's context (if any) is done.
+func (o Options) interrupted() bool {
+	return o.Ctx != nil && o.Ctx.Err() != nil
 }
 
 // Placement records one deployed sensor in order.
@@ -89,6 +102,9 @@ type Result struct {
 	// Capped reports whether the run stopped at MaxPlacements before
 	// reaching full k-coverage.
 	Capped bool
+	// Interrupted reports whether the run stopped early because
+	// Options.Ctx was cancelled or its deadline expired.
+	Interrupted bool
 }
 
 // NumPlaced returns the number of sensors the run deployed.

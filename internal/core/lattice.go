@@ -46,6 +46,10 @@ func (l RegularLattice) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result 
 					res.Capped = true
 					return res
 				}
+				if opt.interrupted() {
+					res.Interrupted = true
+					return res
+				}
 				p := field.Clamp(geom.Point{X: x, Y: y})
 				m.AddSensor(id, p)
 				res.Placed = append(res.Placed, Placement{ID: id, Pos: p})
@@ -56,12 +60,14 @@ func (l RegularLattice) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result 
 	// Lattice layers guarantee area coverage but the reliability target
 	// is per sample point; top up any residual deficits greedily (border
 	// effects only).
-	if !m.FullyCovered() && !res.Capped {
+	if !m.FullyCovered() && !res.Capped && !res.Interrupted {
 		sub := Centralized{}.Deploy(m, r, Options{
 			MaxPlacements: opt.maxPlacements() - len(res.Placed),
+			Ctx:           opt.Ctx,
 		})
 		res.Placed = append(res.Placed, sub.Placed...)
 		res.Capped = sub.Capped
+		res.Interrupted = sub.Interrupted
 	}
 	return res
 }

@@ -104,6 +104,10 @@ func (v VoronoiDECOR) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
 		if res.Capped {
 			break
 		}
+		if opt.interrupted() {
+			res.Interrupted = true
+			break
+		}
 		roundSpan := obs.StartSpan(obs.CoreRoundSeconds)
 		decided = decided[:0]
 		evalSpan := obs.StartSpan(obs.CoreBenefitEvalSeconds)

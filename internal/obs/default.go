@@ -38,7 +38,22 @@ const (
 	CoreCacheDeltaUpdates = "decor_core_benefit_cache_delta_updates_total"
 	CoreCacheFallbacks    = "decor_core_benefit_cache_fallback_evals_total"
 
+	// internal/service request-path counters and gauges (decor-serve).
+	ServePlanRequests   = "decor_serve_plan_requests_total"
+	ServeRepairRequests = "decor_serve_repair_requests_total"
+	ServeBadRequests    = "decor_serve_bad_requests_total" // 4xx (validation, size, decode)
+	ServeRejected       = "decor_serve_rejected_total"     // 503 admission-queue overflow
+	ServeTimeouts       = "decor_serve_deadline_exceeded_total"
+	ServeErrors         = "decor_serve_errors_total" // 5xx other than rejection
+	ServeCacheHits      = "decor_serve_cache_hits_total"
+	ServeCacheMisses    = "decor_serve_cache_misses_total"
+	ServeCoalesced      = "decor_serve_coalesced_total" // singleflight followers
+	ServeQueueDepth     = "decor_serve_queue_depth"
+	ServeInflight       = "decor_serve_inflight_plans"
+
 	// Phase-latency histograms (span names, unit: seconds).
+	ServePlanSeconds            = "decor_serve_plan_seconds"    // worker execution only
+	ServeRequestSeconds         = "decor_serve_request_seconds" // queue wait + execution
 	CoreRoundSeconds            = "decor_core_round_seconds"
 	CoreBenefitEvalSeconds      = "decor_core_benefit_eval_seconds"
 	CoreCandidateScoringSeconds = "decor_core_candidate_scoring_seconds"
@@ -69,4 +84,21 @@ func RegisterStandard(r *Registry) {
 	} {
 		r.Histogram(name, DefLatencyBuckets)
 	}
+}
+
+// RegisterServe eagerly creates the decor-serve instrument set on r, so
+// the first /metrics scrape of a fresh server already exposes every
+// series at zero (rate() works from scrape one).
+func RegisterServe(r *Registry) {
+	for _, name := range []string{
+		ServePlanRequests, ServeRepairRequests, ServeBadRequests,
+		ServeRejected, ServeTimeouts, ServeErrors,
+		ServeCacheHits, ServeCacheMisses, ServeCoalesced,
+	} {
+		r.Counter(name)
+	}
+	r.Gauge(ServeQueueDepth)
+	r.Gauge(ServeInflight)
+	r.Histogram(ServePlanSeconds, DefLatencyBuckets)
+	r.Histogram(ServeRequestSeconds, DefLatencyBuckets)
 }

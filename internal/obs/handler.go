@@ -1,0 +1,33 @@
+package obs
+
+import "net/http"
+
+// promContentType is the Prometheus text exposition content type the
+// registry renders (version 0.0.4).
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler returns an http.Handler that serves the registry as a live
+// Prometheus scrape endpoint: every GET renders a fresh Snapshot, so a
+// scraper sees the counters move while a run is in flight — unlike the
+// -metrics flag, which only dumps once at process exit. The handler is
+// safe for concurrent scrapes (Snapshot holds only read locks).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", promContentType)
+		if req.Method == http.MethodHead {
+			return
+		}
+		// A write error means the scraper hung up; there is no one left
+		// to report it to.
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Handler returns the live scrape handler for the process-wide default
+// registry — what decor-serve mounts at /metrics.
+func Handler() http.Handler { return defaultRegistry.Handler() }

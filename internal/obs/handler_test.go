@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// scrape GETs the handler over a real HTTP round trip and returns the
+// body.
+func scrape(t *testing.T, url string) (status int, contentType, body string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(b)
+}
+
+func TestHandlerServesLiveExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("decor_test_requests_total").Add(3)
+	reg.Gauge("decor_test_depth").Set(1.5)
+	reg.Histogram("decor_test_seconds", []float64{0.1, 1}).Observe(0.05)
+
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	status, ct, body := scrape(t, srv.URL)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200", status)
+	}
+	if !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want Prometheus text exposition", ct)
+	}
+	for _, want := range []string{
+		"# TYPE decor_test_requests_total counter\ndecor_test_requests_total 3\n",
+		"# TYPE decor_test_depth gauge\ndecor_test_depth 1.5\n",
+		"# TYPE decor_test_seconds histogram\n",
+		`decor_test_seconds_bucket{le="0.1"} 1`,
+		`decor_test_seconds_bucket{le="+Inf"} 1`,
+		"decor_test_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q in:\n%s", want, body)
+		}
+	}
+
+	// The endpoint is live, not an exit dump: a second scrape sees
+	// updates made after the first.
+	reg.Counter("decor_test_requests_total").Add(4)
+	_, _, body2 := scrape(t, srv.URL)
+	if !strings.Contains(body2, "decor_test_requests_total 7") {
+		t.Errorf("second scrape not live, got:\n%s", body2)
+	}
+}
+
+func TestHandlerRejectsNonGet(t *testing.T) {
+	srv := httptest.NewServer(NewRegistry().Handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL, "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestRegisterServeExposesAllSeriesAtZero(t *testing.T) {
+	reg := NewRegistry()
+	RegisterServe(reg)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, name := range []string{
+		ServePlanRequests, ServeRepairRequests, ServeBadRequests,
+		ServeRejected, ServeTimeouts, ServeErrors,
+		ServeCacheHits, ServeCacheMisses, ServeCoalesced,
+		ServeQueueDepth, ServeInflight,
+		ServePlanSeconds, ServeRequestSeconds,
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("fresh serve registry missing series %s", name)
+		}
+	}
+}

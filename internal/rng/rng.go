@@ -52,6 +52,15 @@ func (r *RNG) Split() *RNG {
 	return child
 }
 
+// Clone returns an independent generator with r's exact current state:
+// the clone and the original produce identical streams from here on
+// without affecting each other. This is how Deployment snapshots stay
+// replay-equivalent to their originals.
+func (r *RNG) Clone() *RNG {
+	c := *r
+	return &c
+}
+
 // Uint64 returns a uniformly distributed 64-bit value.
 func (r *RNG) Uint64() uint64 {
 	// 128-bit LCG step: state = state*mul + inc.

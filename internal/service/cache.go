@@ -1,0 +1,119 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// planCache is a fixed-capacity LRU over canonical request keys. Values
+// are the finished response bodies — immutable byte slices served
+// verbatim, so a hit is byte-identical to the miss that populated it.
+type planCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// newPlanCache returns a cache holding up to max entries; max <= 0
+// disables caching (every Get misses, Put is a no-op).
+func newPlanCache(max int) *planCache {
+	return &planCache{
+		max:   max,
+		order: list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached body for key, refreshing its recency.
+func (c *planCache) Get(key string) ([]byte, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Put stores body under key, evicting the least recently used entry when
+// full. Callers must never mutate body afterwards.
+func (c *planCache) Put(key string, body []byte) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		// A singleflight leader already stored this key; keep the
+		// existing bytes (identical by determinism) and just refresh.
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+	for c.order.Len() > c.max {
+		el := c.order.Back()
+		c.order.Remove(el)
+		delete(c.items, el.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the current entry count.
+func (c *planCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// flightGroup coalesces concurrent identical requests: the first caller
+// of begin for a key becomes the leader and computes the plan once;
+// followers block on the call's done channel and replay the leader's
+// exact response bytes and status.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	// Set by the leader before close(done); immutable afterwards.
+	body   []byte
+	err    error
+	status int
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// begin joins the in-flight computation for key, creating it when
+// absent. leader reports whether the caller must compute and finish.
+func (g *flightGroup) begin(key string) (call *flightCall, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if call, ok := g.calls[key]; ok {
+		return call, false
+	}
+	call = &flightCall{done: make(chan struct{})}
+	g.calls[key] = call
+	return call, true
+}
+
+// finish publishes the leader's outcome to all followers and retires the
+// key; later requests start a fresh flight (or hit the cache).
+func (g *flightGroup) finish(key string, call *flightCall, body []byte, status int, err error) {
+	call.body, call.status, call.err = body, status, err
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(call.done)
+}

@@ -1,0 +1,78 @@
+package service
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzDecodePlanRequest drives arbitrary bytes through the exact
+// decode+validate path of POST /v1/plan. The invariants: never panic,
+// and anything that survives normalize respects every server limit —
+// malformed JSON, non-finite coordinates and giant counts must all be
+// rejected as client errors before a deployment is built.
+func FuzzDecodePlanRequest(f *testing.F) {
+	f.Add(`{"field_side":100,"k":3,"rs":4,"scatter":200}`)
+	f.Add(`{"field_side":50,"k":2,"rs":4,"sensors":[{"id":1,"x":5,"y":5}],"method":"grid-big"}`)
+	f.Add(`{"field_side":1e999,"k":1,"rs":4}`)
+	f.Add(`{"field_side":100,"k":2147483647,"rs":4}`)
+	f.Add(`{"field_side":100,"k":3,"rs":4,"num_points":99999999}`)
+	f.Add(`{"field_side":100,"k":3,"rs":4,"scatter":-1}`)
+	f.Add(`{"field_side":100,"k":3,"rs":4,"sensors":[{"x":1,"y":`)
+	f.Add(`[1,2,3]`)
+	f.Add(`null`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, body string) {
+		lim := DefaultLimits()
+		var pr PlanRequest
+		if err := decodeJSON(strings.NewReader(body), &pr); err != nil {
+			return // rejected at decode: fine, and no panic happened
+		}
+		norm, err := pr.normalize(lim)
+		if err != nil {
+			return // rejected at validation: fine
+		}
+		// Accepted requests must be inside every bound the executor
+		// relies on.
+		if norm.NumPoints < 1 || norm.NumPoints > lim.MaxPoints {
+			t.Fatalf("accepted num_points %d outside (0, %d]", norm.NumPoints, lim.MaxPoints)
+		}
+		if n := len(norm.Sensors) + norm.Scatter; n > lim.MaxSensors || norm.Scatter < 0 {
+			t.Fatalf("accepted sensor count %d (scatter %d) over limit", n, norm.Scatter)
+		}
+		if norm.K < 1 || norm.K > lim.MaxK {
+			t.Fatalf("accepted k %d outside [1, %d]", norm.K, lim.MaxK)
+		}
+		if !isFinite(norm.FieldSide) || norm.FieldSide <= 0 ||
+			!isFinite(norm.Rs) || norm.Rs <= 0 || !isFinite(norm.Rc) || norm.Rc < norm.Rs {
+			t.Fatalf("accepted non-finite or inconsistent geometry: %+v", norm)
+		}
+		for i, s := range norm.Sensors {
+			if !isFinite(s.X) || !isFinite(s.Y) {
+				t.Fatalf("accepted non-finite sensor %d: %+v", i, s)
+			}
+		}
+		// The canonical key must be stable and cheap for anything accepted.
+		if norm.key() == "" {
+			t.Fatal("empty cache key")
+		}
+	})
+}
+
+// FuzzDecodeRepairRequest extends the fuzz surface to the repair
+// decoder: failure references must never panic validation.
+func FuzzDecodeRepairRequest(f *testing.F) {
+	f.Add(`{"field_side":50,"k":1,"rs":4,"sensors":[{"x":1,"y":1}],"failed":[0]}`)
+	f.Add(`{"field_side":50,"k":1,"rs":4,"failed":[99999999]}`)
+	f.Add(`{"field_side":50,"k":1,"rs":4,"scatter":3,"failed":[2,2]}`)
+	f.Fuzz(func(t *testing.T, body string) {
+		var rr RepairRequest
+		if err := decodeJSON(strings.NewReader(body), &rr); err != nil {
+			return
+		}
+		if norm, err := rr.normalize(DefaultLimits()); err == nil {
+			if norm.key() == "" {
+				t.Fatal("empty cache key")
+			}
+		}
+	})
+}

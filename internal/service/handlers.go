@@ -1,0 +1,206 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+const jsonContentType = "application/json; charset=utf-8"
+
+// cacheStatusHeader reports how a response was produced: "miss" (a cold
+// worker computed it), "hit" (LRU cache), or "coalesced" (singleflight
+// follower). The body is byte-identical across all three — only this
+// header differs, which is why it is a header and not a body field.
+const cacheStatusHeader = "X-Decor-Cache"
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/plan    field + sensors + k + method → placement plan
+//	POST /v1/repair  deployment + failed IDs      → restoration plan
+//	GET  /healthz    liveness/readiness (503 while draining)
+//	GET  /metrics    live Prometheus scrape of the obs registry
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/plan", s.handlePlan)
+	mux.HandleFunc("/v1/repair", s.handleRepair)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/metrics", s.cfg.Registry.Handler())
+	return mux
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", jsonContentType)
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("{\"status\":\"draining\"}\n"))
+		return
+	}
+	w.Write([]byte("{\"status\":\"ok\"}\n"))
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	s.cPlanReqs.Inc()
+	s.servePlanLike(w, r, func(body *http.Request) (key string, timeout time.Duration, run func(context.Context) ([]byte, error), err error) {
+		var pr PlanRequest
+		if err := decodeJSON(body.Body, &pr); err != nil {
+			return "", 0, nil, err
+		}
+		pr, err = pr.normalize(s.cfg.Limits)
+		if err != nil {
+			return "", 0, nil, err
+		}
+		return pr.key(), pr.timeout(s.cfg.Limits), func(ctx context.Context) ([]byte, error) {
+			return executePlan(ctx, pr)
+		}, nil
+	})
+}
+
+func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	s.cRepairReqs.Inc()
+	s.servePlanLike(w, r, func(body *http.Request) (key string, timeout time.Duration, run func(context.Context) ([]byte, error), err error) {
+		var rr RepairRequest
+		if err := decodeJSON(body.Body, &rr); err != nil {
+			return "", 0, nil, err
+		}
+		rr, err = rr.normalize(s.cfg.Limits)
+		if err != nil {
+			return "", 0, nil, err
+		}
+		return rr.key(), rr.timeout(s.cfg.Limits), func(ctx context.Context) ([]byte, error) {
+			return executeRepair(ctx, rr)
+		}, nil
+	})
+}
+
+// servePlanLike is the shared request path of the two planning
+// endpoints: decode+validate, cache lookup, singleflight, admission,
+// deadline, response.
+func (s *Server) servePlanLike(w http.ResponseWriter, r *http.Request,
+	parse func(*http.Request) (string, time.Duration, func(context.Context) ([]byte, error), error)) {
+
+	start := time.Now()
+	defer func() { s.hRequestSeconds.Observe(time.Since(start).Seconds()) }()
+
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		s.writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.Limits.MaxBodyBytes)
+	key, timeout, run, err := parse(r)
+	if err != nil {
+		s.cBadReqs.Inc()
+		var ae *apiError
+		if errors.As(err, &ae) {
+			s.writeError(w, ae.status, ae.msg)
+		} else {
+			s.writeError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+
+	if body, ok := s.cache.Get(key); ok {
+		s.cCacheHits.Inc()
+		s.writePlan(w, body, "hit")
+		return
+	}
+
+	call, leader := s.flight.begin(key)
+	if !leader {
+		// Identical request already in flight: wait for its leader, but
+		// never longer than this request's own deadline.
+		s.cCoalesced.Inc()
+		deadline := time.NewTimer(timeout)
+		defer deadline.Stop()
+		select {
+		case <-call.done:
+			s.replayFlight(w, call)
+		case <-deadline.C:
+			s.cTimeouts.Inc()
+			s.writeError(w, http.StatusGatewayTimeout, "deadline exceeded waiting for identical in-flight plan")
+		case <-r.Context().Done():
+			// Client hung up; the leader still completes and caches.
+			s.writeError(w, http.StatusGatewayTimeout, "client cancelled")
+		}
+		return
+	}
+
+	// Leader: admit into the bounded pool. The deadline spans queue wait
+	// plus execution, carried by the job context into the round loop.
+	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+	defer cancel()
+	j := &job{ctx: ctx, run: run, done: make(chan jobResult, 1)}
+	if !s.submit(j) {
+		s.cRejected.Inc()
+		retry := s.retryAfterSeconds()
+		s.flight.finish(key, call, nil, http.StatusServiceUnavailable, errOverloaded)
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		s.writeError(w, http.StatusServiceUnavailable, "admission queue full; retry later")
+		return
+	}
+	res := <-j.done
+	switch {
+	case res.err == nil:
+		s.cCacheMisses.Inc()
+		s.cache.Put(key, res.body)
+		s.flight.finish(key, call, res.body, http.StatusOK, nil)
+		s.writePlan(w, res.body, "miss")
+	case errors.Is(res.err, context.DeadlineExceeded):
+		s.cTimeouts.Inc()
+		s.flight.finish(key, call, nil, http.StatusGatewayTimeout, res.err)
+		s.writeError(w, http.StatusGatewayTimeout, "deadline exceeded while planning")
+	case errors.Is(res.err, context.Canceled):
+		// Base context cancelled: the server is being torn down.
+		s.cErrors.Inc()
+		s.flight.finish(key, call, nil, http.StatusServiceUnavailable, res.err)
+		s.writeError(w, http.StatusServiceUnavailable, "server shutting down")
+	default:
+		status := http.StatusInternalServerError
+		var ae *apiError
+		if errors.As(res.err, &ae) {
+			status = ae.status
+		}
+		if status >= 500 {
+			s.cErrors.Inc()
+		} else {
+			s.cBadReqs.Inc()
+		}
+		s.flight.finish(key, call, nil, status, res.err)
+		s.writeError(w, status, res.err.Error())
+	}
+}
+
+var errOverloaded = errors.New("service overloaded")
+
+// replayFlight serves a follower the leader's exact outcome.
+func (s *Server) replayFlight(w http.ResponseWriter, call *flightCall) {
+	if call.err != nil {
+		if errors.Is(call.err, errOverloaded) {
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		}
+		s.writeError(w, call.status, call.err.Error())
+		return
+	}
+	s.writePlan(w, call.body, "coalesced")
+}
+
+func (s *Server) writePlan(w http.ResponseWriter, body []byte, cacheStatus string) {
+	w.Header().Set("Content-Type", jsonContentType)
+	w.Header().Set(cacheStatusHeader, cacheStatus)
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	body, _ := json.Marshal(struct {
+		Error string `json:"error"`
+	}{Error: msg})
+	w.Header().Set("Content-Type", jsonContentType)
+	w.WriteHeader(status)
+	w.Write(append(body, '\n'))
+}

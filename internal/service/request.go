@@ -1,0 +1,345 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"time"
+
+	"decor/internal/core"
+	"decor/internal/lowdisc"
+)
+
+// PointSpec is a position on the field in request/response JSON.
+type PointSpec struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// SensorSpec is one pre-deployed sensor in a request. ID is optional:
+// either every sensor carries an explicit ID or none does (sequential IDs
+// 0..n-1 are assigned), so /v1/repair failure references are unambiguous.
+type SensorSpec struct {
+	ID *int    `json:"id,omitempty"`
+	X  float64 `json:"x"`
+	Y  float64 `json:"y"`
+}
+
+// PlanRequest is the body of POST /v1/plan: a field description, the
+// surviving deployment, and the reliability requirement; the response is
+// the placement plan restoring full k-coverage.
+type PlanRequest struct {
+	// FieldSide is the edge length of the square monitored area.
+	FieldSide float64 `json:"field_side"`
+	// K is the coverage requirement (>= 1).
+	K int `json:"k"`
+	// Rs is the sensing radius; Rc the communication radius (default 2·Rs).
+	Rs float64 `json:"rs"`
+	Rc float64 `json:"rc,omitempty"`
+	// NumPoints sizes the low-discrepancy field approximation (default
+	// 2000, the paper's configuration).
+	NumPoints int `json:"num_points,omitempty"`
+	// Generator selects the point set (default "halton").
+	Generator string `json:"generator,omitempty"`
+	// Seed drives all randomness; equal requests replay identically.
+	Seed uint64 `json:"seed,omitempty"`
+	// Sensors lists the pre-deployed network explicitly; Scatter
+	// additionally places this many uniform random sensors (the paper's
+	// initial network). Both may be used together; scattered sensors take
+	// IDs after the explicit ones.
+	Sensors []SensorSpec `json:"sensors,omitempty"`
+	Scatter int          `json:"scatter,omitempty"`
+	// Method is one of the paper's six algorithms (default "voronoi-big").
+	Method string `json:"method,omitempty"`
+	// TimeoutMS bounds this request's planning time, including queue
+	// wait (0 = server default; clamped to the server maximum).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// RepairRequest is the body of POST /v1/repair: a full deployment plus
+// the IDs of sensors known to have failed. The service destroys those
+// sensors and plans the restoration of the survivors' field.
+type RepairRequest struct {
+	PlanRequest
+	// Failed lists the destroyed sensors by ID (explicit IDs when the
+	// request gives them, otherwise the implicit sequential ones).
+	Failed []int `json:"failed"`
+}
+
+// Limits bounds what a single request may ask of the server. All caps
+// are checked during validation, before any field or deployment is
+// allocated.
+type Limits struct {
+	// MaxBodyBytes caps the request body (http.MaxBytesReader); larger
+	// bodies fail with 413 without being read further.
+	MaxBodyBytes int64
+	// MaxPoints / MaxSensors / MaxK cap the work one plan may demand.
+	// MaxSensors bounds len(Sensors)+Scatter.
+	MaxPoints  int
+	MaxSensors int
+	MaxK       int
+	// DefaultTimeout applies when a request carries no timeout_ms;
+	// MaxTimeout clamps explicit ones.
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+}
+
+// DefaultLimits are production-shaped bounds: a full figure-scale field
+// fits comfortably, while degenerate requests (giant point counts,
+// absurd k) are rejected up front.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxBodyBytes:   1 << 20, // 1 MiB ≈ 25k sensors with explicit IDs
+		MaxPoints:      20000,
+		MaxSensors:     10000,
+		MaxK:           64,
+		DefaultTimeout: 2 * time.Second,
+		MaxTimeout:     15 * time.Second,
+	}
+}
+
+func (l Limits) normalized() Limits {
+	d := DefaultLimits()
+	if l.MaxBodyBytes <= 0 {
+		l.MaxBodyBytes = d.MaxBodyBytes
+	}
+	if l.MaxPoints <= 0 {
+		l.MaxPoints = d.MaxPoints
+	}
+	if l.MaxSensors <= 0 {
+		l.MaxSensors = d.MaxSensors
+	}
+	if l.MaxK <= 0 {
+		l.MaxK = d.MaxK
+	}
+	if l.DefaultTimeout <= 0 {
+		l.DefaultTimeout = d.DefaultTimeout
+	}
+	if l.MaxTimeout <= 0 {
+		l.MaxTimeout = d.MaxTimeout
+	}
+	if l.DefaultTimeout > l.MaxTimeout {
+		l.DefaultTimeout = l.MaxTimeout
+	}
+	return l
+}
+
+// apiError is a client-visible failure with an HTTP status.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &apiError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// decodeJSON strictly decodes one JSON object from r into dst: unknown
+// fields, trailing data and oversized bodies are errors. The returned
+// error is already an *apiError (400 or 413).
+func decodeJSON(r io.Reader, dst any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			return &apiError{status: http.StatusRequestEntityTooLarge,
+				msg: fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit)}
+		}
+		return badRequest("invalid JSON: %v", err)
+	}
+	// A second value after the object is a malformed request, not data
+	// for a future handler.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return badRequest("trailing data after request object")
+	}
+	return nil
+}
+
+// validGenerators mirrors lowdisc.ByName's accepted names without
+// constructing a generator per validation.
+func validGenerator(name string) bool {
+	_, err := lowdisc.ByName(name, 0)
+	return err == nil
+}
+
+// normalize validates pr against lim and fills defaults, returning the
+// canonical form that execution and request hashing share. Every
+// rejection is an *apiError carrying the client-facing message.
+func (pr PlanRequest) normalize(lim Limits) (PlanRequest, error) {
+	if !isFinite(pr.FieldSide) || pr.FieldSide <= 0 {
+		return pr, badRequest("field_side must be positive and finite")
+	}
+	if pr.K < 1 {
+		return pr, badRequest("k must be at least 1")
+	}
+	if pr.K > lim.MaxK {
+		return pr, badRequest("k %d exceeds the server limit %d", pr.K, lim.MaxK)
+	}
+	if !isFinite(pr.Rs) || pr.Rs <= 0 {
+		return pr, badRequest("rs must be positive and finite")
+	}
+	if !isFinite(pr.Rc) || pr.Rc < 0 {
+		return pr, badRequest("rc must be non-negative and finite")
+	}
+	if pr.Rc == 0 {
+		pr.Rc = 2 * pr.Rs
+	}
+	if pr.Rc < pr.Rs {
+		return pr, badRequest("rc %g must be at least rs %g (paper §2)", pr.Rc, pr.Rs)
+	}
+	if pr.NumPoints == 0 {
+		pr.NumPoints = 2000
+	}
+	if pr.NumPoints < 1 {
+		return pr, badRequest("num_points must be positive")
+	}
+	if pr.NumPoints > lim.MaxPoints {
+		return pr, badRequest("num_points %d exceeds the server limit %d", pr.NumPoints, lim.MaxPoints)
+	}
+	if pr.Generator == "" {
+		pr.Generator = "halton"
+	}
+	if !validGenerator(pr.Generator) {
+		return pr, badRequest("unknown generator %q", pr.Generator)
+	}
+	if pr.Scatter < 0 {
+		return pr, badRequest("scatter must be non-negative")
+	}
+	if n := len(pr.Sensors) + pr.Scatter; n > lim.MaxSensors {
+		return pr, badRequest("sensor count %d exceeds the server limit %d", n, lim.MaxSensors)
+	}
+	if pr.Method == "" {
+		pr.Method = "voronoi-big"
+	}
+	if _, err := core.MethodByName(pr.Method, pr.Rs); err != nil {
+		return pr, badRequest("unknown method %q", pr.Method)
+	}
+	if pr.TimeoutMS < 0 {
+		return pr, badRequest("timeout_ms must be non-negative")
+	}
+
+	// Sensors: finite in-field positions; IDs all explicit or all
+	// implicit, non-negative and distinct. Normalizing to explicit IDs
+	// here keeps the request hash and the repair ID space canonical.
+	explicit := 0
+	for _, s := range pr.Sensors {
+		if s.ID != nil {
+			explicit++
+		}
+	}
+	if explicit != 0 && explicit != len(pr.Sensors) {
+		return pr, badRequest("either every sensor carries an id or none does")
+	}
+	norm := make([]SensorSpec, len(pr.Sensors))
+	seen := make(map[int]struct{}, len(pr.Sensors))
+	for i, s := range pr.Sensors {
+		if !isFinite(s.X) || !isFinite(s.Y) {
+			return pr, badRequest("sensor %d has a non-finite coordinate", i)
+		}
+		if s.X < 0 || s.X > pr.FieldSide || s.Y < 0 || s.Y > pr.FieldSide {
+			return pr, badRequest("sensor %d at (%g, %g) is outside the field [0, %g]²", i, s.X, s.Y, pr.FieldSide)
+		}
+		id := i
+		if s.ID != nil {
+			id = *s.ID
+			if id < 0 {
+				return pr, badRequest("sensor %d has negative id %d", i, id)
+			}
+		}
+		if _, dup := seen[id]; dup {
+			return pr, badRequest("duplicate sensor id %d", id)
+		}
+		seen[id] = struct{}{}
+		norm[i] = SensorSpec{ID: intPtr(id), X: s.X, Y: s.Y}
+	}
+	pr.Sensors = norm
+	return pr, nil
+}
+
+// normalize validates the repair request: the embedded plan fields plus
+// the failed-ID references, which must name existing sensors (explicit
+// or scattered) exactly once each.
+func (rr RepairRequest) normalize(lim Limits) (RepairRequest, error) {
+	pr, err := rr.PlanRequest.normalize(lim)
+	if err != nil {
+		return rr, err
+	}
+	rr.PlanRequest = pr
+	// Scattered sensors take sequential IDs after the largest explicit
+	// one — the facade's nextID rule.
+	maxID := -1
+	known := make(map[int]struct{}, len(pr.Sensors)+pr.Scatter)
+	for _, s := range pr.Sensors {
+		known[*s.ID] = struct{}{}
+		if *s.ID > maxID {
+			maxID = *s.ID
+		}
+	}
+	for i := 0; i < pr.Scatter; i++ {
+		known[maxID+1+i] = struct{}{}
+	}
+	seen := make(map[int]struct{}, len(rr.Failed))
+	for _, id := range rr.Failed {
+		if _, ok := known[id]; !ok {
+			return rr, badRequest("failed sensor id %d does not exist in the deployment", id)
+		}
+		if _, dup := seen[id]; dup {
+			return rr, badRequest("duplicate failed sensor id %d", id)
+		}
+		seen[id] = struct{}{}
+	}
+	return rr, nil
+}
+
+// timeout resolves the request's effective deadline under lim.
+func (pr PlanRequest) timeout(lim Limits) time.Duration {
+	if pr.TimeoutMS == 0 {
+		return lim.DefaultTimeout
+	}
+	d := time.Duration(pr.TimeoutMS) * time.Millisecond
+	if d > lim.MaxTimeout {
+		return lim.MaxTimeout
+	}
+	return d
+}
+
+// cacheKey hashes the canonical (normalized) request into the plan-cache
+// key. The timeout is excluded: it bounds how long a client waits, never
+// what a completed plan contains, so requests differing only in
+// timeout_ms share one cache entry. The endpoint tag keeps /v1/plan and
+// /v1/repair keys disjoint even for structurally identical bodies.
+func cacheKey(endpoint string, normalized any) string {
+	b, err := json.Marshal(normalized)
+	if err != nil {
+		// The normalized request is a plain struct of finite numbers;
+		// this cannot fail.
+		panic(fmt.Sprintf("service: canonical marshal: %v", err))
+	}
+	h := sha256.New()
+	io.WriteString(h, endpoint)
+	h.Write([]byte{0})
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (pr PlanRequest) key() string {
+	pr.TimeoutMS = 0
+	return cacheKey("plan", pr)
+}
+
+func (rr RepairRequest) key() string {
+	rr.TimeoutMS = 0
+	return cacheKey("repair", rr)
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func intPtr(i int) *int { return &i }

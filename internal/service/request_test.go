@@ -1,0 +1,111 @@
+package service
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNormalizeFillsDefaults(t *testing.T) {
+	pr, err := PlanRequest{FieldSide: 100, K: 3, Rs: 4}.normalize(DefaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Rc != 8 {
+		t.Errorf("Rc = %g, want 2·Rs", pr.Rc)
+	}
+	if pr.NumPoints != 2000 || pr.Generator != "halton" || pr.Method != "voronoi-big" {
+		t.Errorf("defaults = %d %q %q", pr.NumPoints, pr.Generator, pr.Method)
+	}
+}
+
+func TestNormalizeRejectsNonFinite(t *testing.T) {
+	lim := DefaultLimits()
+	bad := []PlanRequest{
+		{FieldSide: math.NaN(), K: 1, Rs: 4},
+		{FieldSide: math.Inf(1), K: 1, Rs: 4},
+		{FieldSide: 50, K: 1, Rs: math.NaN()},
+		{FieldSide: 50, K: 1, Rs: 4, Rc: math.Inf(1)},
+		{FieldSide: 50, K: 1, Rs: 4, Sensors: []SensorSpec{{X: math.NaN(), Y: 1}}},
+		{FieldSide: 50, K: 1, Rs: 4, Sensors: []SensorSpec{{X: 1, Y: math.Inf(-1)}}},
+	}
+	for i, pr := range bad {
+		if _, err := pr.normalize(lim); err == nil {
+			t.Errorf("request %d with non-finite input accepted", i)
+		}
+	}
+}
+
+func TestNormalizeAssignsSequentialIDs(t *testing.T) {
+	pr, err := PlanRequest{FieldSide: 50, K: 1, Rs: 4,
+		Sensors: []SensorSpec{{X: 1, Y: 1}, {X: 2, Y: 2}}}.normalize(DefaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range pr.Sensors {
+		if s.ID == nil || *s.ID != i {
+			t.Errorf("sensor %d id = %v, want %d", i, s.ID, i)
+		}
+	}
+}
+
+func TestCacheKeySemantics(t *testing.T) {
+	lim := DefaultLimits()
+	base := PlanRequest{FieldSide: 100, K: 3, Rs: 4, Seed: 1}
+	a, _ := base.normalize(lim)
+
+	// Explicit defaults hash identically to implicit ones.
+	explicit, _ := PlanRequest{FieldSide: 100, K: 3, Rs: 4, Rc: 8, NumPoints: 2000,
+		Generator: "halton", Method: "voronoi-big", Seed: 1}.normalize(lim)
+	if a.key() != explicit.key() {
+		t.Errorf("defaulted and explicit requests must share a key")
+	}
+
+	// The timeout never affects the key.
+	timed := a
+	timed.TimeoutMS = 9999
+	if a.key() != timed.key() {
+		t.Errorf("timeout_ms must not affect the cache key")
+	}
+
+	// Any plan-affecting field does.
+	for name, mut := range map[string]func(*PlanRequest){
+		"seed":   func(p *PlanRequest) { p.Seed = 2 },
+		"k":      func(p *PlanRequest) { p.K = 4 },
+		"method": func(p *PlanRequest) { p.Method = "centralized" },
+		"points": func(p *PlanRequest) { p.NumPoints = 1000 },
+	} {
+		m := a
+		mut(&m)
+		if m.key() == a.key() {
+			t.Errorf("changing %s must change the key", name)
+		}
+	}
+}
+
+func TestTimeoutResolution(t *testing.T) {
+	lim := Limits{DefaultTimeout: time.Second, MaxTimeout: 2 * time.Second}.normalized()
+	if d := (PlanRequest{}).timeout(lim); d != time.Second {
+		t.Errorf("default timeout = %v", d)
+	}
+	if d := (PlanRequest{TimeoutMS: 500}).timeout(lim); d != 500*time.Millisecond {
+		t.Errorf("explicit timeout = %v", d)
+	}
+	if d := (PlanRequest{TimeoutMS: 60000}).timeout(lim); d != 2*time.Second {
+		t.Errorf("timeout not clamped: %v", d)
+	}
+}
+
+func TestDecodeJSONStrictness(t *testing.T) {
+	var pr PlanRequest
+	if err := decodeJSON(strings.NewReader(`{"field_side":50} {"k":1}`), &pr); err == nil {
+		t.Error("trailing object accepted")
+	}
+	if err := decodeJSON(strings.NewReader(`{"nope":1}`), &pr); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if err := decodeJSON(strings.NewReader(`{"field_side":50}   `), &pr); err != nil {
+		t.Errorf("trailing whitespace rejected: %v", err)
+	}
+}

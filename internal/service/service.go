@@ -1,0 +1,258 @@
+// Package service turns the DECOR planner into a long-running
+// request/response system: decor-serve's HTTP layer, admission control,
+// plan cache and instrumentation live here, on top of the decor facade.
+//
+// The paper's restoration step (§3) is a natural online operation — a
+// field state comes in, a placement plan comes out — and this package
+// owns the production concerns around it: a bounded worker pool behind
+// an admission queue (overload answers 503 + Retry-After instead of
+// queueing unboundedly), per-request deadlines carried by
+// context.Context all the way into the placement round loop, an LRU
+// cache of finished plans keyed by the canonical request hash with
+// singleflight coalescing of identical in-flight requests, and a
+// graceful drain on shutdown. DESIGN.md §9 documents the invariants.
+package service
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"decor/internal/obs"
+)
+
+// Config sizes a Server. The zero value gets sensible defaults from
+// normalization: GOMAXPROCS workers, a 256-deep admission queue, a
+// 512-entry plan cache and DefaultLimits.
+type Config struct {
+	// Workers is the number of concurrent planner goroutines.
+	Workers int
+	// QueueDepth bounds the admission queue; a request arriving with the
+	// queue full is rejected with 503 + Retry-After.
+	QueueDepth int
+	// CacheEntries sizes the LRU plan cache (negative disables it).
+	CacheEntries int
+	// Limits bounds individual requests; see Limits.
+	Limits Limits
+	// Registry receives the decor_serve_* instruments and is exposed at
+	// /metrics (default: the process-wide obs.Default()).
+	Registry *obs.Registry
+}
+
+func (c Config) normalized() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 512
+	}
+	c.Limits = c.Limits.normalized()
+	if c.Registry == nil {
+		c.Registry = obs.Default()
+	}
+	return c
+}
+
+// job is one admitted planning request.
+type job struct {
+	ctx  context.Context // carries the request deadline into the planner
+	run  func(context.Context) ([]byte, error)
+	done chan jobResult // buffered: the worker never blocks on delivery
+}
+
+type jobResult struct {
+	body []byte
+	err  error
+}
+
+// Server is the restoration-planning service. Create with New, mount
+// Handler on an http.Server, and Shutdown to drain.
+type Server struct {
+	cfg    Config
+	cache  *planCache
+	flight *flightGroup
+
+	queue chan *job
+	wg    sync.WaitGroup // worker goroutines
+
+	// baseCtx parents every job context, so a forced shutdown can abort
+	// in-flight planning promptly.
+	baseCtx context.Context
+	abort   context.CancelFunc
+
+	mu       sync.Mutex
+	draining bool
+
+	// ewmaPlanMS tracks recent plan latency for Retry-After estimates.
+	ewmaPlanMS atomicFloat
+
+	// Instruments (see obs.RegisterServe for the taxonomy).
+	cPlanReqs, cRepairReqs, cBadReqs     *obs.Counter
+	cRejected, cTimeouts, cErrors        *obs.Counter
+	cCacheHits, cCacheMisses, cCoalesced *obs.Counter
+	gQueueDepth, gInflight               *obs.Gauge
+	hPlanSeconds, hRequestSeconds        *obs.Histogram
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.normalized()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		cache:   newPlanCache(cfg.CacheEntries),
+		flight:  newFlightGroup(),
+		queue:   make(chan *job, cfg.QueueDepth),
+		baseCtx: ctx,
+		abort:   cancel,
+	}
+	r := cfg.Registry
+	obs.RegisterServe(r)
+	s.cPlanReqs = r.Counter(obs.ServePlanRequests)
+	s.cRepairReqs = r.Counter(obs.ServeRepairRequests)
+	s.cBadReqs = r.Counter(obs.ServeBadRequests)
+	s.cRejected = r.Counter(obs.ServeRejected)
+	s.cTimeouts = r.Counter(obs.ServeTimeouts)
+	s.cErrors = r.Counter(obs.ServeErrors)
+	s.cCacheHits = r.Counter(obs.ServeCacheHits)
+	s.cCacheMisses = r.Counter(obs.ServeCacheMisses)
+	s.cCoalesced = r.Counter(obs.ServeCoalesced)
+	s.gQueueDepth = r.Gauge(obs.ServeQueueDepth)
+	s.gInflight = r.Gauge(obs.ServeInflight)
+	s.hPlanSeconds = r.Histogram(obs.ServePlanSeconds, obs.DefLatencyBuckets)
+	s.hRequestSeconds = r.Histogram(obs.ServeRequestSeconds, obs.DefLatencyBuckets)
+
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Config returns the normalized configuration the server runs with.
+func (s *Server) Config() Config { return s.cfg }
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.gQueueDepth.Add(-1)
+		s.gInflight.Add(1)
+		start := time.Now()
+		var res jobResult
+		// The deadline covers queue wait too: a job that spent its whole
+		// budget queued fails fast instead of planning for a client that
+		// has already given up.
+		if err := j.ctx.Err(); err != nil {
+			res = jobResult{err: err}
+		} else {
+			body, err := j.run(j.ctx)
+			res = jobResult{body: body, err: err}
+		}
+		sec := time.Since(start).Seconds()
+		s.hPlanSeconds.Observe(sec)
+		s.ewmaPlanMS.blend(sec * 1000)
+		j.done <- res
+		s.gInflight.Add(-1)
+	}
+}
+
+// submit offers j to the admission queue without blocking; false means
+// the server is saturated (or draining) and the caller must shed load.
+func (s *Server) submit(j *job) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	select {
+	case s.queue <- j:
+		s.gQueueDepth.Add(1)
+		return true
+	default:
+		return false
+	}
+}
+
+// retryAfterSeconds estimates when a rejected client should try again: a
+// full queue's worth of work spread over the pool, floored at one
+// second (the resolution of the Retry-After header).
+func (s *Server) retryAfterSeconds() int {
+	est := float64(s.cfg.QueueDepth) * s.ewmaPlanMS.load() / 1000 / float64(s.cfg.Workers)
+	sec := int(math.Ceil(est))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 30 {
+		sec = 30
+	}
+	return sec
+}
+
+// Draining reports whether Shutdown has begun (healthz turns 503 so load
+// balancers stop routing here).
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Shutdown drains the service: new submissions are refused, queued and
+// in-flight plans run to completion, workers exit. If ctx expires first
+// the remaining plans are aborted through their contexts and Shutdown
+// waits for the workers to notice, returning ctx.Err().
+//
+// Call order matters: stop the HTTP listener (http.Server.Shutdown, which
+// waits for in-flight handlers and therefore for their jobs) before or
+// concurrently with this; Shutdown only manages the pool.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already {
+		// No submit can be in flight past this point: submit checks
+		// draining under the same mutex.
+		close(s.queue)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.abort() // cancel in-flight plan contexts
+		<-done
+		return ctx.Err()
+	}
+}
+
+// atomicFloat is a mutex-guarded EWMA holder (advisory latency stats).
+type atomicFloat struct {
+	mu sync.Mutex
+	v  float64
+}
+
+func (a *atomicFloat) load() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.v
+}
+
+// blend folds one sample into the EWMA (α = 0.2).
+func (a *atomicFloat) blend(sample float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.v == 0 {
+		a.v = sample
+		return
+	}
+	a.v = 0.8*a.v + 0.2*sample
+}

@@ -1,0 +1,63 @@
+#!/bin/sh
+# serve-smoke: end-to-end gate for the decor-serve service (ISSUE 3
+# acceptance): boot the server, drive a short decor-load burst, assert
+# throughput/latency/zero-5xx, then verify SIGTERM drains cleanly.
+#
+# Environment knobs:
+#   SMOKE_DURATION  load burst length           (default 5s)
+#   SMOKE_MIN_RPS   required plans/s            (default 500)
+#   SMOKE_MAX_P99   p99 latency ceiling         (default 250ms)
+#   SMOKE_JSON      where to write the summary  (default BENCH_serve.json)
+#
+# Concurrency 8 is far below the default 256-deep admission queue, so any
+# 5xx here is a real service bug, not deliberate load shedding.
+set -eu
+
+DURATION="${SMOKE_DURATION:-5s}"
+MIN_RPS="${SMOKE_MIN_RPS:-500}"
+MAX_P99="${SMOKE_MAX_P99:-250ms}"
+JSON_OUT="${SMOKE_JSON:-BENCH_serve.json}"
+
+TMP="$(mktemp -d)"
+SERVER_PID=""
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT INT TERM
+
+echo "serve-smoke: building binaries"
+go build -o "$TMP/decor-serve" ./cmd/decor-serve
+go build -o "$TMP/decor-load" ./cmd/decor-load
+
+# GOMAXPROCS=4 pins the acceptance environment: the >= $MIN_RPS bar must
+# hold on four cores, not however many this machine has.
+GOMAXPROCS=4 "$TMP/decor-serve" -addr 127.0.0.1:0 >"$TMP/serve.out" 2>&1 &
+SERVER_PID=$!
+
+# The server prints "decor-serve listening on http://HOST:PORT" once the
+# listener is up; poll for it rather than sleeping a fixed amount.
+URL=""
+for _ in $(seq 1 50); do
+    URL="$(sed -n 's/^decor-serve listening on \(.*\)$/\1/p' "$TMP/serve.out")"
+    [ -n "$URL" ] && break
+    kill -0 "$SERVER_PID" 2>/dev/null || { cat "$TMP/serve.out"; echo "serve-smoke: server died at startup" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$URL" ] || { echo "serve-smoke: server never printed its address" >&2; exit 1; }
+echo "serve-smoke: server up at $URL (pid $SERVER_PID)"
+
+"$TMP/decor-load" -url "$URL" -c 8 -d "$DURATION" -unique 4 \
+    -json "$JSON_OUT" -min-rps "$MIN_RPS" -max-p99 "$MAX_P99" -max-errors 0
+
+echo "serve-smoke: wrote $JSON_OUT; sending SIGTERM"
+kill -TERM "$SERVER_PID"
+DRAIN_OK=1
+wait "$SERVER_PID" || DRAIN_OK=0
+SERVER_PID=""
+if [ "$DRAIN_OK" != 1 ] || ! grep -q "drained, bye" "$TMP/serve.out"; then
+    cat "$TMP/serve.out"
+    echo "serve-smoke: server did not drain cleanly on SIGTERM" >&2
+    exit 1
+fi
+echo "serve-smoke: PASS (graceful drain confirmed)"
