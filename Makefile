@@ -2,19 +2,35 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check bench bench-json serve-smoke figures extensions summary clean
+.PHONY: all build vet test test-short check bench bench-json serve-smoke chaos-smoke cover figures extensions summary clean
 
 all: build vet test
 
 # The CI gate: static analysis, the full suite under the race detector
 # (the obs registry, engine instrumentation, and experiment worker pool
 # are concurrent), a one-iteration bench smoke so the benchmarks never
-# rot, and the decor-serve end-to-end smoke (throughput + graceful drain).
+# rot, the decor-serve end-to-end smoke (throughput + graceful drain),
+# and the chaos sweep (invariants + determinism under fault injection).
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 	$(MAKE) serve-smoke
+	$(MAKE) chaos-smoke
+
+# Chaos property gate: sweep 16 seeds per architecture under the race
+# detector, each run repeated to verify a byte-identical replay. Any
+# invariant violation, non-convergence, or replay divergence exits
+# non-zero. Replay an individual failure with the seed it prints, e.g.
+# `go run ./cmd/decor-chaos -arch grid -seed 7`.
+chaos-smoke:
+	$(GO) run -race ./cmd/decor-chaos -arch all -seeds 16
+
+# Coverage gate: combined statement coverage of internal/sim and
+# internal/protocol must stay at or above the post-chaos-PR baseline
+# (scripts/cover.sh, default floor 95%).
+cover:
+	sh scripts/cover.sh
 
 # End-to-end service gate: boot decor-serve on GOMAXPROCS=4, drive a
 # decor-load burst (>= 500 plans/s, bounded p99, zero 5xx), refresh

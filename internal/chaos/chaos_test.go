@@ -1,0 +1,114 @@
+package chaos
+
+import (
+	"encoding/json"
+	"testing"
+
+	"decor/internal/sim"
+)
+
+func TestDefaultScenarioPlansAreBounded(t *testing.T) {
+	for _, arch := range Archs() {
+		for seed := uint64(0); seed < 50; seed++ {
+			sc := DefaultScenario(arch, seed)
+			if err := sc.Plan.Validate(); err != nil {
+				t.Fatalf("%s seed %d: invalid plan: %v", arch, seed, err)
+			}
+			if !sc.Plan.Bounded() {
+				t.Fatalf("%s seed %d: derived plan escapes the severity bound: %+v", arch, seed, sc.Plan)
+			}
+		}
+	}
+}
+
+func TestDecodeScenarioAlwaysBounded(t *testing.T) {
+	inputs := [][]byte{
+		nil,
+		{},
+		{0},
+		{1, 0xff},
+		{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+		{7, 1, 2, 3, 4, 5, 6, 7, 8, 200, 100, 50, 1, 255, 10, 3, 250, 3, 9, 1, 20, 1, 30, 200, 40},
+	}
+	for _, in := range inputs {
+		sc := DecodeScenario(in)
+		if sc.Arch != ArchGrid && sc.Arch != ArchVoronoi {
+			t.Fatalf("decoded arch %q", sc.Arch)
+		}
+		if err := sc.Plan.Validate(); err != nil {
+			t.Fatalf("input %v: invalid plan: %v", in, err)
+		}
+		if !sc.Plan.Bounded() {
+			t.Fatalf("input %v: unbounded plan: %+v", in, sc.Plan)
+		}
+		if sc.Loss < 0 || sc.Loss > 0.3 {
+			t.Fatalf("input %v: loss %v outside decode clamp", in, sc.Loss)
+		}
+	}
+}
+
+func TestDecodeScenarioDeterministic(t *testing.T) {
+	in := []byte{1, 9, 8, 7, 6, 5, 4, 3, 2, 100, 200, 50, 1, 40, 90, 14, 250, 2, 8, 1, 1, 60, 200}
+	a, b := DecodeScenario(in), DecodeScenario(in)
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("decode not deterministic:\n%s\n%s", ja, jb)
+	}
+}
+
+func TestRunConvergesAndReplaysIdentically(t *testing.T) {
+	for _, arch := range Archs() {
+		arch := arch
+		t.Run(arch, func(t *testing.T) {
+			t.Parallel()
+			sc := DefaultScenario(arch, 11)
+			v1 := Run(sc)
+			if !v1.OK {
+				t.Fatalf("seed 11 not OK: converged=%v violations=%v", v1.Converged, v1.Violations)
+			}
+			if v1.TraceLines == 0 || v1.TraceHash == "" {
+				t.Fatal("empty trace")
+			}
+			v2 := Run(sc)
+			j1, _ := json.Marshal(v1)
+			j2, _ := json.Marshal(v2)
+			if string(j1) != string(j2) {
+				t.Fatalf("verdicts differ between identical runs:\n%s\n%s", j1, j2)
+			}
+		})
+	}
+}
+
+func TestRunRejectsUnknownArch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown arch should panic")
+		}
+	}()
+	Run(Scenario{Arch: "torus", Seed: 1})
+}
+
+func TestSelfhealRegressionIsCaught(t *testing.T) {
+	// Deliberately break self-healing: permanently crash every monitor
+	// before any sensor fails. The invariant checker must report the
+	// k-coverage breach with a virtual time and the offending monitor.
+	sc := DefaultScenario(ArchSelfheal, 3)
+	sc.Plan = sim.FaultPlan{Seed: 3}
+	for _, id := range sc.ActorUniverse() {
+		sc.Plan.Crashes = append(sc.Plan.Crashes, sim.Crash{Actor: id, At: 0.1})
+	}
+	v := Run(sc)
+	if v.OK {
+		t.Fatal("broken self-healing passed the chaos harness")
+	}
+	found := false
+	for _, viol := range v.Violations {
+		if viol.Invariant == "k-coverage" && viol.Time > 0 && viol.Actor >= 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no k-coverage violation with time and actor: %+v", v.Violations)
+	}
+}

@@ -166,6 +166,122 @@ func TestModelNames(t *testing.T) {
 	}
 }
 
+func TestCorrelatedSelectionTable(t *testing.T) {
+	m := deployedMap(400, 13)
+	cases := []struct {
+		name    string
+		model   Correlated
+		wantMin int // inclusive lower bound on victims
+		wantMax int // inclusive upper bound on victims
+	}{
+		{"no-clusters", Correlated{Clusters: 0, Radius: 20, P: 1}, 0, 0},
+		{"zero-radius", Correlated{Clusters: 5, Radius: 0, P: 1}, 0, 0},
+		{"certain-death-one-cluster", Correlated{Clusters: 1, Radius: 20, P: 1}, 1, 400},
+		{"certain-death-many", Correlated{Clusters: 6, Radius: 25, P: 1}, 30, 400},
+		{"coin-flip", Correlated{Clusters: 4, Radius: 20, P: 0.5}, 1, 399},
+		{"huge-radius-covers-all", Correlated{Clusters: 1, Radius: 200, P: 1}, 400, 400},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			got := tc.model.Select(m, rng.New(31))
+			if len(got) < tc.wantMin || len(got) > tc.wantMax {
+				t.Fatalf("selected %d victims, want in [%d, %d]", len(got), tc.wantMin, tc.wantMax)
+			}
+			seen := map[int]bool{}
+			for i, id := range got {
+				if i > 0 && got[i-1] >= id {
+					t.Fatal("victims not strictly ascending")
+				}
+				if seen[id] {
+					t.Fatalf("sensor %d selected twice", id)
+				}
+				seen[id] = true
+				if _, ok := m.SensorPos(id); !ok {
+					t.Fatalf("victim %d is not a deployed sensor", id)
+				}
+			}
+			// Select must not mutate the map.
+			if m.NumSensors() != 400 {
+				t.Fatalf("Select mutated the map: %d sensors", m.NumSensors())
+			}
+		})
+	}
+}
+
+// Growing the cluster probability can only grow the victim set when the
+// centers come from the same stream positions — checked pairwise on the
+// same seed. (With P=1 every in-disc sensor dies, so the P=1 set is the
+// union of the cluster discs, a superset of any P<1 draw's support.)
+func TestCorrelatedFullProbabilityIsDiscUnion(t *testing.T) {
+	m := deployedMap(300, 17)
+	model := Correlated{Clusters: 3, Radius: 18, P: 1}
+	got := model.Select(m, rng.New(8))
+	want := map[int]bool{}
+	r := rng.New(8)
+	for c := 0; c < model.Clusters; c++ {
+		center := r.PointInRect(m.Field())
+		for _, id := range m.SensorsInBall(center, model.Radius) {
+			if !want[id] && r.Bool(1) {
+				want[id] = true
+			}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("selected %d, disc union holds %d", len(got), len(want))
+	}
+	for _, id := range got {
+		if !want[id] {
+			t.Fatalf("sensor %d outside the disc union", id)
+		}
+	}
+}
+
+// Same seed ⇒ same victim set, for every model. This is what makes a
+// failure scenario replayable from an experiment log or chaos verdict.
+func TestAllModelsDeterministicPerSeed(t *testing.T) {
+	m := deployedMap(250, 19)
+	models := []Model{
+		Random{Fraction: 0.3},
+		IID{Q: 0.25},
+		Area{Disk: geom.DiskAt(40, 60, 24)},
+		AreaRandomCenter{Radius: 24},
+		Correlated{Clusters: 3, Radius: 15, P: 0.7},
+	}
+	for _, mo := range models {
+		mo := mo
+		t.Run(mo.Name(), func(t *testing.T) {
+			a := mo.Select(m, rng.New(77))
+			b := mo.Select(m, rng.New(77))
+			if len(a) != len(b) {
+				t.Fatalf("sizes differ: %d vs %d", len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("victim sets diverge at %d: %d vs %d", i, a[i], b[i])
+				}
+			}
+			// A different seed should (for these parameters) pick a
+			// different set — guards against models ignoring the stream.
+			if _, isArea := mo.(Area); !isArea {
+				c := mo.Select(m, rng.New(78))
+				same := len(a) == len(c)
+				if same {
+					for i := range a {
+						if a[i] != c[i] {
+							same = false
+							break
+						}
+					}
+				}
+				if same && len(a) > 0 {
+					t.Error("seed change did not change the victim set")
+				}
+			}
+		})
+	}
+}
+
 func TestRandomDeterministicPerSeed(t *testing.T) {
 	m := deployedMap(100, 21)
 	a := Random{Fraction: 0.3}.Select(m, rng.New(5))

@@ -23,6 +23,13 @@ const (
 	SimTimers     = "decor_sim_timers_fired_total"
 	SimQueueDepth = "decor_sim_queue_depth"
 
+	// internal/sim chaos counters (fault-injection layer, DESIGN.md §10).
+	SimDelayed          = "decor_sim_messages_delayed_total"
+	SimDuplicated       = "decor_sim_messages_duplicated_total"
+	SimPartitionDropped = "decor_sim_messages_partition_dropped_total"
+	SimCrashes          = "decor_sim_crashes_total"
+	SimRestarts         = "decor_sim_restarts_total"
+
 	// internal/protocol heartbeat / election / placement counters.
 	ProtoHeartbeats          = "decor_protocol_heartbeats_total"
 	ProtoPlacementsAnnounced = "decor_protocol_placements_announced_total"
@@ -70,6 +77,7 @@ const (
 func RegisterStandard(r *Registry) {
 	for _, name := range []string{
 		SimEvents, SimSent, SimDelivered, SimDropped, SimLost, SimTimers,
+		SimDelayed, SimDuplicated, SimPartitionDropped, SimCrashes, SimRestarts,
 		ProtoHeartbeats, ProtoPlacementsAnnounced, ProtoPlacementsReceived,
 		ProtoFailuresDetected, ProtoLeaderChanges,
 		CoreCacheDeltaUpdates, CoreCacheFallbacks,

@@ -1,0 +1,19 @@
+package protocol
+
+// Engine actor-ID layout. Each protocol family lives in its own ID bank
+// so a single engine can host leaders, sensor nodes, and monitors at
+// once, and so external tooling (the chaos harness, invariant watchdog)
+// can aim crashes and partitions at a specific protocol role without
+// reaching into package internals.
+
+// LeaderActor returns the engine actor ID of the grid-DECOR leader for a
+// cell.
+func LeaderActor(cell int) int { return leaderActorBase + cell }
+
+// SensorActor returns the engine actor ID of the Voronoi-DECOR node for
+// a sensor ID.
+func SensorActor(id int) int { return sensorActorBase + id }
+
+// MonitorActor returns the engine actor ID of the self-healing monitor
+// for a cell.
+func MonitorActor(cell int) int { return monitorBase + cell }

@@ -150,11 +150,14 @@ type CellLeader struct {
 	Placed int
 }
 
-// OnStart implements sim.Actor.
+// OnStart implements sim.Actor. It may run more than once (chaos
+// crash/restart revives an actor through a fresh OnStart), so it rebuilds
+// the leader's belief from scratch rather than accumulating.
 func (l *CellLeader) OnStart(ctx *sim.Context) {
 	w := l.world
 	l.counts = map[int]int{}
 	l.own = map[int]bool{}
+	l.pts = l.pts[:0]
 	for i := 0; i < w.M.NumPoints(); i++ {
 		if w.Part.CellIndex(w.M.Point(i)) == l.cell {
 			l.pts = append(l.pts, i)

@@ -6,17 +6,18 @@ import (
 	"decor/internal/geom"
 	"decor/internal/network"
 	"decor/internal/sim"
+	"decor/internal/sim/simtest"
 )
 
 // Failure-detection robustness under radio loss (the paper's §2.1
 // acknowledges packet loss; monitoring each point with k sensors is its
 // mitigation — here we check the detector itself).
 
-// buildLossyCluster wires n mutually-reachable nodes on a lossy engine.
+// buildLossyCluster wires n mutually-reachable nodes on a lossy engine
+// (shared setup from simtest, same as the sim-level loss suite).
 func buildLossyCluster(n int, cfg Config, loss float64) (*sim.Engine, []*Node) {
 	net := network.New(geom.Square(100))
-	eng := sim.NewEngine(0.01)
-	eng.SetLossRate(loss, 99)
+	eng := simtest.NewLossyEngine(0.01, loss, 99)
 	nodes := make([]*Node, n)
 	for i := 0; i < n; i++ {
 		net.Add(i, geom.Pt(50+float64(i), 50), 4, 20)

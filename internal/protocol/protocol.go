@@ -183,6 +183,12 @@ func (n *Node) AnnouncePlacement(ctx *sim.Context, pl PlacementPayload) {
 	obsPlacementsOut.Inc()
 }
 
+// ID returns the node's sensor ID.
+func (n *Node) ID() int { return n.id }
+
+// Cell returns the grid cell this node elects leaders in (-1 if unused).
+func (n *Node) Cell() int { return n.cfg.Cell }
+
 // Suspects returns the neighbors this node currently believes failed,
 // ascending.
 func (n *Node) Suspects() []int {

@@ -86,6 +86,10 @@ func (f *MonitoredField) Start() {
 	}
 }
 
+// CellOf returns the partition cell index of a position — the cell whose
+// monitor (see MonitorActor) is responsible for it.
+func (f *MonitoredField) CellOf(p geom.Point) int { return f.cellOf(p) }
+
 func (f *MonitoredField) cellOf(p geom.Point) int {
 	field := f.M.Field()
 	cols := int(field.W()/f.CellSize) + 1
@@ -130,11 +134,14 @@ type CellMonitor struct {
 	pts      []int
 }
 
-// OnStart implements sim.Actor.
+// OnStart implements sim.Actor. It may run more than once (chaos
+// crash/restart revives an actor through a fresh OnStart), so it rebuilds
+// the monitor's ledger from scratch rather than accumulating.
 func (c *CellMonitor) OnStart(ctx *sim.Context) {
 	f := c.field
 	c.failed = map[int]bool{}
 	c.lastBeat = map[int]sim.Time{}
+	c.pts = c.pts[:0]
 	for i := 0; i < f.M.NumPoints(); i++ {
 		if f.cellOf(f.M.Point(i)) == c.cell {
 			c.pts = append(c.pts, i)

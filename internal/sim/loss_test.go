@@ -1,21 +1,30 @@
-package sim
+package sim_test
 
 import (
 	"math"
 	"testing"
+
+	"decor/internal/sim"
+	"decor/internal/sim/simtest"
 )
 
-func TestLossRateDropsFraction(t *testing.T) {
-	e := NewEngine(0.01)
-	e.SetLossRate(0.3, 42)
-	recv := &echoActor{}
+// flood registers a receiver (id 2) and a sender (id 1) that emits n
+// messages at t=0, returning the receiver.
+func flood(e *sim.Engine, n int) *simtest.Recorder {
+	recv := &simtest.Recorder{}
 	e.Register(2, recv)
-	e.Register(1, &echoActor{onStart: func(ctx *Context) {
-		for i := 0; i < 5000; i++ {
+	e.Register(1, &simtest.Recorder{Hooks: simtest.Hooks{OnStart: func(ctx *sim.Context) {
+		for i := 0; i < n; i++ {
 			ctx.Send(2, "x", i)
 		}
-	}})
-	e.Run(Inf)
+	}}})
+	return recv
+}
+
+func TestLossRateDropsFraction(t *testing.T) {
+	e := simtest.NewLossyEngine(0.01, 0.3, 42)
+	recv := flood(e, 5000)
+	e.Run(sim.Inf)
 	st := e.Stats()
 	if st.Sent != 5000 {
 		t.Fatalf("sent = %d", st.Sent)
@@ -27,22 +36,16 @@ func TestLossRateDropsFraction(t *testing.T) {
 	if math.Abs(frac-0.3) > 0.03 {
 		t.Errorf("loss fraction = %v, want ~0.3", frac)
 	}
-	if len(recv.messages) != st.Delivered {
-		t.Errorf("receiver saw %d, engine delivered %d", len(recv.messages), st.Delivered)
+	if len(recv.Messages) != st.Delivered {
+		t.Errorf("receiver saw %d, engine delivered %d", len(recv.Messages), st.Delivered)
 	}
 }
 
 func TestLossDeterministic(t *testing.T) {
 	run := func() int {
-		e := NewEngine(0)
-		e.SetLossRate(0.5, 7)
-		e.Register(2, &echoActor{})
-		e.Register(1, &echoActor{onStart: func(ctx *Context) {
-			for i := 0; i < 100; i++ {
-				ctx.Send(2, "x", nil)
-			}
-		}})
-		e.Run(Inf)
+		e := simtest.NewLossyEngine(0, 0.5, 7)
+		flood(e, 100)
+		e.Run(sim.Inf)
 		return e.Stats().Lost
 	}
 	if run() != run() {
@@ -51,38 +54,50 @@ func TestLossDeterministic(t *testing.T) {
 }
 
 func TestLossRateValidation(t *testing.T) {
-	for _, bad := range []float64{-0.1, 1.0, 2} {
+	for _, bad := range []float64{-0.1, 1.01, 2} {
 		func() {
 			defer func() {
 				if recover() == nil {
 					t.Errorf("loss rate %v should panic", bad)
 				}
 			}()
-			NewEngine(0).SetLossRate(bad, 1)
+			sim.NewEngine(0).SetLossRate(bad, 1)
 		}()
 	}
 	// Zero is allowed and means lossless.
-	e := NewEngine(0)
-	e.SetLossRate(0, 1)
-	e.Register(2, &echoActor{})
-	e.Register(1, &echoActor{onStart: func(ctx *Context) { ctx.Send(2, "x", nil) }})
-	e.Run(Inf)
+	e := simtest.NewLossyEngine(0, 0, 1)
+	flood(e, 1)
+	e.Run(sim.Inf)
 	if e.Stats().Lost != 0 || e.Stats().Delivered != 1 {
 		t.Error("zero loss rate dropped messages")
 	}
 }
 
+// The boundary p = 1.0 is a legal chaos setting: a total radio blackout.
+// Every message is lost, none delivered, and timers still fire.
+func TestLossRateOneIsTotalBlackout(t *testing.T) {
+	e := simtest.NewLossyEngine(0.01, 1.0, 9)
+	recv := flood(e, 200)
+	e.Run(sim.Inf)
+	st := e.Stats()
+	if st.Lost != 200 || st.Delivered != 0 {
+		t.Errorf("blackout stats: lost %d delivered %d, want 200/0", st.Lost, st.Delivered)
+	}
+	if len(recv.Messages) != 0 {
+		t.Error("receiver heard through a total blackout")
+	}
+}
+
 func TestTimersUnaffectedByLoss(t *testing.T) {
-	e := NewEngine(0)
-	e.SetLossRate(0.9, 3)
-	a := &echoActor{onStart: func(ctx *Context) {
+	e := simtest.NewLossyEngine(0, 0.9, 3)
+	a := &simtest.Recorder{Hooks: simtest.Hooks{OnStart: func(ctx *sim.Context) {
 		for i := 0; i < 50; i++ {
-			ctx.SetTimer(Time(i+1), "t")
+			ctx.SetTimer(sim.Time(i+1), "t")
 		}
-	}}
+	}}}
 	e.Register(1, a)
-	e.Run(Inf)
-	if len(a.timers) != 50 {
-		t.Errorf("timers fired = %d, want 50 (loss must not affect timers)", len(a.timers))
+	e.Run(sim.Inf)
+	if len(a.Timers) != 50 {
+		t.Errorf("timers fired = %d, want 50 (loss must not affect timers)", len(a.Timers))
 	}
 }

@@ -57,14 +57,24 @@ func (c *Context) Now() Time { return c.eng.now }
 // radio messages to a failed node. Each send counts toward the engine's
 // message statistics.
 func (c *Context) Send(to int, kind string, payload any) {
-	c.eng.stats.Sent++
-	c.eng.stats.SentBy[c.id]++
-	c.eng.ob.sent.Inc()
-	c.eng.schedule(event{
-		at:   c.eng.now + c.eng.latency,
-		kind: evMessage,
-		msg:  Message{From: c.id, To: to, Kind: kind, Payload: payload},
-	})
+	e := c.eng
+	e.stats.Sent++
+	e.stats.SentBy[c.id]++
+	e.ob.sent.Inc()
+	msg := Message{From: c.id, To: to, Kind: kind, Payload: payload}
+	jitter := Time(0)
+	if e.faults != nil {
+		if jitter = e.faults.sendDelay(e.now); jitter > 0 {
+			e.stats.Delayed++
+			e.ob.delayed.Inc()
+		}
+		if dupJitter, dup := e.faults.duplicate(e.now); dup {
+			e.stats.Duplicated++
+			e.ob.duplicated.Inc()
+			e.schedule(event{at: e.now + e.latency + dupJitter, kind: evMessage, msg: msg})
+		}
+	}
+	e.schedule(event{at: e.now + e.latency + jitter, kind: evMessage, msg: msg})
 }
 
 // SetTimer schedules OnTimer(tag) after d. Timers are not cancellable;
@@ -90,35 +100,53 @@ type Engine struct {
 	trace    func(Time, string)
 	lossRate float64
 	lossRNG  *rng.RNG
+	faults   *faultState
 }
 
 // engineObs caches the engine's live instruments so the event loop never
 // pays a registry lookup.
 type engineObs struct {
 	events, sent, delivered, dropped, lost, timers *obs.Counter
+	delayed, duplicated, partitionDropped          *obs.Counter
+	crashes, restarts                              *obs.Counter
 	queueDepth                                     *obs.Gauge
 }
 
 func bindEngineObs(r *obs.Registry) engineObs {
 	return engineObs{
-		events:     r.Counter(obs.SimEvents),
-		sent:       r.Counter(obs.SimSent),
-		delivered:  r.Counter(obs.SimDelivered),
-		dropped:    r.Counter(obs.SimDropped),
-		lost:       r.Counter(obs.SimLost),
-		timers:     r.Counter(obs.SimTimers),
-		queueDepth: r.Gauge(obs.SimQueueDepth),
+		events:           r.Counter(obs.SimEvents),
+		sent:             r.Counter(obs.SimSent),
+		delivered:        r.Counter(obs.SimDelivered),
+		dropped:          r.Counter(obs.SimDropped),
+		lost:             r.Counter(obs.SimLost),
+		timers:           r.Counter(obs.SimTimers),
+		delayed:          r.Counter(obs.SimDelayed),
+		duplicated:       r.Counter(obs.SimDuplicated),
+		partitionDropped: r.Counter(obs.SimPartitionDropped),
+		crashes:          r.Counter(obs.SimCrashes),
+		restarts:         r.Counter(obs.SimRestarts),
+		queueDepth:       r.Gauge(obs.SimQueueDepth),
 	}
 }
 
-// Stats aggregates engine-level counters.
+// Stats aggregates engine-level counters. Every message send resolves to
+// exactly one of Delivered, Dropped, Lost, or PartitionDropped, so at
+// quiescence Sent + Duplicated equals their sum — the accounting
+// invariant internal/sim/invariant checks.
 type Stats struct {
 	Sent      int // messages sent (incl. dropped at delivery)
 	Delivered int
 	Dropped   int // sends to dead/unknown actors
-	Lost      int // messages lost to simulated radio loss
+	Lost      int // messages lost to simulated radio loss (uniform + burst)
 	Timers    int
 	SentBy    map[int]int
+
+	// Chaos counters (zero unless a FaultPlan is installed).
+	Delayed          int // messages given extra delay jitter
+	Duplicated       int // extra deliveries scheduled by duplication
+	PartitionDropped int // messages severed by an active partition
+	Crashes          int
+	Restarts         int
 }
 
 // NewEngine creates an engine with the given one-hop delivery latency.
@@ -150,10 +178,11 @@ func (e *Engine) SetRegistry(r *obs.Registry) {
 // SetLossRate makes every message delivery fail independently with
 // probability p (deterministically, driven by seed) — the radio packet
 // loss the paper's §2.1 mentions ("sensors are also susceptible to
-// packet loss and link failures"). Timers are unaffected.
+// packet loss and link failures"). Timers are unaffected. p must be in
+// [0, 1]; 1 is a total radio blackout, a legitimate chaos setting.
 func (e *Engine) SetLossRate(p float64, seed uint64) {
-	if p < 0 || p >= 1 {
-		panic("sim: loss rate must be in [0, 1)")
+	if p < 0 || p > 1 {
+		panic("sim: loss rate must be in [0, 1]")
 	}
 	e.lossRate = p
 	e.lossRNG = rng.New(seed)
@@ -188,6 +217,19 @@ func (e *Engine) Register(id int, a Actor) {
 // failures map to Kill.
 func (e *Engine) Kill(id int) { e.dead[id] = true }
 
+// Restart revives a killed (or crashed) actor: its OnStart runs again at
+// the current virtual time, re-arming its timer chains. The actor keeps
+// its struct state — recovery from a checkpoint. Restarting an actor
+// that was never registered, or is already alive, is a no-op.
+func (e *Engine) Restart(id int) {
+	a, ok := e.actors[id]
+	if !ok || !e.dead[id] {
+		return
+	}
+	delete(e.dead, id)
+	a.OnStart(&Context{eng: e, id: id})
+}
+
 // Alive reports whether id is registered and not killed.
 func (e *Engine) Alive(id int) bool {
 	_, ok := e.actors[id]
@@ -198,6 +240,8 @@ func (e *Engine) Alive(id int) bool {
 const (
 	evMessage = iota
 	evTimer
+	evCrash   // fault-plan control: mark msg.To dead
+	evRestart // fault-plan control: revive msg.To and re-run OnStart
 )
 
 type event struct {
@@ -226,6 +270,22 @@ func (q *eventQueue) Pop() any {
 	return it
 }
 
+// dropTimers removes every pending timer event for actor id: a crashed
+// node loses its volatile timer state, while messages already in flight
+// to it stay in the ether (and drop at delivery if it is still down).
+func (e *Engine) dropTimers(id int) {
+	kept := e.queue[:0]
+	for _, ev := range e.queue {
+		if ev.kind == evTimer && ev.msg.To == id {
+			continue
+		}
+		kept = append(kept, ev)
+	}
+	e.queue = kept
+	heap.Init(&e.queue)
+	e.ob.queueDepth.Set(float64(len(e.queue)))
+}
+
 func (e *Engine) schedule(ev event) {
 	ev.seq = e.seq
 	e.seq++
@@ -248,6 +308,27 @@ func (e *Engine) Run(until Time) int {
 		e.now = ev.at
 		processed++
 		target := ev.msg.To
+		if ev.kind == evCrash {
+			e.dead[target] = true
+			e.dropTimers(target)
+			e.stats.Crashes++
+			e.ob.crashes.Inc()
+			if e.trace != nil {
+				e.trace(e.now, fmt.Sprintf("crash @%d", target))
+			}
+			continue
+		}
+		if ev.kind == evRestart {
+			if _, ok := e.actors[target]; ok && e.dead[target] {
+				e.stats.Restarts++
+				e.ob.restarts.Inc()
+				if e.trace != nil {
+					e.trace(e.now, fmt.Sprintf("restart @%d", target))
+				}
+				e.Restart(target)
+			}
+			continue
+		}
 		actor, ok := e.actors[target]
 		if !ok || e.dead[target] {
 			if ev.kind == evMessage {
@@ -259,9 +340,25 @@ func (e *Engine) Run(until Time) int {
 		ctx := &Context{eng: e, id: target}
 		switch ev.kind {
 		case evMessage:
+			if e.faults != nil && e.faults.linkCut(e.now, ev.msg.From, target) {
+				e.stats.PartitionDropped++
+				e.ob.partitionDropped.Inc()
+				if e.trace != nil {
+					e.trace(e.now, fmt.Sprintf("cut %s %d->%d", ev.msg.Kind, ev.msg.From, target))
+				}
+				continue
+			}
 			if e.lossRate > 0 && e.lossRNG.Bool(e.lossRate) {
 				e.stats.Lost++
 				e.ob.lost.Inc()
+				continue
+			}
+			if e.faults != nil && e.faults.burstLost(e.now) {
+				e.stats.Lost++
+				e.ob.lost.Inc()
+				if e.trace != nil {
+					e.trace(e.now, fmt.Sprintf("burst-lose %s %d->%d", ev.msg.Kind, ev.msg.From, target))
+				}
 				continue
 			}
 			e.stats.Delivered++
@@ -287,6 +384,20 @@ func (e *Engine) Run(until Time) int {
 
 // Pending returns the number of queued events.
 func (e *Engine) Pending() int { return e.queue.Len() }
+
+// PendingMessages returns the number of queued message-delivery events
+// (timers and fault-plan control events excluded). It closes the
+// message-accounting books mid-run: Sent + Duplicated always equals
+// Delivered + Dropped + Lost + PartitionDropped + PendingMessages.
+func (e *Engine) PendingMessages() int {
+	n := 0
+	for _, ev := range e.queue {
+		if ev.kind == evMessage {
+			n++
+		}
+	}
+	return n
+}
 
 // Inf is a convenience for Run(sim.Inf): process everything.
 const Inf = Time(math.MaxFloat64)

@@ -1,0 +1,57 @@
+// Package simtest holds the small engine-test helpers shared by the sim,
+// protocol, and chaos test suites, so lossy-engine setup and the
+// recording actor are written once instead of per package.
+package simtest
+
+import "decor/internal/sim"
+
+// Recorder is a scriptable actor that records everything it sees. The
+// optional hooks run after recording.
+type Recorder struct {
+	Started  bool
+	Messages []sim.Message
+	Timers   []string
+	Hooks    Hooks
+}
+
+// Hooks customizes a Recorder's behaviour.
+type Hooks struct {
+	OnStart   func(*sim.Context)
+	OnMessage func(*sim.Context, sim.Message)
+	OnTimer   func(*sim.Context, string)
+}
+
+// OnStart implements sim.Actor.
+func (a *Recorder) OnStart(ctx *sim.Context) {
+	a.Started = true
+	if a.Hooks.OnStart != nil {
+		a.Hooks.OnStart(ctx)
+	}
+}
+
+// OnMessage implements sim.Actor.
+func (a *Recorder) OnMessage(ctx *sim.Context, m sim.Message) {
+	a.Messages = append(a.Messages, m)
+	if a.Hooks.OnMessage != nil {
+		a.Hooks.OnMessage(ctx, m)
+	}
+}
+
+// OnTimer implements sim.Actor.
+func (a *Recorder) OnTimer(ctx *sim.Context, tag string) {
+	a.Timers = append(a.Timers, tag)
+	if a.Hooks.OnTimer != nil {
+		a.Hooks.OnTimer(ctx, tag)
+	}
+}
+
+// NewLossyEngine builds an engine with the given one-hop latency and
+// uniform loss rate installed under the given seed — the setup previously
+// duplicated by the sim and protocol loss tests.
+func NewLossyEngine(latency sim.Time, loss float64, seed uint64) *sim.Engine {
+	e := sim.NewEngine(latency)
+	if loss > 0 {
+		e.SetLossRate(loss, seed)
+	}
+	return e
+}

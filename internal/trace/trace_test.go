@@ -11,7 +11,9 @@ import (
 	"decor/internal/geom"
 	"decor/internal/lowdisc"
 	"decor/internal/obs"
+	"decor/internal/protocol"
 	"decor/internal/rng"
+	"decor/internal/sim"
 )
 
 func runDeployment(t *testing.T) (*coverage.Map, core.Result, func() *coverage.Map) {
@@ -83,6 +85,73 @@ func TestReplayReachesRecordedCoverage(t *testing.T) {
 	}
 	if fresh.NumSensors() != m.NumSensors() {
 		t.Errorf("replayed sensors = %d, want %d", fresh.NumSensors(), m.NumSensors())
+	}
+}
+
+// A chaos run — event-driven grid deployment under delay, duplication,
+// burst loss, a leader crash, and a partition — must serialize through
+// the trace format and replay onto a fresh map with IDENTICAL final
+// per-point coverage counts, not merely the same coverage fraction. The
+// trace is the post-mortem artifact for failing chaos seeds, so it has
+// to reproduce the world exactly.
+func TestChaosRunTraceReplaysIdenticalCoverage(t *testing.T) {
+	field := geom.Square(30)
+	pts := lowdisc.Halton{}.Points(120, field)
+	build := func() *coverage.Map { return coverage.New(field, pts, 4, 2) }
+
+	m := build()
+	eng := sim.NewEngine(0.05)
+	eng.SetLossRate(0.15, 5)
+	eng.SetFaults(sim.FaultPlan{
+		Seed:      5,
+		DelayProb: 0.3, DelayMax: 1.5,
+		DupProb: 0.2,
+		Burst:   &sim.GilbertElliott{PGoodToBad: 0.1, PBadToGood: 0.3, LossBad: 0.7},
+		Until:   25,
+		Crashes: []sim.Crash{{Actor: protocol.LeaderActor(2), At: 3, RestartAt: 8}},
+		Partitions: []sim.Partition{{
+			From: 1, Until: 10,
+			A: []int{protocol.LeaderActor(0)},
+			B: []int{protocol.LeaderActor(4), protocol.LeaderActor(5)},
+		}},
+	})
+	w := protocol.NewWorld(m, 5, eng, 1)
+	seeds := protocol.RunDeployment(w)
+	if !m.FullyCovered() {
+		t.Fatal("chaos deployment did not converge")
+	}
+
+	res := core.Result{Method: "grid-small", Messages: w.MessagesSent, Seeded: seeds}
+	for i, pl := range w.PlacementLog {
+		res.Placed = append(res.Placed, core.Placement{ID: pl.NewID, Pos: pl.Pos, Round: i})
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, m, res); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Header.Initial != 0 {
+		t.Errorf("chaos run logs every placement; header initial = %d", tr.Header.Initial)
+	}
+
+	fresh := build()
+	cov, err := Replay(fresh, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov != 1 {
+		t.Errorf("replayed coverage = %v, want 1", cov)
+	}
+	if fresh.NumSensors() != m.NumSensors() {
+		t.Fatalf("replayed sensors = %d, want %d", fresh.NumSensors(), m.NumSensors())
+	}
+	for i := 0; i < m.NumPoints(); i++ {
+		if fresh.Count(i) != m.Count(i) {
+			t.Fatalf("point %d: replayed count %d != live count %d", i, fresh.Count(i), m.Count(i))
+		}
 	}
 }
 

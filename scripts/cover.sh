@@ -1,0 +1,20 @@
+#!/bin/sh
+# Coverage gate for the chaos-critical packages: the combined statement
+# coverage of internal/sim (+invariant, +simtest) and internal/protocol
+# must not drop below the post-PR-4 baseline. Override the floor with
+# COVER_BASELINE, the profile path with COVER_PROFILE.
+set -e
+
+GO=${GO:-go}
+BASELINE=${COVER_BASELINE:-95.0}
+PROFILE=${COVER_PROFILE:-cover_sim_protocol.out}
+PKGS=decor/internal/sim,decor/internal/sim/invariant,decor/internal/sim/simtest,decor/internal/protocol
+
+$GO test -coverprofile="$PROFILE" -coverpkg="$PKGS" ./internal/sim/... ./internal/protocol/ >/dev/null
+
+TOTAL=$($GO tool cover -func="$PROFILE" | awk '/^total:/ {gsub("%", "", $3); print $3}')
+echo "combined sim+protocol coverage: ${TOTAL}% (baseline ${BASELINE}%)"
+if awk -v t="$TOTAL" -v b="$BASELINE" 'BEGIN { exit !(t + 0 < b + 0) }'; then
+	echo "coverage regression: ${TOTAL}% < ${BASELINE}%" >&2
+	exit 1
+fi
