@@ -7,19 +7,24 @@ GO ?= go
 all: build vet test
 
 # The CI gate: static analysis, the full suite under the race detector
-# (the obs registry, engine instrumentation, and experiment worker pool
+# (the obs registry, engine instrumentation, and the shard worker pool
 # are concurrent), a one-iteration bench smoke so the benchmarks never
-# rot, the decor-serve end-to-end smoke (throughput + graceful drain),
-# and the chaos sweep (invariants + determinism under fault injection).
+# rot, an old-vs-new engine benchmark report against the committed
+# BENCH_sim.json baseline (report only, no regression gate yet), the
+# decor-serve end-to-end smoke (throughput + graceful drain), and the
+# chaos sweep (invariants + determinism under fault injection).
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+	sh scripts/benchstat.sh
 	$(MAKE) serve-smoke
 	$(MAKE) chaos-smoke
 
 # Chaos property gate: sweep 16 seeds per architecture under the race
-# detector, each run repeated to verify a byte-identical replay. Any
+# detector, each run repeated to verify a byte-identical replay. The
+# sweep shards seeds across GOMAXPROCS workers (per-shard engines,
+# deterministic merge — output is byte-identical to -parallel 1). Any
 # invariant violation, non-convergence, or replay divergence exits
 # non-zero. Replay an individual failure with the seed it prints, e.g.
 # `go run ./cmd/decor-chaos -arch grid -seed 7`.
@@ -55,10 +60,13 @@ test-short:
 bench:
 	$(GO) test -bench . -benchmem ./...
 
-# Refresh the committed benchmark baseline (BENCH_core.json): the
-# micro-benches of the placement hot path, three samples each.
+# Refresh the committed benchmark baselines: BENCH_core.json (placement
+# hot path micro-benches) and BENCH_sim.json (simulator engine + chaos
+# scenario benches, real iteration counts so ns/op and allocs/op are
+# meaningful for scripts/benchstat.sh comparisons).
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkBenefitRadius|BenchmarkIndexBall|BenchmarkDeployAblation' -benchtime=1x -count=3 ./internal/... | $(GO) run ./cmd/decor-benchjson -o BENCH_core.json
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineRun|BenchmarkEngineSchedule|BenchmarkChaosScenario' -benchmem -benchtime=50x -count=3 ./internal/sim/ ./internal/chaos/ | $(GO) run ./cmd/decor-benchjson -o BENCH_sim.json
 
 # Regenerate the paper's evaluation tables (full parameters, ~4 s).
 figures:

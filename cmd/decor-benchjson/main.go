@@ -10,6 +10,12 @@
 // Usage:
 //
 //	go test -bench=. -benchtime=1x -count=3 ./... | decor-benchjson -o BENCH_core.json
+//
+// With -diff, it instead compares two committed benchmark JSON files and
+// prints an old-vs-new ratio table (scripts/benchstat.sh drives this as
+// the `make check` performance smoke — report only, no gate):
+//
+//	decor-benchjson -diff BENCH_sim.json /tmp/fresh.json
 package main
 
 import (
@@ -48,7 +54,17 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
 
 func main() {
 	out := flag.String("o", "-", `output file ("-" = stdout)`)
+	diff := flag.Bool("diff", false, "compare two benchmark JSON files (args: old new) and print a ratio table")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "decor-benchjson: -diff needs exactly two JSON files (old new)")
+			os.Exit(2)
+		}
+		runDiff(flag.Arg(0), flag.Arg(1))
+		return
+	}
 
 	entries := map[string]*Entry{} // keyed by pkg + "\t" + name
 	pkg := ""
@@ -135,5 +151,68 @@ func main() {
 	if err := enc.Encode(list); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+}
+
+// loadEntries reads one committed benchmark JSON document.
+func loadEntries(path string) []*Entry {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var list []*Entry
+	if err := json.Unmarshal(b, &list); err != nil {
+		fmt.Fprintf(os.Stderr, "decor-benchjson: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return list
+}
+
+// runDiff prints an old-vs-new comparison of two benchmark JSON files:
+// mean ns/op with the speedup ratio, and allocs/op with its reduction
+// factor. Benchmarks present in only one file are listed but not
+// compared. This is a report, not a gate — it always exits 0.
+func runDiff(oldPath, newPath string) {
+	oldList, newList := loadEntries(oldPath), loadEntries(newPath)
+	oldBy := map[string]*Entry{}
+	for _, e := range oldList {
+		oldBy[e.Pkg+"\t"+e.Name] = e
+	}
+	fmt.Printf("%-44s %14s %14s %9s %12s %12s %9s\n",
+		"benchmark ("+oldPath+" vs "+newPath+")", "old ns/op", "new ns/op", "speedup", "old allocs", "new allocs", "factor")
+	seen := map[string]bool{}
+	for _, e := range newList {
+		key := e.Pkg + "\t" + e.Name
+		seen[key] = true
+		o := oldBy[key]
+		if o == nil {
+			fmt.Printf("%-44s %14s %14.0f %9s\n", e.Name, "(new)", e.NsPerOp.Mean, "-")
+			continue
+		}
+		speed := "-"
+		if e.NsPerOp.Mean > 0 {
+			speed = fmt.Sprintf("%.2fx", o.NsPerOp.Mean/e.NsPerOp.Mean)
+		}
+		oa, na := "-", "-"
+		factor := "-"
+		if o.AllocsPerOp != nil && e.AllocsPerOp != nil {
+			oa = fmt.Sprintf("%.0f", *o.AllocsPerOp)
+			na = fmt.Sprintf("%.0f", *e.AllocsPerOp)
+			if *e.AllocsPerOp > 0 {
+				factor = fmt.Sprintf("%.1fx", *o.AllocsPerOp / *e.AllocsPerOp)
+			} else if *o.AllocsPerOp > 0 {
+				factor = "inf"
+			} else {
+				factor = "1.0x"
+			}
+		}
+		fmt.Printf("%-44s %14.0f %14.0f %9s %12s %12s %9s\n",
+			e.Name, o.NsPerOp.Mean, e.NsPerOp.Mean, speed, oa, na, factor)
+	}
+	for _, e := range oldList {
+		if !seen[e.Pkg+"\t"+e.Name] {
+			fmt.Printf("%-44s %14.0f %14s\n", e.Name, e.NsPerOp.Mean, "(gone)")
+		}
 	}
 }

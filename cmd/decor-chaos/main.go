@@ -30,6 +30,7 @@ func main() {
 		seeds    = flag.Int("seeds", 1, "number of consecutive seeds to sweep")
 		jsonOut  = flag.Bool("json", false, "emit one JSON verdict per line")
 		noVerify = flag.Bool("no-verify", false, "skip the determinism double-run")
+		parallel = flag.Int("parallel", 0, "worker goroutines sharding the seed sweep (0 = GOMAXPROCS); reports print in sweep order either way")
 
 		// Plan overrides; negative means keep the seed-derived value.
 		delayProb = flag.Float64("delay-prob", -1, "override message delay probability")
@@ -58,7 +59,10 @@ func main() {
 		}
 	}
 
-	failures := 0
+	// Build the full (arch, seed) scenario list up front, then shard it
+	// across the worker pool; results come back in list order, so output
+	// is byte-identical to a sequential sweep for any -parallel value.
+	var scs []chaos.Scenario
 	for _, a := range archs {
 		for s := *seed; s < *seed+uint64(*seeds); s++ {
 			sc := chaos.DefaultScenario(a, s)
@@ -67,19 +71,15 @@ func main() {
 				fmt.Fprintf(os.Stderr, "decor-chaos: invalid plan after overrides: %v\n", err)
 				os.Exit(2)
 			}
-			v := chaos.Run(sc)
-			replayOK := true
-			if !*noVerify {
-				v2 := chaos.Run(sc)
-				j1, _ := json.Marshal(v)
-				j2, _ := json.Marshal(v2)
-				replayOK = string(j1) == string(j2)
-			}
-			if !v.OK || !replayOK {
-				failures++
-			}
-			report(v, replayOK, *jsonOut, !*noVerify)
+			scs = append(scs, sc)
 		}
+	}
+	failures := 0
+	for _, res := range chaos.Sweep(scs, !*noVerify, *parallel) {
+		if !res.Verdict.OK || !res.ReplayOK {
+			failures++
+		}
+		report(res.Verdict, res.ReplayOK, *jsonOut, !*noVerify)
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "decor-chaos: %d failing run(s)\n", failures)

@@ -14,14 +14,12 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 	"strings"
-	"sync"
-	"sync/atomic"
 
 	"decor"
 	"decor/internal/geom"
 	"decor/internal/obs"
+	"decor/internal/shard"
 	"decor/internal/tour"
 )
 
@@ -92,34 +90,7 @@ func main() {
 // forEach runs job(0..n-1) across up to workers goroutines (0 =
 // GOMAXPROCS). Jobs write only to their own result slots.
 func forEach(n, workers int, job func(i int)) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			job(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for g := 0; g < workers; g++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				job(i)
-			}
-		}()
-	}
-	wg.Wait()
+	shard.ForEach(n, workers, job)
 }
 
 // scenario is one full deploy/fail/restore run, written to w.

@@ -1,0 +1,25 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// BenchmarkChaosScenario runs one full canonical chaos scenario per op —
+// world build, fault plan, event loop to quiescence, invariant checks,
+// trace hashing — for each architecture. It is the macro view of the
+// engine overhaul: the event loop and queue dominate, but the bench also
+// pays the SHA-256 trace hash the Verdict carries.
+func BenchmarkChaosScenario(b *testing.B) {
+	for _, arch := range Archs() {
+		b.Run(arch, func(b *testing.B) {
+			sc := DefaultScenario(arch, 1)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				v := Run(sc)
+				if v.TraceHash == "" {
+					b.Fatal("empty trace hash")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,44 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+
+	"decor/internal/shard"
+)
+
+// This file shards chaos scenarios across the repo-wide worker pool.
+// Every Run builds its own world, engine, RNG streams, and invariant
+// checker, so scenarios are independent by construction; the only shared
+// state is the process-wide obs registry, whose instruments are atomic.
+// Results land in per-scenario slots and are read back in input order, so
+// a sweep's output — every Verdict, trace hash, and replay bit — is
+// byte-identical for any worker count, including the sequential one
+// (TestSweepParallelIdentical locks this in).
+
+// SweepResult is the outcome of one sweep cell.
+type SweepResult struct {
+	Verdict  Verdict
+	ReplayOK bool // replay matched (always true when verify was off)
+}
+
+// Sweep runs every scenario across up to `workers` goroutines
+// (non-positive: GOMAXPROCS) and returns results in input order. With
+// verify set, each scenario is run twice and ReplayOK reports whether the
+// two verdicts were byte-identical — the determinism double-run
+// `decor-chaos` and `make chaos-smoke` gate on.
+func Sweep(scs []Scenario, verify bool, workers int) []SweepResult {
+	out := make([]SweepResult, len(scs))
+	shard.ForEach(len(scs), workers, func(i int) {
+		v := Run(scs[i])
+		res := SweepResult{Verdict: v, ReplayOK: true}
+		if verify {
+			v2 := Run(scs[i])
+			j1, _ := json.Marshal(v)
+			j2, _ := json.Marshal(v2)
+			res.ReplayOK = bytes.Equal(j1, j2)
+		}
+		out[i] = res
+	})
+	return out
+}

@@ -2,19 +2,19 @@ package experiment
 
 import (
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"decor/internal/coverage"
+	"decor/internal/shard"
 )
 
 // The figure workloads are embarrassingly parallel: every (method, k, run)
 // cell builds its own map from deterministic RNG streams (DeployRNG,
-// failRNG, restoreRNG) and writes one indexed result slot. The worker pool
-// here fans those cells across goroutines; because each cell's inputs are
-// derived only from (Config, cell index) and aggregation happens after the
-// join in slot order, figure output is byte-identical for any worker
-// count — the property TestParallelFiguresIdentical locks in.
+// failRNG, restoreRNG) and writes one indexed result slot. The shared
+// pool in internal/shard fans those cells across goroutines; because each
+// cell's inputs are derived only from (Config, cell index) and
+// aggregation happens after the join in slot order, figure output is
+// byte-identical for any worker count — the property
+// TestParallelFiguresIdentical locks in.
 
 // Workers resolves the effective worker count: Parallel when positive,
 // otherwise GOMAXPROCS.
@@ -29,32 +29,7 @@ func (c Config) Workers() int {
 // Jobs must be independent and write only to their own result slots. The
 // call blocks until every job has finished.
 func (c Config) forEachCell(n int, job func(i int)) {
-	w := c.Workers()
-	if w > n {
-		w = n
-	}
-	if w <= 1 {
-		for i := 0; i < n; i++ {
-			job(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for g := 0; g < w; g++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				job(i)
-			}
-		}()
-	}
-	wg.Wait()
+	shard.ForEach(n, c.Workers(), job)
 }
 
 // failureEval answers "what fraction of points stays level-covered if

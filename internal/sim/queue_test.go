@@ -1,0 +1,248 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+
+	"decor/internal/rng"
+)
+
+// refQueue is the seed engine's event queue, verbatim: a binary min-heap
+// driven through the container/heap interface, ordered by (at, seq). The
+// overhauled 4-ary queue must pop in exactly this order on every
+// workload — the (time, seq) key is a total order, so the differential
+// tests below assert byte-identical pop sequences, not just sorted ones.
+type refQueue []event
+
+func (q refQueue) Len() int { return len(q) }
+func (q refQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q refQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *refQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *refQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// TestQueueMatchesReferenceHeap races the 4-ary queue against the seed's
+// container/heap on randomized interleaved push/pop workloads. Times are
+// drawn from a small domain so equal-time runs (the FIFO tie-break the
+// protocols depend on) occur constantly.
+func TestQueueMatchesReferenceHeap(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		r := rng.New(seed)
+		var q eventQueue
+		var ref refQueue
+		seq := 0
+		for op := 0; op < 2000; op++ {
+			if r.Bool(0.6) || q.Len() == 0 {
+				ev := event{
+					at:   Time(r.Intn(50)) / 8, // coarse: many exact ties
+					kind: r.Intn(4),
+					seq:  seq,
+					msg:  Message{From: r.Intn(9), To: r.Intn(9)},
+				}
+				seq++
+				q.push(ev)
+				heap.Push(&ref, ev)
+			} else {
+				got := q.pop()
+				want := heap.Pop(&ref).(event)
+				if got != want {
+					t.Fatalf("seed %d op %d: pop = %+v, reference = %+v", seed, op, got, want)
+				}
+			}
+			if q.Len() != ref.Len() {
+				t.Fatalf("seed %d op %d: len %d != reference %d", seed, op, q.Len(), ref.Len())
+			}
+		}
+		for q.Len() > 0 {
+			got, want := q.pop(), heap.Pop(&ref).(event)
+			if got != want {
+				t.Fatalf("seed %d drain: pop = %+v, reference = %+v", seed, got, want)
+			}
+		}
+	}
+}
+
+// TestQueueReheapMatchesReference exercises the dropTimers path: filter
+// an arbitrary subset out of both queues, rebuild (reheap vs heap.Init),
+// and require identical pop order afterwards.
+func TestQueueReheapMatchesReference(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		r := rng.New(seed ^ 0xfeed)
+		var q eventQueue
+		var ref refQueue
+		for i := 0; i < 300; i++ {
+			ev := event{at: Time(r.Intn(40)) / 4, kind: i % 2, seq: i, msg: Message{To: r.Intn(5)}}
+			q.push(ev)
+			heap.Push(&ref, ev)
+		}
+		victim := r.Intn(5)
+		filter := func(evs []event) []event {
+			kept := evs[:0]
+			for _, ev := range evs {
+				if ev.kind == evTimer && ev.msg.To == victim {
+					continue
+				}
+				kept = append(kept, ev)
+			}
+			return kept
+		}
+		q.evs = filter(q.evs)
+		q.reheap()
+		ref = filter(ref)
+		heap.Init(&ref)
+		if q.Len() != ref.Len() {
+			t.Fatalf("seed %d: len %d != reference %d", seed, q.Len(), ref.Len())
+		}
+		for q.Len() > 0 {
+			got, want := q.pop(), heap.Pop(&ref).(event)
+			if got != want {
+				t.Fatalf("seed %d: pop = %+v, reference = %+v", seed, got, want)
+			}
+		}
+	}
+}
+
+func TestQueueReheapEmptyAndSingle(t *testing.T) {
+	var q eventQueue
+	q.reheap() // must not panic on the empty queue
+	q.push(event{at: 1, seq: 0})
+	q.reheap()
+	if got := q.pop(); got.at != 1 {
+		t.Errorf("single-element pop = %+v", got)
+	}
+}
+
+// countQueuedMessages is the pre-overhaul linear scan, kept as the test
+// oracle for the O(1) PendingMessages counter.
+func countQueuedMessages(e *Engine) int {
+	n := 0
+	for i := range e.queue.evs {
+		if e.queue.evs[i].kind == evMessage {
+			n++
+		}
+	}
+	return n
+}
+
+// TestPendingMessagesCounter is the regression test for the maintained
+// message-event counter: it must match a queue recount at every
+// quiescent point of a run that exercises each way a message event can
+// enter or leave the queue — delivery, drop-at-delivery, uniform loss,
+// partition cuts, duplication, and crash-driven timer filtering (which
+// must NOT touch the message counter).
+func TestPendingMessagesCounter(t *testing.T) {
+	e := NewEngine(1)
+	check := func(when string) {
+		t.Helper()
+		if got, want := e.PendingMessages(), countQueuedMessages(e); got != want {
+			t.Fatalf("%s: PendingMessages = %d, recount = %d", when, got, want)
+		}
+	}
+
+	e.SetLossRate(0.3, 7)
+	e.SetFaults(FaultPlan{
+		Seed:    7,
+		DupProb: 0.5, DelayProb: 0.5, DelayMax: 2, Until: 30,
+		Crashes:    []Crash{{Actor: 2, At: 6, RestartAt: 14}},
+		Partitions: []Partition{{From: 2, Until: 10, A: []int{1}, B: []int{3}}},
+	})
+	check("after SetFaults (control events queued)")
+
+	chatty := func(peer int) *echoActor {
+		a := &echoActor{}
+		a.onStart = func(ctx *Context) { ctx.SetTimer(1, "tick") }
+		a.onTimer = func(ctx *Context, _ string) {
+			ctx.Send(peer, "m", nil)
+			ctx.SetTimer(1, "tick")
+		}
+		return a
+	}
+	e.Register(1, chatty(3))
+	e.Register(2, chatty(1))
+	e.Register(3, chatty(2))
+	check("after Register")
+
+	for _, until := range []Time{3, 6.5, 9, 14.5, 20} {
+		e.Run(until)
+		check("mid-run quiescence")
+	}
+	e.Kill(1)
+	e.Kill(2)
+	e.Kill(3)
+	e.Run(25)
+	check("after killing all actors")
+	if e.PendingMessages() != 0 {
+		t.Errorf("quiescent PendingMessages = %d, want 0", e.PendingMessages())
+	}
+	st := e.Stats()
+	resolved := st.Delivered + st.Dropped + st.Lost + st.PartitionDropped
+	if st.Sent+st.Duplicated != resolved {
+		t.Errorf("books don't close: sent %d + dup %d != resolved %d", st.Sent, st.Duplicated, resolved)
+	}
+}
+
+// TestPendingMessagesSurvivesCrashFilter pins the satellite fix: a crash
+// drops the victim's timers from the queue (no full rebuild when nothing
+// matches) but leaves in-flight messages — and their counter — intact.
+func TestPendingMessagesSurvivesCrashFilter(t *testing.T) {
+	e := NewEngine(5)
+	victim := &echoActor{onStart: func(ctx *Context) {
+		ctx.SetTimer(10, "a")
+		ctx.SetTimer(20, "b")
+	}}
+	e.Register(2, victim)
+	e.Register(1, &echoActor{onStart: func(ctx *Context) {
+		ctx.Send(2, "inflight", nil)
+		ctx.Send(2, "inflight2", nil)
+	}})
+	e.SetFaults(FaultPlan{Crashes: []Crash{{Actor: 2, At: 1}}})
+
+	before := e.PendingMessages()
+	if before != 2 {
+		t.Fatalf("PendingMessages before run = %d, want 2", before)
+	}
+	e.Run(2) // crash fires, timers for 2 dropped, messages still queued
+	if got, want := e.PendingMessages(), countQueuedMessages(e); got != want || got != 2 {
+		t.Fatalf("after crash: PendingMessages = %d, recount = %d, want 2", got, want)
+	}
+	e.Run(Inf)
+	if e.PendingMessages() != 0 {
+		t.Errorf("final PendingMessages = %d", e.PendingMessages())
+	}
+	st := e.Stats()
+	if st.Dropped != 2 || len(victim.timers) != 0 {
+		t.Errorf("dropped = %d, victim timers = %v", st.Dropped, victim.timers)
+	}
+}
+
+// TestDropTimersSkipsRebuildWhenClean covers the no-op filter: crashing
+// an actor with no pending timers must leave the queue untouched (same
+// backing array, same order) — the path that previously paid a full
+// heap.Init regardless.
+func TestDropTimersSkipsRebuildWhenClean(t *testing.T) {
+	e := NewEngine(1)
+	e.Register(1, &echoActor{onStart: func(ctx *Context) {
+		ctx.Send(9, "x", nil)
+		ctx.Send(9, "y", nil)
+	}})
+	snapshot := append([]event(nil), e.queue.evs...)
+	e.dropTimers(42) // no timers for 42 anywhere
+	if len(e.queue.evs) != len(snapshot) {
+		t.Fatalf("clean dropTimers changed length: %d != %d", len(e.queue.evs), len(snapshot))
+	}
+	for i := range snapshot {
+		if e.queue.evs[i] != snapshot[i] {
+			t.Errorf("slot %d reordered by clean dropTimers", i)
+		}
+	}
+}

@@ -8,10 +8,15 @@
 // raises about how nodes actually learn things: periodic meta-information
 // exchange with period Tc, failure detection by missed heartbeats, and
 // the absence of any synchronization requirement.
+//
+// The hot path is allocation-free: events live in a flat 4-ary min-heap
+// (no container/heap interface boxing), callback Contexts come from an
+// engine-local free list, and instrumentation is coalesced (see
+// flushObs). The engine is single-goroutine by contract — determinism
+// comes from the (time, seq) total order on events, never from locks.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -40,7 +45,11 @@ type Actor interface {
 	OnTimer(ctx *Context, tag string)
 }
 
-// Context gives an actor access to the engine during a callback.
+// Context gives an actor access to the engine during a callback. It is
+// only valid for the duration of that callback: the engine recycles
+// Contexts through a free list, so a retained pointer may later speak
+// for a different actor. Actors that need the engine elsewhere should
+// keep the values they read (ID, Now), not the Context.
 type Context struct {
 	eng *Engine
 	id  int
@@ -60,17 +69,14 @@ func (c *Context) Send(to int, kind string, payload any) {
 	e := c.eng
 	e.stats.Sent++
 	e.stats.SentBy[c.id]++
-	e.ob.sent.Inc()
 	msg := Message{From: c.id, To: to, Kind: kind, Payload: payload}
 	jitter := Time(0)
 	if e.faults != nil {
 		if jitter = e.faults.sendDelay(e.now); jitter > 0 {
 			e.stats.Delayed++
-			e.ob.delayed.Inc()
 		}
 		if dupJitter, dup := e.faults.duplicate(e.now); dup {
 			e.stats.Duplicated++
-			e.ob.duplicated.Inc()
 			e.schedule(event{at: e.now + e.latency + dupJitter, kind: evMessage, msg: msg})
 		}
 	}
@@ -89,15 +95,21 @@ func (c *Context) SetTimer(d Time, tag string) {
 
 // Engine runs the event loop.
 type Engine struct {
-	now      Time
-	latency  Time
-	actors   map[int]Actor
-	dead     map[int]bool
-	queue    eventQueue
-	seq      int
-	stats    Stats
-	ob       engineObs
-	trace    func(Time, string)
+	now     Time
+	latency Time
+	actors  map[int]Actor
+	dead    map[int]bool
+	queue   eventQueue
+	seq     int
+	nMsg    int // queued evMessage events: PendingMessages in O(1)
+	events  int // cumulative processed events across all Runs
+	running bool
+	ctxFree []*Context // free list of callback contexts (see Context)
+	stats   Stats
+	ob      engineObs
+	flushed obsFlushed
+	trace   func(Time, string)
+
 	lossRate float64
 	lossRNG  *rng.RNG
 	faults   *faultState
@@ -127,6 +139,45 @@ func bindEngineObs(r *obs.Registry) engineObs {
 		restarts:         r.Counter(obs.SimRestarts),
 		queueDepth:       r.Gauge(obs.SimQueueDepth),
 	}
+}
+
+// obsFlushed records how much of each Stats field has already been
+// pushed to the obs registry, so flushObs can publish deltas instead of
+// paying an atomic add per event on the hot path.
+type obsFlushed struct {
+	events, sent, delivered, dropped, lost, timers int
+	delayed, duplicated, partitionDropped          int
+	crashes, restarts                              int
+}
+
+// obsFlushEvery is the in-Run coalescing interval: the registry lags the
+// engine by at most this many events mid-run and is exact whenever Run
+// returns (and before it starts), so exported snapshots — the -metrics
+// dumps all binaries take at exit — are semantically unchanged.
+const obsFlushEvery = 4096
+
+// flushObs publishes the counter deltas accumulated since the previous
+// flush and snaps the queue-depth gauge to the live queue length.
+func (e *Engine) flushObs() {
+	s, f := &e.stats, &e.flushed
+	add := func(c *obs.Counter, cur int, prev *int) {
+		if d := cur - *prev; d != 0 {
+			c.Add(int64(d))
+			*prev = cur
+		}
+	}
+	add(e.ob.events, e.events, &f.events)
+	add(e.ob.sent, s.Sent, &f.sent)
+	add(e.ob.delivered, s.Delivered, &f.delivered)
+	add(e.ob.dropped, s.Dropped, &f.dropped)
+	add(e.ob.lost, s.Lost, &f.lost)
+	add(e.ob.timers, s.Timers, &f.timers)
+	add(e.ob.delayed, s.Delayed, &f.delayed)
+	add(e.ob.duplicated, s.Duplicated, &f.duplicated)
+	add(e.ob.partitionDropped, s.PartitionDropped, &f.partitionDropped)
+	add(e.ob.crashes, s.Crashes, &f.crashes)
+	add(e.ob.restarts, s.Restarts, &f.restarts)
+	e.ob.queueDepth.Set(float64(e.queue.Len()))
 }
 
 // Stats aggregates engine-level counters. Every message send resolves to
@@ -168,6 +219,8 @@ func (e *Engine) SetTrace(fn func(Time, string)) { e.trace = fn }
 
 // SetRegistry redirects this engine's instrumentation (event counters and
 // queue-depth gauge) to r instead of the process-wide obs.Default().
+// Call it before registering actors: already-flushed deltas stay on the
+// previous registry.
 func (e *Engine) SetRegistry(r *obs.Registry) {
 	if r == nil {
 		panic("sim: nil obs registry")
@@ -201,6 +254,22 @@ func (e *Engine) Stats() Stats {
 	return s
 }
 
+// getCtx takes a callback context from the free list (or allocates the
+// pool's first few). Contexts are released right after the callback
+// returns, so nesting — an actor registering another actor mid-callback —
+// sees distinct contexts while steady-state callbacks allocate nothing.
+func (e *Engine) getCtx(id int) *Context {
+	if n := len(e.ctxFree); n > 0 {
+		c := e.ctxFree[n-1]
+		e.ctxFree = e.ctxFree[:n-1]
+		c.id = id
+		return c
+	}
+	return &Context{eng: e, id: id}
+}
+
+func (e *Engine) putCtx(c *Context) { e.ctxFree = append(e.ctxFree, c) }
+
 // Register attaches an actor under id and invokes OnStart. It panics on
 // duplicate registration.
 func (e *Engine) Register(id int, a Actor) {
@@ -209,7 +278,9 @@ func (e *Engine) Register(id int, a Actor) {
 	}
 	e.actors[id] = a
 	delete(e.dead, id)
-	a.OnStart(&Context{eng: e, id: id})
+	ctx := e.getCtx(id)
+	a.OnStart(ctx)
+	e.putCtx(ctx)
 }
 
 // Kill marks an actor dead at the current time: pending deliveries to it
@@ -227,7 +298,9 @@ func (e *Engine) Restart(id int) {
 		return
 	}
 	delete(e.dead, id)
-	a.OnStart(&Context{eng: e, id: id})
+	ctx := e.getCtx(id)
+	a.OnStart(ctx)
+	e.putCtx(ctx)
 }
 
 // Alive reports whether id is registered and not killed.
@@ -251,68 +324,171 @@ type event struct {
 	msg  Message
 }
 
-type eventQueue []event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// lessEv is the engine's total event order: time, then schedule sequence.
+// seq is unique, so the order has no ties — any correct heap pops the
+// same sequence, which is what keeps the overhauled queue byte-identical
+// to the seed's container/heap (TestQueueMatchesReferenceHeap).
+func lessEv(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq // FIFO among simultaneous events: determinism
+	return a.seq < b.seq // FIFO among simultaneous events: determinism
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+
+// eventQueue is a concrete 4-ary min-heap over a flat []event slice —
+// no container/heap interface, so pushes and pops never box events into
+// interface values (the seed queue's two allocations per event). The
+// slice doubles as the engine-local event pool: popped slots are zeroed
+// (so payloads don't pin memory) but the backing array is kept, so a
+// steady-state run reuses the same storage for every event. 4-way fanout
+// halves the tree depth of the binary heap and keeps sift-down children
+// in one or two cache lines.
+type eventQueue struct {
+	evs []event
+}
+
+// Len returns the number of queued events.
+func (q *eventQueue) Len() int { return len(q.evs) }
+
+func (q *eventQueue) push(ev event) {
+	q.evs = append(q.evs, ev)
+	q.siftUp(len(q.evs) - 1)
+}
+
+func (q *eventQueue) pop() event {
+	evs := q.evs
+	top := evs[0]
+	n := len(evs) - 1
+	evs[0] = evs[n]
+	evs[n] = event{} // release the payload reference, keep the slot
+	q.evs = evs[:n]
+	if n > 1 {
+		q.siftDown(0)
+	}
+	return top
+}
+
+func (q *eventQueue) siftUp(i int) {
+	evs := q.evs
+	ev := evs[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !lessEv(&ev, &evs[p]) {
+			break
+		}
+		evs[i] = evs[p]
+		i = p
+	}
+	evs[i] = ev
+}
+
+func (q *eventQueue) siftDown(i int) {
+	evs := q.evs
+	n := len(evs)
+	ev := evs[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if lessEv(&evs[c], &evs[min]) {
+				min = c
+			}
+		}
+		if !lessEv(&evs[min], &ev) {
+			break
+		}
+		evs[i] = evs[min]
+		i = min
+	}
+	evs[i] = ev
+}
+
+// reheap restores the heap property over arbitrary contents in O(n) —
+// the 4-ary analogue of heap.Init, used after dropTimers filters the
+// queue in place.
+func (q *eventQueue) reheap() {
+	n := len(q.evs)
+	if n < 2 {
+		return
+	}
+	for i := (n - 2) / 4; i >= 0; i-- {
+		q.siftDown(i)
+	}
 }
 
 // dropTimers removes every pending timer event for actor id: a crashed
 // node loses its volatile timer state, while messages already in flight
 // to it stay in the ether (and drop at delivery if it is still down).
+// When the filter drops nothing the heap order is untouched, so the
+// O(n) rebuild is skipped; message counters are unaffected either way
+// (only evTimer events are removed).
 func (e *Engine) dropTimers(id int) {
-	kept := e.queue[:0]
-	for _, ev := range e.queue {
-		if ev.kind == evTimer && ev.msg.To == id {
+	evs := e.queue.evs
+	kept := evs[:0]
+	for i := range evs {
+		if evs[i].kind == evTimer && evs[i].msg.To == id {
 			continue
 		}
-		kept = append(kept, ev)
+		kept = append(kept, evs[i])
 	}
-	e.queue = kept
-	heap.Init(&e.queue)
-	e.ob.queueDepth.Set(float64(len(e.queue)))
+	if len(kept) == len(evs) {
+		return
+	}
+	for i := len(kept); i < len(evs); i++ {
+		evs[i] = event{} // zero dropped tail slots
+	}
+	e.queue.evs = kept
+	e.queue.reheap()
+	if !e.running {
+		e.ob.queueDepth.Set(float64(e.queue.Len()))
+	}
 }
 
 func (e *Engine) schedule(ev event) {
 	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.queue, ev)
-	e.ob.queueDepth.Set(float64(len(e.queue)))
+	if ev.kind == evMessage {
+		e.nMsg++
+	}
+	e.queue.push(ev)
+	if !e.running {
+		// Cold path — Register/SetFaults before (or between) Runs keep the
+		// gauge exact; inside Run it is coalesced through flushObs.
+		e.ob.queueDepth.Set(float64(e.queue.Len()))
+	}
 }
 
 // Run processes events until the queue is empty or virtual time exceeds
 // until. It returns the number of events processed.
 func (e *Engine) Run(until Time) int {
 	processed := 0
+	e.running = true
 	for e.queue.Len() > 0 {
-		ev := e.queue[0]
-		if ev.at > until {
+		if e.queue.evs[0].at > until {
 			break
 		}
-		heap.Pop(&e.queue)
-		e.ob.queueDepth.Set(float64(len(e.queue)))
-		e.ob.events.Inc()
+		ev := e.queue.pop()
+		if ev.kind == evMessage {
+			e.nMsg--
+		}
+		e.events++
 		e.now = ev.at
 		processed++
+		if processed%obsFlushEvery == 0 {
+			e.flushObs()
+		}
 		target := ev.msg.To
 		if ev.kind == evCrash {
 			e.dead[target] = true
 			e.dropTimers(target)
 			e.stats.Crashes++
-			e.ob.crashes.Inc()
 			if e.trace != nil {
 				e.trace(e.now, fmt.Sprintf("crash @%d", target))
 			}
@@ -321,7 +497,6 @@ func (e *Engine) Run(until Time) int {
 		if ev.kind == evRestart {
 			if _, ok := e.actors[target]; ok && e.dead[target] {
 				e.stats.Restarts++
-				e.ob.restarts.Inc()
 				if e.trace != nil {
 					e.trace(e.now, fmt.Sprintf("restart @%d", target))
 				}
@@ -333,16 +508,13 @@ func (e *Engine) Run(until Time) int {
 		if !ok || e.dead[target] {
 			if ev.kind == evMessage {
 				e.stats.Dropped++
-				e.ob.dropped.Inc()
 			}
 			continue
 		}
-		ctx := &Context{eng: e, id: target}
 		switch ev.kind {
 		case evMessage:
 			if e.faults != nil && e.faults.linkCut(e.now, ev.msg.From, target) {
 				e.stats.PartitionDropped++
-				e.ob.partitionDropped.Inc()
 				if e.trace != nil {
 					e.trace(e.now, fmt.Sprintf("cut %s %d->%d", ev.msg.Kind, ev.msg.From, target))
 				}
@@ -350,32 +522,34 @@ func (e *Engine) Run(until Time) int {
 			}
 			if e.lossRate > 0 && e.lossRNG.Bool(e.lossRate) {
 				e.stats.Lost++
-				e.ob.lost.Inc()
 				continue
 			}
 			if e.faults != nil && e.faults.burstLost(e.now) {
 				e.stats.Lost++
-				e.ob.lost.Inc()
 				if e.trace != nil {
 					e.trace(e.now, fmt.Sprintf("burst-lose %s %d->%d", ev.msg.Kind, ev.msg.From, target))
 				}
 				continue
 			}
 			e.stats.Delivered++
-			e.ob.delivered.Inc()
 			if e.trace != nil {
 				e.trace(e.now, fmt.Sprintf("deliver %s %d->%d", ev.msg.Kind, ev.msg.From, target))
 			}
+			ctx := e.getCtx(target)
 			actor.OnMessage(ctx, ev.msg)
+			e.putCtx(ctx)
 		case evTimer:
 			e.stats.Timers++
-			e.ob.timers.Inc()
 			if e.trace != nil {
 				e.trace(e.now, fmt.Sprintf("timer %s @%d", ev.msg.Kind, target))
 			}
+			ctx := e.getCtx(target)
 			actor.OnTimer(ctx, ev.msg.Kind)
+			e.putCtx(ctx)
 		}
 	}
+	e.running = false
+	e.flushObs()
 	if e.queue.Len() == 0 && until != Inf && e.now < until {
 		e.now = until
 	}
@@ -386,18 +560,11 @@ func (e *Engine) Run(until Time) int {
 func (e *Engine) Pending() int { return e.queue.Len() }
 
 // PendingMessages returns the number of queued message-delivery events
-// (timers and fault-plan control events excluded). It closes the
+// (timers and fault-plan control events excluded), maintained as a
+// running counter — O(1), no queue scan. It closes the
 // message-accounting books mid-run: Sent + Duplicated always equals
 // Delivered + Dropped + Lost + PartitionDropped + PendingMessages.
-func (e *Engine) PendingMessages() int {
-	n := 0
-	for _, ev := range e.queue {
-		if ev.kind == evMessage {
-			n++
-		}
-	}
-	return n
-}
+func (e *Engine) PendingMessages() int { return e.nMsg }
 
 // Inf is a convenience for Run(sim.Inf): process everything.
 const Inf = Time(math.MaxFloat64)

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Old-vs-new engine benchmark report: run the simulator/chaos benches
+# fresh and compare them against the committed BENCH_sim.json baseline
+# with decor-benchjson -diff. This is the `make check` performance smoke
+# — it REPORTS regressions (speedup < 1x) but does not gate on them yet.
+#
+# Tunables: BENCH_BASELINE (default BENCH_sim.json), BENCH_COUNT
+# (samples, default 1), BENCH_TIME (per-bench -benchtime, default 20x —
+# enough iterations to be indicative while staying a smoke).
+set -e
+
+GO=${GO:-go}
+BASELINE=${BENCH_BASELINE:-BENCH_sim.json}
+FRESH=${BENCH_FRESH:-$(mktemp /tmp/bench_sim_fresh.XXXXXX.json)}
+COUNT=${BENCH_COUNT:-1}
+TIME=${BENCH_TIME:-20x}
+
+if [ ! -f "$BASELINE" ]; then
+	echo "benchstat: baseline $BASELINE missing; run 'make bench-json' first" >&2
+	exit 1
+fi
+
+$GO test -run '^$' -bench 'BenchmarkEngineRun|BenchmarkEngineSchedule|BenchmarkChaosScenario' \
+	-benchmem -benchtime="$TIME" -count="$COUNT" ./internal/sim/ ./internal/chaos/ |
+	$GO run ./cmd/decor-benchjson -o "$FRESH"
+$GO run ./cmd/decor-benchjson -diff "$BASELINE" "$FRESH"
