@@ -7,12 +7,15 @@ GO ?= go
 all: build vet test
 
 # The CI gate: static analysis, the full suite under the race detector
-# (the obs registry, engine instrumentation, and the shard worker pool
-# are concurrent), a one-iteration bench smoke so the benchmarks never
-# rot, an old-vs-new engine benchmark report against the committed
-# BENCH_sim.json baseline (report only, no regression gate yet), the
-# decor-serve end-to-end smoke (throughput + graceful drain), and the
-# chaos sweep (invariants + determinism under fault injection).
+# (the obs registry, tracer, flight recorder, engine instrumentation,
+# and the shard worker pool are concurrent), a one-iteration bench smoke
+# so the benchmarks never rot, the engine benchmark diff against the
+# committed BENCH_sim.json baseline — which now GATES the tracing
+# overhead: the recorder-disabled BenchmarkEngineRun/actors=64 hot path
+# must stay within BENCH_GATE_PCT (default 25%) of the baseline, and the
+# recorder-enabled/disabled ratio is reported (scripts/benchstat.sh) —
+# the decor-serve end-to-end smoke (throughput + graceful drain), and
+# the chaos sweep (invariants + determinism under fault injection).
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...

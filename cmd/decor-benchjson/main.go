@@ -13,9 +13,16 @@
 //
 // With -diff, it instead compares two committed benchmark JSON files and
 // prints an old-vs-new ratio table (scripts/benchstat.sh drives this as
-// the `make check` performance smoke — report only, no gate):
+// the `make check` performance smoke — report only by default):
 //
 //	decor-benchjson -diff BENCH_sim.json /tmp/fresh.json
+//
+// Adding -gate turns the report into a CI gate for matching benchmarks:
+// exit 1 if any of them regressed in mean ns/op beyond -max-regress
+// percent (the tracing-overhead gate in `make check` uses this to pin
+// the recorder-disabled engine hot path):
+//
+//	decor-benchjson -diff -gate 'EngineRun/actors=64$' -max-regress 25 old.json new.json
 package main
 
 import (
@@ -55,6 +62,8 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
 func main() {
 	out := flag.String("o", "-", `output file ("-" = stdout)`)
 	diff := flag.Bool("diff", false, "compare two benchmark JSON files (args: old new) and print a ratio table")
+	gate := flag.String("gate", "", "with -diff: regexp of benchmark names to gate on; exit 1 if any regresses past -max-regress")
+	maxRegress := flag.Float64("max-regress", 25, "with -gate: allowed mean ns/op regression in percent")
 	flag.Parse()
 
 	if *diff {
@@ -62,8 +71,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "decor-benchjson: -diff needs exactly two JSON files (old new)")
 			os.Exit(2)
 		}
-		runDiff(flag.Arg(0), flag.Arg(1))
-		return
+		var gateRe *regexp.Regexp
+		if *gate != "" {
+			var err error
+			if gateRe, err = regexp.Compile(*gate); err != nil {
+				fmt.Fprintf(os.Stderr, "decor-benchjson: bad -gate %q: %v\n", *gate, err)
+				os.Exit(2)
+			}
+		}
+		os.Exit(runDiff(flag.Arg(0), flag.Arg(1), gateRe, *maxRegress))
 	}
 
 	entries := map[string]*Entry{} // keyed by pkg + "\t" + name
@@ -172,8 +188,10 @@ func loadEntries(path string) []*Entry {
 // runDiff prints an old-vs-new comparison of two benchmark JSON files:
 // mean ns/op with the speedup ratio, and allocs/op with its reduction
 // factor. Benchmarks present in only one file are listed but not
-// compared. This is a report, not a gate — it always exits 0.
-func runDiff(oldPath, newPath string) {
+// compared. Without a gate it is a report and returns 0; with gateRe set
+// it returns 1 when any matching benchmark's mean ns/op regressed by more
+// than maxRegress percent.
+func runDiff(oldPath, newPath string, gateRe *regexp.Regexp, maxRegress float64) int {
 	oldList, newList := loadEntries(oldPath), loadEntries(newPath)
 	oldBy := map[string]*Entry{}
 	for _, e := range oldList {
@@ -182,6 +200,7 @@ func runDiff(oldPath, newPath string) {
 	fmt.Printf("%-44s %14s %14s %9s %12s %12s %9s\n",
 		"benchmark ("+oldPath+" vs "+newPath+")", "old ns/op", "new ns/op", "speedup", "old allocs", "new allocs", "factor")
 	seen := map[string]bool{}
+	failures := 0
 	for _, e := range newList {
 		key := e.Pkg + "\t" + e.Name
 		seen[key] = true
@@ -189,6 +208,14 @@ func runDiff(oldPath, newPath string) {
 		if o == nil {
 			fmt.Printf("%-44s %14s %14.0f %9s\n", e.Name, "(new)", e.NsPerOp.Mean, "-")
 			continue
+		}
+		if gateRe != nil && gateRe.MatchString(e.Name) && o.NsPerOp.Mean > 0 {
+			regress := (e.NsPerOp.Mean/o.NsPerOp.Mean - 1) * 100
+			if regress > maxRegress {
+				failures++
+				fmt.Printf("GATE FAIL %s: mean ns/op %.0f -> %.0f (+%.1f%%, allowed %.1f%%)\n",
+					e.Name, o.NsPerOp.Mean, e.NsPerOp.Mean, regress, maxRegress)
+			}
 		}
 		speed := "-"
 		if e.NsPerOp.Mean > 0 {
@@ -215,4 +242,9 @@ func runDiff(oldPath, newPath string) {
 			fmt.Printf("%-44s %14.0f %14s\n", e.Name, e.NsPerOp.Mean, "(gone)")
 		}
 	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "decor-benchjson: %d benchmark(s) regressed past the gate\n", failures)
+		return 1
+	}
+	return 0
 }

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"decor/internal/chaos"
+	"decor/internal/obs"
 	"decor/internal/sim"
 )
 
@@ -142,5 +143,13 @@ func report(v chaos.Verdict, replayOK, jsonOut, verified bool) {
 	fmt.Println()
 	for _, viol := range v.Violations {
 		fmt.Printf("  violation: %s\n", viol)
+	}
+	if len(v.Timeline) > 0 {
+		fmt.Printf("  flight timeline (last %d events):\n", len(v.Timeline))
+		var sb strings.Builder
+		obs.WriteTimeline(&sb, v.Timeline)
+		for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+			fmt.Printf("    %s\n", line)
+		}
 	}
 }

@@ -14,6 +14,12 @@
 // SIGINT/SIGTERM triggers a graceful drain: the listener stops accepting,
 // in-flight plans run to completion (bounded by -drain-timeout), then the
 // process exits 0.
+//
+// Every response carries its trace ID in X-Decor-Trace; GET /debug/traces
+// serves recent span trees (summarizable offline with decor-trace) and
+// GET /debug/flight the structured flight-recorder events. SIGQUIT dumps
+// both to stderr without stopping the server. -pprof additionally mounts
+// net/http/pprof under /debug/pprof/.
 package main
 
 import (
@@ -48,6 +54,8 @@ func run() int {
 		defTimeout   = flag.Duration("timeout", 0, "default per-request planning deadline (0 = built-in default)")
 		maxTimeout   = flag.Duration("max-timeout", 0, "ceiling on client-requested timeout_ms (0 = built-in default)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a TERM/INT drain may take before in-flight plans are aborted")
+		enablePprof  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		traceCap     = flag.Int("trace-cap", 4096, "trace ring capacity in spans (rounded up to a power of two)")
 	)
 	var ofl obs.RunFlags
 	ofl.Register(flag.CommandLine)
@@ -62,6 +70,7 @@ func run() int {
 		}
 	}()
 
+	tracer := obs.NewTracer(*traceCap)
 	svc := service.New(service.Config{
 		Workers:      *workers,
 		QueueDepth:   *queue,
@@ -73,6 +82,8 @@ func run() int {
 			DefaultTimeout: *defTimeout,
 			MaxTimeout:     *maxTimeout,
 		},
+		Tracer:      tracer,
+		EnablePprof: *enablePprof,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -90,6 +101,25 @@ func run() int {
 	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	// SIGQUIT is a live post-mortem, not a shutdown: dump the flight
+	// recorder and recent traces to stderr and keep serving.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			fmt.Fprintln(os.Stderr, "decor-serve: SIGQUIT flight timeline (newest 100):")
+			obs.WriteTimeline(os.Stderr, obs.Tail(svc.Config().Flight.Dump(), 100))
+			fmt.Fprintln(os.Stderr, "decor-serve: recent traces:")
+			for i, ts := range tracer.Summaries() {
+				if i >= 20 {
+					break
+				}
+				fmt.Fprintf(os.Stderr, "  %s %-12s %8.3fms %d spans\n",
+					ts.Trace, ts.Root, float64(ts.DurNS)/1e6, ts.Spans)
+			}
+		}
+	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -1,0 +1,290 @@
+// Command decor-trace summarizes a span dump produced by the obs tracer:
+// a JSONL file written by Tracer.WriteJSONL, a decor-serve
+// /debug/traces?format=jsonl endpoint, or stdin.
+//
+// The report has three parts: a per-name span aggregate (count, total,
+// self time — total minus child time, i.e. each phase's own contribution
+// to the critical path), the slowest traces by root duration, and an
+// indented span tree drill-down of the slowest trace (or of the trace
+// named with -trace, e.g. straight from an X-Decor-Trace response
+// header).
+//
+// Examples:
+//
+//	decor-trace spans.jsonl
+//	decor-trace -url http://127.0.0.1:8080/debug/traces
+//	curl -s localhost:8080/debug/traces?format=jsonl | decor-trace
+//	decor-trace -trace 01c8f9a2b3d4e5f6 spans.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+
+	"decor/internal/obs"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		url     = flag.String("url", "", "fetch spans from a /debug/traces endpoint (?format=jsonl is appended if missing)")
+		traceID = flag.String("trace", "", "drill into this trace ID instead of the slowest one")
+		top     = flag.Int("top", 10, "rows in the span aggregate and slowest-trace tables")
+	)
+	flag.Parse()
+
+	spans, err := load(*url, flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "decor-trace:", err)
+		return 1
+	}
+	if len(spans) == 0 {
+		fmt.Fprintln(os.Stderr, "decor-trace: no spans in input")
+		return 1
+	}
+
+	byTrace := map[string][]obs.SpanRecord{}
+	for _, sp := range spans {
+		byTrace[sp.Trace] = append(byTrace[sp.Trace], sp)
+	}
+
+	printAggregate(spans, *top)
+	slow := printSlowest(byTrace, *top)
+
+	target := *traceID
+	if target == "" {
+		target = slow
+	}
+	if target != "" {
+		if _, ok := byTrace[target]; !ok {
+			fmt.Fprintf(os.Stderr, "decor-trace: trace %s not in input (evicted from the ring?)\n", target)
+			return 1
+		}
+		fmt.Printf("\ntrace %s\n", target)
+		printTree(byTrace[target])
+	}
+	return 0
+}
+
+// load reads spans from -url, a file argument, or stdin.
+func load(url, path string) ([]obs.SpanRecord, error) {
+	var r io.Reader
+	switch {
+	case url != "":
+		if !strings.Contains(url, "format=jsonl") {
+			sep := "?"
+			if strings.Contains(url, "?") {
+				sep = "&"
+			}
+			url += sep + "format=jsonl"
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("%s: %s", url, resp.Status)
+		}
+		r = resp.Body
+	case path != "" && path != "-":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	default:
+		r = os.Stdin
+	}
+
+	var spans []obs.SpanRecord
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := strings.TrimSpace(sc.Text())
+		if b == "" {
+			continue
+		}
+		var sp obs.SpanRecord
+		if err := json.Unmarshal([]byte(b), &sp); err != nil {
+			return nil, fmt.Errorf("line %d: %v", line, err)
+		}
+		spans = append(spans, sp)
+	}
+	return spans, sc.Err()
+}
+
+// selfNS returns each span's self time: duration minus the summed
+// duration of its direct children (floored at zero — concurrent children
+// can overlap their parent).
+func selfNS(spans []obs.SpanRecord) map[string]int64 {
+	childNS := map[string]int64{}
+	for _, sp := range spans {
+		if sp.Parent != "" {
+			childNS[sp.Trace+"/"+sp.Parent] += sp.DurNS
+		}
+	}
+	self := map[string]int64{}
+	for _, sp := range spans {
+		s := sp.DurNS - childNS[sp.Trace+"/"+sp.Span]
+		if s < 0 {
+			s = 0
+		}
+		self[sp.Trace+"/"+sp.Span] = s
+	}
+	return self
+}
+
+func ms(ns int64) float64 { return float64(ns) / 1e6 }
+
+// printAggregate is the per-phase view: for every span name, how often it
+// ran, its total wall time, and its self time (the per-phase critical
+// path once child phases are subtracted).
+func printAggregate(spans []obs.SpanRecord, top int) {
+	self := selfNS(spans)
+	type agg struct {
+		name          string
+		count         int
+		totNS, slfNS  int64
+		maxNS, maxSlf int64
+	}
+	byName := map[string]*agg{}
+	for _, sp := range spans {
+		a := byName[sp.Name]
+		if a == nil {
+			a = &agg{name: sp.Name}
+			byName[sp.Name] = a
+		}
+		a.count++
+		a.totNS += sp.DurNS
+		s := self[sp.Trace+"/"+sp.Span]
+		a.slfNS += s
+		if sp.DurNS > a.maxNS {
+			a.maxNS = sp.DurNS
+		}
+		if s > a.maxSlf {
+			a.maxSlf = s
+		}
+	}
+	list := make([]*agg, 0, len(byName))
+	for _, a := range byName {
+		list = append(list, a)
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].slfNS != list[j].slfNS {
+			return list[i].slfNS > list[j].slfNS
+		}
+		return list[i].name < list[j].name
+	})
+	fmt.Printf("%-24s %8s %12s %12s %12s\n", "span", "count", "total ms", "self ms", "max self ms")
+	for i, a := range list {
+		if i >= top {
+			fmt.Printf("… %d more\n", len(list)-top)
+			break
+		}
+		fmt.Printf("%-24s %8d %12.3f %12.3f %12.3f\n",
+			a.name, a.count, ms(a.totNS), ms(a.slfNS), ms(a.maxSlf))
+	}
+}
+
+// printSlowest lists traces by root-span duration, newest first on ties,
+// and returns the slowest trace's ID for the drill-down.
+func printSlowest(byTrace map[string][]obs.SpanRecord, top int) string {
+	type row struct {
+		trace, root string
+		durNS       int64
+		spans       int
+	}
+	var rows []row
+	for id, spans := range byTrace {
+		r := row{trace: id, spans: len(spans)}
+		for _, sp := range spans {
+			if sp.Parent == "" {
+				r.root, r.durNS = sp.Name, sp.DurNS
+			}
+		}
+		if r.root == "" { // root evicted from the ring: use the longest span
+			for _, sp := range spans {
+				if sp.DurNS > r.durNS {
+					r.root, r.durNS = sp.Name+" (partial)", sp.DurNS
+				}
+			}
+		}
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].durNS != rows[j].durNS {
+			return rows[i].durNS > rows[j].durNS
+		}
+		return rows[i].trace < rows[j].trace
+	})
+	fmt.Printf("\n%-18s %-24s %12s %8s\n", "trace", "root", "ms", "spans")
+	for i, r := range rows {
+		if i >= top {
+			fmt.Printf("… %d more\n", len(rows)-top)
+			break
+		}
+		fmt.Printf("%-18s %-24s %12.3f %8d\n", r.trace, r.root, ms(r.durNS), r.spans)
+	}
+	if len(rows) == 0 {
+		return ""
+	}
+	return rows[0].trace
+}
+
+// printTree renders one trace as an indented span tree in start order.
+func printTree(spans []obs.SpanRecord) {
+	children := map[string][]obs.SpanRecord{}
+	for _, sp := range spans {
+		children[sp.Parent] = append(children[sp.Parent], sp)
+	}
+	for p := range children {
+		c := children[p]
+		sort.Slice(c, func(i, j int) bool { return c[i].StartNS < c[j].StartNS })
+	}
+	var walk func(parent string, depth int)
+	walk = func(parent string, depth int) {
+		for _, sp := range children[parent] {
+			attr := ""
+			if sp.Attr != "" {
+				attr = "  [" + sp.Attr + "]"
+			}
+			fmt.Printf("%s%-*s %10.3fms%s\n",
+				strings.Repeat("  ", depth), 30-2*depth, sp.Name, ms(sp.DurNS), attr)
+			walk(sp.Span, depth+1)
+		}
+	}
+	// Roots first; spans whose parent was evicted from the ring hang off
+	// whatever parents remain, so walk every parentless entry point.
+	if len(children[""]) > 0 {
+		walk("", 0)
+		return
+	}
+	present := map[string]bool{}
+	for _, sp := range spans {
+		present[sp.Span] = true
+	}
+	for _, sp := range spans {
+		if !present[sp.Parent] {
+			attr := ""
+			if sp.Attr != "" {
+				attr = "  [" + sp.Attr + "]"
+			}
+			fmt.Printf("%-30s %10.3fms%s (orphan)\n", sp.Name, ms(sp.DurNS), attr)
+			walk(sp.Span, 1)
+		}
+	}
+}

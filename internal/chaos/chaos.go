@@ -19,12 +19,17 @@ import (
 	"decor/internal/coverage"
 	"decor/internal/geom"
 	"decor/internal/lowdisc"
+	"decor/internal/obs"
 	"decor/internal/partition"
 	"decor/internal/protocol"
 	"decor/internal/rng"
 	"decor/internal/sim"
 	"decor/internal/sim/invariant"
 )
+
+// timelineTail bounds the flight-recorder excerpt attached to a failed
+// verdict: the newest events leading up to the failure.
+const timelineTail = 100
 
 // Architecture names accepted by Run.
 const (
@@ -291,29 +296,48 @@ type Verdict struct {
 	Repairs    int                   `json:"repairs"` // autonomous repairs (selfheal)
 	FinalTime  sim.Time              `json:"final_time"`
 	Stats      sim.Stats             `json:"stats"`
+	// Timeline is the flight-recorder tail (newest timelineTail events)
+	// of a FAILED run — the structured post-mortem decor-chaos prints.
+	// Clean runs omit it to keep verdicts compact. Events carry only
+	// virtual time and per-run sequence numbers, so replays of the same
+	// scenario produce byte-identical timelines.
+	Timeline []obs.FlightEvent `json:"timeline,omitempty"`
 }
 
 // Run executes the scenario to completion and returns its verdict.
 // It panics only on a malformed scenario (unknown arch, invalid plan) —
 // protocol misbehaviour under faults is reported in the verdict, never
 // thrown.
-func Run(sc Scenario) Verdict {
+func Run(sc Scenario) Verdict { return RunReg(sc, nil) }
+
+// RunReg is Run with an explicit obs registry for the engine's
+// instruments (nil: the process default). Sweep passes per-worker
+// registry shards so parallel scenarios do not contend on shared
+// counters; verdicts are unaffected — instruments never feed the trace.
+func RunReg(sc Scenario, reg *obs.Registry) Verdict {
 	sc = sc.withDefaults()
 	switch sc.Arch {
 	case ArchGrid, ArchVoronoi:
-		return runDeploy(sc)
+		return runDeploy(sc, reg)
 	case ArchSelfheal:
-		return runSelfheal(sc)
+		return runSelfheal(sc, reg)
 	default:
 		panic(fmt.Sprintf("chaos: unknown architecture %q", sc.Arch))
 	}
 }
 
-// world builds the deterministic sample-point field and a traced engine.
-func (sc Scenario) world() (*coverage.Map, *sim.Engine, hash.Hash, *int) {
+// world builds the deterministic sample-point field and a traced engine
+// with a per-run flight recorder (single shard: the engine is the only
+// writer, so event sequence numbers are deterministic).
+func (sc Scenario) world(reg *obs.Registry) (*coverage.Map, *sim.Engine, hash.Hash, *int, *obs.FlightRecorder) {
 	pts := lowdisc.Halton{}.Points(sc.Points, geom.Square(sc.Field))
 	m := coverage.New(geom.Square(sc.Field), pts, sc.Rs, sc.K)
 	eng := sim.NewEngine(sc.Latency)
+	if reg != nil {
+		eng.SetRegistry(reg)
+	}
+	fr := obs.NewFlightRecorder(1, 512)
+	eng.SetFlight(fr.Shard(0))
 	h := sha256.New()
 	lines := new(int)
 	eng.SetTrace(func(t sim.Time, s string) {
@@ -324,10 +348,10 @@ func (sc Scenario) world() (*coverage.Map, *sim.Engine, hash.Hash, *int) {
 		eng.SetLossRate(sc.Loss, sc.Seed^0x10c0)
 	}
 	eng.SetFaults(sc.Plan)
-	return m, eng, h, lines
+	return m, eng, h, lines, fr
 }
 
-func verdict(sc Scenario, eng *sim.Engine, chk *invariant.Checker, converged bool, h hash.Hash, lines int) Verdict {
+func verdict(sc Scenario, eng *sim.Engine, chk *invariant.Checker, converged bool, h hash.Hash, lines int, fr *obs.FlightRecorder) Verdict {
 	st := eng.Stats()
 	st.SentBy = nil // keep verdicts compact and directly comparable
 	v := Verdict{
@@ -341,6 +365,9 @@ func verdict(sc Scenario, eng *sim.Engine, chk *invariant.Checker, converged boo
 		Stats:      st,
 	}
 	v.OK = v.Converged && len(v.Violations) == 0
+	if !v.OK {
+		v.Timeline = obs.Tail(fr.Dump(), timelineTail)
+	}
 	return v
 }
 
@@ -350,8 +377,8 @@ func verdict(sc Scenario, eng *sim.Engine, chk *invariant.Checker, converged boo
 // the end. The seed fallback guarantees convergence under any bounded
 // plan: each drain that leaves coverage deficient places at least one
 // sensor at a deficient point, so total deficit strictly decreases.
-func runDeploy(sc Scenario) Verdict {
-	m, eng, h, lines := sc.world()
+func runDeploy(sc Scenario, reg *obs.Registry) Verdict {
+	m, eng, h, lines, fr := sc.world(reg)
 
 	var start func()
 	var seed func() bool
@@ -395,7 +422,7 @@ func runDeploy(sc Scenario) Verdict {
 	chk.Add(invariant.KCoverageName, invariant.KCoverage(m, actorFor))
 	chk.RunAt(eng.Now())
 
-	v := verdict(sc, eng, chk, m.FullyCovered(), h, *lines)
+	v := verdict(sc, eng, chk, m.FullyCovered(), h, *lines, fr)
 	v.Placed = placed()
 	v.Seeds = seeds
 	return v
@@ -445,8 +472,8 @@ func (s *saboteur) liveCoverage(m *coverage.Map) *coverage.Map {
 // monitored-field protocol, injects seeded sensor failures in the first
 // third of the horizon, and requires coverage to be whole again by the
 // end while the watchdog re-checks accounting and the budget throughout.
-func runSelfheal(sc Scenario) Verdict {
-	m, eng, h, lines := sc.world()
+func runSelfheal(sc Scenario, reg *obs.Registry) Verdict {
+	m, eng, h, lines, fr := sc.world(reg)
 
 	// Deterministic initial deployment: greedily drop a sensor on the
 	// lowest-index uncovered point until every point is k-covered.
@@ -497,7 +524,7 @@ func runSelfheal(sc Scenario) Verdict {
 	eng.Run(sc.Horizon)
 	chk.RunAt(sc.Horizon) // final check, with the coverage gate open
 
-	v := verdict(sc, eng, chk, sab.liveCoverage(m).FullyCovered(), h, *lines)
+	v := verdict(sc, eng, chk, sab.liveCoverage(m).FullyCovered(), h, *lines, fr)
 	v.Placed = m.NumSensors()
 	v.Repairs = len(f.Repairs)
 	return v

@@ -1,0 +1,70 @@
+package chaos
+
+import (
+	"encoding/json"
+	"testing"
+
+	"decor/internal/sim"
+)
+
+// TestFailedVerdictCarriesTimeline: a run that trips an invariant must
+// attach the flight-recorder tail, and the timeline must replay
+// byte-identically (virtual time + per-run seq only, no wall clock).
+func TestFailedVerdictCarriesTimeline(t *testing.T) {
+	sc := DefaultScenario(ArchSelfheal, 3)
+	sc.Plan = sim.FaultPlan{Seed: 3}
+	for _, id := range sc.ActorUniverse() {
+		sc.Plan.Crashes = append(sc.Plan.Crashes, sim.Crash{Actor: id, At: 0.1})
+	}
+	v := Run(sc)
+	if v.OK {
+		t.Fatal("scenario unexpectedly passed")
+	}
+	if len(v.Timeline) == 0 {
+		t.Fatal("failed verdict has no flight timeline")
+	}
+	if len(v.Timeline) > timelineTail {
+		t.Fatalf("timeline has %d events, cap %d", len(v.Timeline), timelineTail)
+	}
+	kinds := map[string]bool{}
+	for i, ev := range v.Timeline {
+		kinds[ev.Kind] = true
+		if i > 0 && ev.Seq <= v.Timeline[i-1].Seq {
+			t.Fatalf("timeline not seq-ordered at %d", i)
+		}
+	}
+	if !kinds["crash"] && !kinds["deliver"] && !kinds["timer"] {
+		t.Fatalf("timeline lacks engine events: %v", kinds)
+	}
+
+	v2 := Run(sc)
+	j1, _ := json.Marshal(v)
+	j2, _ := json.Marshal(v2)
+	if string(j1) != string(j2) {
+		t.Fatal("verdict with timeline does not replay byte-identically")
+	}
+}
+
+// TestCleanVerdictOmitsTimeline keeps passing verdicts compact.
+func TestCleanVerdictOmitsTimeline(t *testing.T) {
+	v := Run(DefaultScenario(ArchGrid, 1))
+	if !v.OK {
+		t.Skipf("seed 1 unexpectedly failing: %+v", v.Violations)
+	}
+	if v.Timeline != nil {
+		t.Fatalf("clean verdict carries %d timeline events", len(v.Timeline))
+	}
+	b, _ := json.Marshal(v)
+	if string(b) != "" && jsonHasKey(b, "timeline") {
+		t.Fatal("clean verdict JSON includes timeline key")
+	}
+}
+
+func jsonHasKey(b []byte, key string) bool {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(b, &m); err != nil {
+		return false
+	}
+	_, ok := m[key]
+	return ok
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"decor/internal/coverage"
 	"decor/internal/obs"
 	"decor/internal/rng"
@@ -39,12 +41,17 @@ func (Centralized) Name() string { return "centralized" }
 func (c Centralized) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
 	validateDeployInputs(m, r)
 	res := Result{Method: c.Name(), NodeMessages: map[int]int{}, Cells: 1}
+	_, depSpan := obs.StartSpanCtx(opt.Ctx, "core.deploy")
 	if c.FullRescan {
 		c.deployRescan(m, opt, &res)
 	} else {
 		c.deployIncremental(m, opt, &res)
 	}
 	res.Rounds = 1
+	if depSpan != nil {
+		depSpan.SetAttr(fmt.Sprintf("method=%s placed=%d", res.Method, len(res.Placed)))
+		depSpan.End()
+	}
 	return res
 }
 
@@ -164,6 +171,13 @@ func (RandomPlacement) Name() string { return "random" }
 func (rp RandomPlacement) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
 	validateDeployInputs(m, r)
 	res := Result{Method: rp.Name(), NodeMessages: map[int]int{}, Cells: 1, Rounds: 1}
+	_, depSpan := obs.StartSpanCtx(opt.Ctx, "core.deploy")
+	defer func() {
+		if depSpan != nil {
+			depSpan.SetAttr(fmt.Sprintf("method=%s placed=%d", res.Method, len(res.Placed)))
+			depSpan.End()
+		}
+	}()
 	id := nextSensorID(m)
 	for !m.FullyCovered() {
 		if len(res.Placed) >= opt.maxPlacements() {

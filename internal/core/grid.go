@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"decor/internal/coverage"
@@ -95,6 +96,7 @@ func (g GridDECOR) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
 		newRs = m.Rs()
 	}
 	res := Result{Method: g.Name(), NodeMessages: map[int]int{}}
+	tctx, depSpan := obs.StartSpanCtx(opt.Ctx, "core.deploy")
 	st := &gridState{
 		m:    m,
 		part: partition.NewGrid(m.Field(), g.CellSize),
@@ -151,6 +153,7 @@ func (g GridDECOR) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
 			break
 		}
 		roundSpan := obs.StartSpan(obs.CoreRoundSeconds)
+		_, trSpan := obs.StartSpanCtx(tctx, "core.round")
 		decided = decided[:0]
 		evalSpan := obs.StartSpan(obs.CoreBenefitEvalSeconds)
 		if cache != nil {
@@ -167,6 +170,7 @@ func (g GridDECOR) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
 			unc := m.UncoveredPoints()
 			if len(unc) == 0 {
 				roundSpan.End()
+				trSpan.End()
 				break
 			}
 			decided = append(decided, gridPlacement{leader: -1, cell: st.cellOf[unc[0]], pos: m.Point(unc[0]), ptIdx: unc[0]})
@@ -214,6 +218,14 @@ func (g GridDECOR) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
 		}
 		res.Rounds = round + 1
 		roundSpan.End()
+		if trSpan != nil {
+			trSpan.SetAttr(fmt.Sprintf("round=%d placed=%d", round, len(decided)))
+			trSpan.End()
+		}
+	}
+	if depSpan != nil {
+		depSpan.SetAttr(fmt.Sprintf("method=%s rounds=%d placed=%d", res.Method, res.Rounds, len(res.Placed)))
+		depSpan.End()
 	}
 	return res
 }

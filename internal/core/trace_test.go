@@ -1,0 +1,66 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"decor/internal/obs"
+	"decor/internal/rng"
+)
+
+// TestDeployEmitsTraceSpans checks that a trace carried in Options.Ctx
+// flows into placement: every method emits a core.deploy child span, and
+// the round-based methods hang one core.round span per executed round off
+// it.
+func TestDeployEmitsTraceSpans(t *testing.T) {
+	for _, meth := range allMethods() {
+		tr := obs.NewTracer(4096)
+		ctx, root := tr.StartTrace(context.Background(), "req")
+		m := newField(t, 1, 30, 3)
+		res := meth.Deploy(m, rng.New(4), Options{Ctx: ctx})
+		root.End()
+
+		spans := tr.Trace(root.TraceID())
+		var deploy *obs.SpanRecord
+		rounds := 0
+		for i := range spans {
+			switch spans[i].Name {
+			case "core.deploy":
+				deploy = &spans[i]
+			case "core.round":
+				rounds++
+			}
+		}
+		if deploy == nil {
+			t.Fatalf("%s: no core.deploy span", meth.Name())
+		}
+		if deploy.Parent != spans[len(spans)-1].Span && deploy.Trace != root.TraceID().String() {
+			t.Errorf("%s: core.deploy not in the request trace", meth.Name())
+		}
+		switch meth.(type) {
+		case GridDECOR, VoronoiDECOR:
+			if rounds != res.Rounds {
+				t.Errorf("%s: %d core.round spans, want %d", meth.Name(), rounds, res.Rounds)
+			}
+			for i := range spans {
+				if spans[i].Name == "core.round" && spans[i].Parent != deploy.Span {
+					t.Errorf("%s: core.round parent = %q, want core.deploy %q",
+						meth.Name(), spans[i].Parent, deploy.Span)
+				}
+			}
+		default:
+			if rounds != 0 {
+				t.Errorf("%s: unexpected core.round spans (%d)", meth.Name(), rounds)
+			}
+		}
+	}
+}
+
+// TestDeployWithoutTraceIsSilent: no trace in Options.Ctx (or no Ctx at
+// all) must record nothing and must not panic.
+func TestDeployWithoutTraceIsSilent(t *testing.T) {
+	m := newField(t, 1, 30, 3)
+	GridDECOR{CellSize: 5}.Deploy(m, rng.New(4), Options{})
+	m2 := newField(t, 1, 30, 3)
+	VoronoiDECOR{Rc: 8}.Deploy(m2, rng.New(4), Options{Ctx: context.Background()})
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"decor/internal/coverage"
 	"decor/internal/geom"
 	"decor/internal/index"
@@ -71,6 +73,7 @@ func (v VoronoiDECOR) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
 		panic("core: VoronoiDECOR requires rs <= rc for new sensors too")
 	}
 	res := Result{Method: v.Name(), NodeMessages: map[int]int{}}
+	tctx, depSpan := obs.StartSpanCtx(opt.Ctx, "core.deploy")
 
 	pts := make([]geom.Point, m.NumPoints())
 	for i := range pts {
@@ -109,6 +112,7 @@ func (v VoronoiDECOR) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
 			break
 		}
 		roundSpan := obs.StartSpan(obs.CoreRoundSeconds)
+		_, trSpan := obs.StartSpanCtx(tctx, "core.round")
 		decided = decided[:0]
 		evalSpan := obs.StartSpan(obs.CoreBenefitEvalSeconds)
 		// Every sensor alive at round start acts concurrently on the
@@ -158,6 +162,7 @@ func (v VoronoiDECOR) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
 			unc := m.UncoveredPoints()
 			if len(unc) == 0 {
 				roundSpan.End()
+				trSpan.End()
 				break
 			}
 			decided = append(decided, voronoiPlacement{owner: -1, pos: m.Point(unc[0]), ptIdx: unc[0]})
@@ -199,6 +204,14 @@ func (v VoronoiDECOR) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
 		}
 		res.Rounds = round + 1
 		roundSpan.End()
+		if trSpan != nil {
+			trSpan.SetAttr(fmt.Sprintf("round=%d placed=%d", round, len(decided)))
+			trSpan.End()
+		}
+	}
+	if depSpan != nil {
+		depSpan.SetAttr(fmt.Sprintf("method=%s rounds=%d placed=%d", res.Method, res.Rounds, len(res.Placed)))
+		depSpan.End()
 	}
 	// One node per cell: normalize messages by the final node count.
 	res.Cells = m.NumSensors()

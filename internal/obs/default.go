@@ -58,6 +58,17 @@ const (
 	ServeQueueDepth     = "decor_serve_queue_depth"
 	ServeInflight       = "decor_serve_inflight_plans"
 
+	// internal/obs self-observation: histogram lookups whose bucket
+	// bounds disagreed with the live series (the caller's bounds were
+	// dropped — a misconfiguration that used to be silent).
+	ObsHistBoundsConflicts = "decor_obs_histogram_bounds_conflicts_total"
+
+	// decor-serve labeled series (obs v2): responses by route/status
+	// class (and tenant when the X-Decor-Tenant header is present, up to
+	// the cardinality cap). Label handles are interned once per
+	// combination, so the hot path is one map probe + one atomic.
+	ServeResponses = "decor_serve_responses_total"
+
 	// Phase-latency histograms (span names, unit: seconds).
 	ServePlanSeconds            = "decor_serve_plan_seconds"    // worker execution only
 	ServeRequestSeconds         = "decor_serve_request_seconds" // queue wait + execution

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// FlightEvent is one structured entry in the flight recorder: a sim
+// engine event, a protocol message, an admission decision. T is
+// domain-defined time — virtual seconds for simulator shards, wall
+// seconds since recorder start for service shards. Seq totally orders
+// events across shards.
+type FlightEvent struct {
+	Seq    uint64  `json:"seq"`
+	T      float64 `json:"t"`
+	Kind   string  `json:"kind"`
+	Actor  int     `json:"actor"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+func (e FlightEvent) String() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("#%d t=%.3f %s actor=%d", e.Seq, e.T, e.Kind, e.Actor)
+	}
+	return fmt.Sprintf("#%d t=%.3f %s actor=%d %s", e.Seq, e.T, e.Kind, e.Actor, e.Detail)
+}
+
+// FlightRecorder keeps the last events of a running system in fixed
+// memory: per-shard ring buffers that overwrite their oldest entries.
+// Nothing is ever written out during normal operation — the recorder
+// exists to be dumped when something goes wrong (an invariant fires, a
+// 5xx is served, SIGQUIT arrives), turning "the run failed" into a
+// readable event timeline. A nil *FlightRecorder and a nil *FlightShard
+// are valid no-ops.
+type FlightRecorder struct {
+	seq    atomic.Uint64
+	shards []*FlightShard
+}
+
+// NewFlightRecorder creates a recorder with the given shard count and
+// per-shard ring capacity (minimums 1 and 16). Memory is fixed at
+// shards × perShard events for the recorder's lifetime.
+func NewFlightRecorder(shards, perShard int) *FlightRecorder {
+	if shards < 1 {
+		shards = 1
+	}
+	if perShard < 16 {
+		perShard = 16
+	}
+	r := &FlightRecorder{shards: make([]*FlightShard, shards)}
+	for i := range r.shards {
+		r.shards[i] = &FlightShard{rec: r, evs: make([]FlightEvent, perShard)}
+	}
+	return r
+}
+
+// Shards returns the shard count (0 on nil).
+func (r *FlightRecorder) Shards() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.shards)
+}
+
+// Shard returns shard i (nil on a nil recorder), the handle a
+// single-writer domain — one sim engine, one service worker — records
+// through without contending with the others.
+func (r *FlightRecorder) Shard(i int) *FlightShard {
+	if r == nil {
+		return nil
+	}
+	return r.shards[i]
+}
+
+// FlightShard is one ring. Writers share it safely (a short mutex), but
+// the intended shape is one writing goroutine per shard so the mutex
+// never contends.
+type FlightShard struct {
+	rec  *FlightRecorder
+	mu   sync.Mutex
+	evs  []FlightEvent
+	next int
+	n    int
+}
+
+// Record appends one event, overwriting the ring's oldest when full.
+// On a nil shard it is a no-op, so call sites need no enable checks.
+func (s *FlightShard) Record(t float64, kind string, actor int, detail string) {
+	if s == nil {
+		return
+	}
+	seq := s.rec.seq.Add(1)
+	s.mu.Lock()
+	s.evs[s.next] = FlightEvent{Seq: seq, T: t, Kind: kind, Actor: actor, Detail: detail}
+	s.next++
+	if s.next == len(s.evs) {
+		s.next = 0
+	}
+	if s.n < len(s.evs) {
+		s.n++
+	}
+	s.mu.Unlock()
+}
+
+// snapshot copies the shard's valid events in write order.
+func (s *FlightShard) snapshot() []FlightEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]FlightEvent, 0, s.n)
+	start := s.next - s.n
+	if start < 0 {
+		start += len(s.evs)
+	}
+	for i := 0; i < s.n; i++ {
+		out = append(out, s.evs[(start+i)%len(s.evs)])
+	}
+	return out
+}
+
+// Dump merges every shard's surviving events into one timeline ordered
+// by Seq — the global record order, which for a single-goroutine sim
+// run is exactly the deterministic event order.
+func (r *FlightRecorder) Dump() []FlightEvent {
+	if r == nil {
+		return nil
+	}
+	var all []FlightEvent
+	for _, s := range r.shards {
+		all = append(all, s.snapshot()...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Seq < all[j].Seq })
+	return all
+}
+
+// Tail returns the last n events of a dump (the whole dump if shorter).
+func Tail(evs []FlightEvent, n int) []FlightEvent {
+	if len(evs) <= n {
+		return evs
+	}
+	return evs[len(evs)-n:]
+}
+
+// WriteTimeline renders events one per line for humans (post-mortems,
+// SIGQUIT dumps).
+func WriteTimeline(w io.Writer, evs []FlightEvent) {
+	for _, e := range evs {
+		fmt.Fprintln(w, e.String())
+	}
+}

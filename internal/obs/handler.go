@@ -1,6 +1,10 @@
 package obs
 
-import "net/http"
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
 
 // promContentType is the Prometheus text exposition content type the
 // registry renders (version 0.0.4).
@@ -31,3 +35,75 @@ func (r *Registry) Handler() http.Handler {
 // Handler returns the live scrape handler for the process-wide default
 // registry — what decor-serve mounts at /metrics.
 func Handler() http.Handler { return defaultRegistry.Handler() }
+
+// DebugHandler serves the tracer's ring — what decor-serve mounts at
+// /debug/traces:
+//
+//	GET /debug/traces                 recent trace summaries (JSON array)
+//	GET /debug/traces?trace=<hex id>  every span of one trace (JSON array)
+//	GET /debug/traces?format=jsonl    the whole ring as JSONL (decor-trace input)
+//
+// The ?trace form is the drill-down behind the X-Decor-Trace response
+// header: paste the header value in and the full span tree comes back.
+func (t *Tracer) DebugHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		q := req.URL.Query()
+		if q.Get("format") == "jsonl" {
+			w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+			if req.Method == http.MethodHead {
+				return
+			}
+			_ = t.WriteJSONL(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if req.Method == http.MethodHead {
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if idStr := q.Get("trace"); idStr != "" {
+			id, err := ParseTraceID(idStr)
+			if err != nil {
+				http.Error(w, "bad trace id", http.StatusBadRequest)
+				return
+			}
+			spans := t.Trace(id)
+			if len(spans) == 0 {
+				http.Error(w, "trace not found (evicted from the ring or never recorded)", http.StatusNotFound)
+				return
+			}
+			_ = enc.Encode(spans)
+			return
+		}
+		sums := t.Summaries()
+		if n, err := strconv.Atoi(q.Get("n")); err == nil && n > 0 && n < len(sums) {
+			sums = sums[:n]
+		}
+		_ = enc.Encode(sums)
+	})
+}
+
+// DebugHandler serves the flight recorder's merged dump as JSON — what
+// decor-serve mounts at /debug/flight for live post-mortems.
+func (r *FlightRecorder) DebugHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if req.Method == http.MethodHead {
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Dump())
+	})
+}

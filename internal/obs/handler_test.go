@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -72,6 +74,91 @@ func TestHandlerRejectsNonGet(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("POST status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHandlerDeterministicOrdering(t *testing.T) {
+	// Two registries populated in opposite orders must scrape
+	// byte-identically: exposition order is (family, series), never map
+	// or insertion order.
+	names := []string{"decor_b_total", "decor_a_total", "decor_c_total"}
+	reg1, reg2 := NewRegistry(), NewRegistry()
+	for _, n := range names {
+		reg1.Counter(n).Inc()
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		reg2.Counter(names[i]).Inc()
+	}
+	reg1.CounterL("decor_a_total", reg1.Labels("r", "x")).Inc()
+	reg2.CounterL("decor_a_total", reg2.Labels("r", "x")).Inc()
+	var b1, b2 strings.Builder
+	if err := reg1.WritePrometheus(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg2.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatalf("exposition not deterministic:\n--- reg1:\n%s--- reg2:\n%s", b1.String(), b2.String())
+	}
+	// And repeated scrapes of the same registry are byte-identical too.
+	var b3 strings.Builder
+	if err := reg1.WritePrometheus(&b3); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b3.String() {
+		t.Fatal("repeated scrape differs")
+	}
+}
+
+func TestDebugTracesHandler(t *testing.T) {
+	tr := NewTracer(64)
+	ctx, root := tr.StartTrace(context.Background(), "req")
+	_, c := StartSpanCtx(ctx, "phase")
+	c.End()
+	root.End()
+	id := root.TraceID()
+
+	srv := httptest.NewServer(tr.DebugHandler())
+	defer srv.Close()
+
+	status, ct, body := scrape(t, srv.URL)
+	if status != http.StatusOK || !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("summary: status=%d ct=%q", status, ct)
+	}
+	var sums []TraceSummary
+	if err := json.Unmarshal([]byte(body), &sums); err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 1 || sums[0].Trace != id.String() || sums[0].Spans != 2 {
+		t.Fatalf("summaries = %+v", sums)
+	}
+
+	status, _, body = scrape(t, srv.URL+"?trace="+id.String())
+	if status != http.StatusOK {
+		t.Fatalf("drill-down status = %d (%s)", status, body)
+	}
+	var spans []SpanRecord
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("drill-down spans = %d, want 2", len(spans))
+	}
+
+	status, ct, body = scrape(t, srv.URL+"?format=jsonl")
+	if status != http.StatusOK || !strings.HasPrefix(ct, "application/jsonl") {
+		t.Fatalf("jsonl: status=%d ct=%q", status, ct)
+	}
+	if got := strings.Count(strings.TrimSpace(body), "\n") + 1; got != 2 {
+		t.Fatalf("jsonl lines = %d, want 2", got)
+	}
+
+	if status, _, _ = scrape(t, srv.URL+"?trace=0000000000000bad"); status != http.StatusNotFound {
+		t.Fatalf("unknown trace status = %d, want 404", status)
+	}
+	if status, _, _ = scrape(t, srv.URL+"?trace=not-hex"); status != http.StatusBadRequest {
+		t.Fatalf("bad trace id status = %d, want 400", status)
 	}
 }
 

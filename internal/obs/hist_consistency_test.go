@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestHistogramSnapshotNotTorn hammers Observe from several goroutines
+// while snapshotting continuously, asserting every snapshot is
+// internally consistent: Count equals the sum of the bucket counts, and
+// Sum is exactly attributable to those observations (all observations
+// have value 1, so Sum must equal Count). The pre-fix Observe bumped
+// count and sum in separate unsynchronized atomics, so a concurrent
+// snapshot could see them torn; run with -race to also prove the seqlock
+// is data-race-free.
+func TestHistogramSnapshotNotTorn(t *testing.T) {
+	h := newHistogram([]float64{0.5, 2})
+	const writers, perWriter = 4, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var snapErr error
+	var snapMu sync.Mutex
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := h.snapshot()
+				var bucketSum uint64
+				for _, c := range s.Counts {
+					bucketSum += c
+				}
+				if bucketSum != s.Count || s.Sum != float64(s.Count) {
+					snapMu.Lock()
+					if snapErr == nil {
+						snapErr = &tornError{count: s.Count, buckets: bucketSum, sum: s.Sum}
+					}
+					snapMu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		ww.Add(1)
+		go func() {
+			defer ww.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(1)
+			}
+		}()
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if snapErr != nil {
+		t.Fatal(snapErr)
+	}
+	final := h.snapshot()
+	if final.Count != writers*perWriter || final.Sum != float64(writers*perWriter) {
+		t.Fatalf("final count=%d sum=%v, want %d", final.Count, final.Sum, writers*perWriter)
+	}
+}
+
+type tornError struct {
+	count, buckets uint64
+	sum            float64
+}
+
+func (e *tornError) Error() string {
+	return "torn snapshot"
+}
+
+func (e *tornError) String() string { return e.Error() }
+
+func TestHistogramBoundsConflictCounted(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.Histogram("decor_sec", []float64{1, 10})
+	h2 := r.Histogram("decor_sec", []float64{5}) // different bounds: conflict
+	if h1 != h2 {
+		t.Fatal("existing histogram must win")
+	}
+	if got := r.Counter(ObsHistBoundsConflicts).Value(); got != 1 {
+		t.Fatalf("conflict counter = %d, want 1", got)
+	}
+	// Matching bounds (even via a distinct slice) are not a conflict.
+	r.Histogram("decor_sec", []float64{1, 10})
+	if got := r.Counter(ObsHistBoundsConflicts).Value(); got != 1 {
+		t.Fatalf("false positive: conflict counter = %d, want 1", got)
+	}
+	// The existing series' buckets are authoritative.
+	if b := h2.Bounds(); len(b) != 2 || b[0] != 1 || b[1] != 10 {
+		t.Fatalf("bounds = %v", b)
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	h := newHistogram([]float64{0.1, 1})
+	h.Observe(0.05)
+	h.ObserveExemplar(0.5, TraceID(0xabc))
+	h.ObserveExemplar(7, TraceID(0xdef))
+	s := h.snapshot()
+	if s.Exemplars == nil {
+		t.Fatal("no exemplars recorded")
+	}
+	if s.Exemplars[0] != "" {
+		t.Errorf("untraced bucket has exemplar %q", s.Exemplars[0])
+	}
+	if s.Exemplars[1] != TraceID(0xabc).String() {
+		t.Errorf("bucket 1 exemplar = %q", s.Exemplars[1])
+	}
+	if s.Exemplars[2] != TraceID(0xdef).String() {
+		t.Errorf("overflow exemplar = %q", s.Exemplars[2])
+	}
+	// Plain observations leave no exemplar array at all.
+	h2 := newHistogram([]float64{1})
+	h2.Observe(0.5)
+	if s2 := h2.snapshot(); s2.Exemplars != nil {
+		t.Fatalf("unexpected exemplars %v", s2.Exemplars)
+	}
+}

@@ -1,8 +1,9 @@
 // Package obs is the unified instrumentation layer for the DECOR
 // reproduction: a dependency-free (stdlib only) registry of named
-// counters, gauges and fixed-bucket histograms with atomic updates, plus
-// lightweight span timing for the hot phases (candidate scoring, benefit
-// evaluation, leader election, heartbeat rounds).
+// counters, gauges and fixed-bucket histograms with atomic updates,
+// hierarchical trace spans with context propagation (tracer.go), a
+// fixed-memory flight recorder of structured events (flight.go), and
+// low-alloc label sets for per-tenant/arch/route attribution (label.go).
 //
 // The paper's evaluation (§4) is entirely about measured quantities —
 // messages per cell, rounds, redundant nodes, coverage fractions — but
@@ -15,13 +16,17 @@
 // appends to its JSONL schema as an "obs" record.
 //
 // All instruments are safe for concurrent use; Registry lookups use a
-// read-mostly map and instrument updates are single atomic operations, so
-// instrumented hot paths stay cheap.
+// read-mostly map and counter/gauge updates are single atomic operations,
+// so instrumented hot paths stay cheap. Histogram observations serialize
+// writers behind a mutex and publish through a seqlock so snapshots are
+// never torn (count, sum and buckets always agree).
 package obs
 
 import (
 	"math"
+	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -63,11 +68,26 @@ func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 // observations v with v <= upper[i] (and > upper[i-1]); one extra
 // overflow bucket holds everything above the last bound (+Inf in the
 // Prometheus exposition).
+//
+// Writers are serialized by a mutex and bracket their updates with a
+// seqlock version, so a concurrent snapshot always sees count, sum and
+// the bucket array from the same set of completed observations — the
+// torn count/sum reads the original atomic-only Observe allowed are
+// gone. Individual getters (Count, Sum) stay lock-free.
 type Histogram struct {
-	upper   []float64
+	upper []float64
+
+	mu  sync.Mutex    // serializes writers
+	ver atomic.Uint64 // seqlock: odd while a write is in flight
+
 	buckets []atomic.Uint64 // len(upper)+1; last = overflow
 	count   atomic.Uint64
 	sumBits atomic.Uint64
+
+	// exemplars[i] holds the raw TraceID of the most recent traced
+	// observation that landed in bucket i (0 = none) — the link from a
+	// p99 bucket back to a retrievable trace.
+	exemplars []atomic.Uint64
 }
 
 func newHistogram(upperBounds []float64) *Histogram {
@@ -80,21 +100,33 @@ func newHistogram(upperBounds []float64) *Histogram {
 			panic("obs: histogram bounds must be strictly increasing")
 		}
 	}
-	return &Histogram{upper: upper, buckets: make([]atomic.Uint64, len(upper)+1)}
+	return &Histogram{
+		upper:     upper,
+		buckets:   make([]atomic.Uint64, len(upper)+1),
+		exemplars: make([]atomic.Uint64, len(upper)+1),
+	}
 }
 
 // Observe records one value.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.observe(v, 0) }
+
+// ObserveExemplar records one value and remembers the trace that
+// produced it as the bucket's exemplar, so a latency outlier in the
+// exposition can be followed to its full span tree via /debug/traces.
+func (h *Histogram) ObserveExemplar(v float64, trace TraceID) { h.observe(v, uint64(trace)) }
+
+func (h *Histogram) observe(v float64, trace uint64) {
 	i := sort.SearchFloat64s(h.upper, v) // first bound >= v: inclusive le
+	h.mu.Lock()
+	h.ver.Add(1) // odd: snapshots retry until the write completes
 	h.buckets[i].Add(1)
 	h.count.Add(1)
-	for {
-		old := h.sumBits.Load()
-		next := math.Float64bits(math.Float64frombits(old) + v)
-		if h.sumBits.CompareAndSwap(old, next) {
-			return
-		}
+	h.sumBits.Store(math.Float64bits(math.Float64frombits(h.sumBits.Load()) + v))
+	if trace != 0 {
+		h.exemplars[i].Store(trace)
 	}
+	h.ver.Add(1)
+	h.mu.Unlock()
 }
 
 // Count returns the number of observations.
@@ -103,18 +135,70 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
+// Bounds returns the histogram's bucket upper bounds (not aliased).
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.upper...) }
+
+// snapshot captures a consistent view: it retries while a writer holds
+// the seqlock odd or bumped it mid-read, so Count always equals the sum
+// of Counts and Sum matches exactly those observations.
+func (h *Histogram) snapshot() HistSnapshot {
+	hs := HistSnapshot{
+		Buckets: append([]float64(nil), h.upper...),
+		Counts:  make([]uint64, len(h.buckets)),
+	}
+	var ex []uint64
+	for {
+		v1 := h.ver.Load()
+		if v1&1 == 1 {
+			runtime.Gosched()
+			continue
+		}
+		for i := range h.buckets {
+			hs.Counts[i] = h.buckets[i].Load()
+		}
+		hs.Sum = math.Float64frombits(h.sumBits.Load())
+		hs.Count = h.count.Load()
+		ex = ex[:0]
+		for i := range h.exemplars {
+			ex = append(ex, h.exemplars[i].Load())
+		}
+		if h.ver.Load() == v1 {
+			break
+		}
+		runtime.Gosched()
+	}
+	for i, id := range ex {
+		if id != 0 {
+			if hs.Exemplars == nil {
+				hs.Exemplars = make([]string, len(ex))
+			}
+			hs.Exemplars[i] = TraceID(id).String()
+		}
+	}
+	return hs
+}
+
 // DefLatencyBuckets are the default span-duration bounds in seconds,
 // spanning 1µs..10s — wide enough for a single benefit evaluation and a
 // full deployment round alike.
 var DefLatencyBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10}
 
 // Registry holds named instruments. The zero value is not usable; create
-// with NewRegistry (or use the process-wide Default).
+// with NewRegistry (or use the process-wide Default). A registry may own
+// child shards (Shard) whose instruments are merged into its Snapshot at
+// scrape time, and labeled series (label.go) that live in the same maps
+// under their full series key `name{k="v",...}`.
 type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+
+	lmu      sync.RWMutex
+	interned map[string]LabelSet
+
+	shardMu sync.Mutex
+	shards  []*Registry
 }
 
 // NewRegistry creates an empty registry.
@@ -123,7 +207,22 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		interned: map[string]LabelSet{},
 	}
+}
+
+// Shard creates a child registry bound to r: instruments created on the
+// shard are merged into r's Snapshot (counters and gauges sum, histogram
+// buckets add element-wise) at scrape time. Hot paths that would contend
+// on one shared instrument — parallel chaos sweeps, per-worker service
+// state — each take a shard and update it uncontended; the merge cost is
+// paid only by the scraper.
+func (r *Registry) Shard() *Registry {
+	s := NewRegistry()
+	r.shardMu.Lock()
+	r.shards = append(r.shards, s)
+	r.shardMu.Unlock()
+	return s
 }
 
 // sanitizeName maps an arbitrary string onto the Prometheus metric-name
@@ -160,82 +259,145 @@ func sanitizeName(name string) string {
 	return string(b)
 }
 
-// Counter returns the named counter, creating it on first use.
-func (r *Registry) Counter(name string) *Counter {
-	name = sanitizeName(name)
+// getCounter returns the counter stored under a full series key (already
+// sanitized, possibly carrying a label suffix), creating it on first use.
+func (r *Registry) getCounter(key string) *Counter {
 	r.mu.RLock()
-	c, ok := r.counters[name]
+	c, ok := r.counters[key]
 	r.mu.RUnlock()
 	if ok {
 		return c
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if c, ok = r.counters[name]; !ok {
+	if c, ok = r.counters[key]; !ok {
 		c = &Counter{}
-		r.counters[name] = c
+		r.counters[key] = c
 	}
 	return c
 }
 
-// Gauge returns the named gauge, creating it on first use.
-func (r *Registry) Gauge(name string) *Gauge {
-	name = sanitizeName(name)
+func (r *Registry) getGauge(key string) *Gauge {
 	r.mu.RLock()
-	g, ok := r.gauges[name]
+	g, ok := r.gauges[key]
 	r.mu.RUnlock()
 	if ok {
 		return g
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if g, ok = r.gauges[name]; !ok {
+	if g, ok = r.gauges[key]; !ok {
 		g = &Gauge{}
-		r.gauges[name] = g
+		r.gauges[key] = g
 	}
 	return g
 }
 
-// Histogram returns the named histogram, creating it with the given
-// bucket upper bounds on first use. An existing histogram is returned
-// as-is; its original buckets win.
-func (r *Registry) Histogram(name string, upperBounds []float64) *Histogram {
-	name = sanitizeName(name)
+func (r *Registry) getHistogram(key string, upperBounds []float64) *Histogram {
 	r.mu.RLock()
-	h, ok := r.hists[name]
+	h, ok := r.hists[key]
 	r.mu.RUnlock()
-	if ok {
-		return h
+	if !ok {
+		r.mu.Lock()
+		if h, ok = r.hists[key]; !ok {
+			h = newHistogram(upperBounds)
+			r.hists[key] = h
+		}
+		r.mu.Unlock()
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if h, ok = r.hists[name]; !ok {
-		h = newHistogram(upperBounds)
-		r.hists[name] = h
+	if !boundsMatch(h.upper, upperBounds) {
+		// The caller asked for different buckets than the live series
+		// has. Silently dropping the caller's bounds used to be invisible
+		// — now every occurrence is surfaced as a counter (and the
+		// existing series still wins, so concurrent observers never see
+		// the bucket layout change underneath them).
+		r.getCounter(ObsHistBoundsConflicts).Inc()
 	}
 	return h
 }
 
+// boundsMatch reports whether two bucket-bound slices are identical. The
+// pointer fast path covers the common case of a shared bounds slice
+// (DefLatencyBuckets) without walking it.
+func boundsMatch(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) == 0 || &a[0] == &b[0] {
+		return true
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	return r.getCounter(sanitizeName(name))
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	return r.getGauge(sanitizeName(name))
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket upper bounds on first use. An existing histogram is returned
+// as-is — its original buckets win — but a call whose bounds disagree
+// with the live series is no longer silent: it increments
+// ObsHistBoundsConflicts so the misconfiguration shows up on a scrape.
+func (r *Registry) Histogram(name string, upperBounds []float64) *Histogram {
+	return r.getHistogram(sanitizeName(name), upperBounds)
+}
+
 // HistSnapshot is the exported state of one histogram. Counts has one
-// entry per bucket plus a trailing overflow bucket (+Inf).
+// entry per bucket plus a trailing overflow bucket (+Inf). Exemplars,
+// when present, is parallel to Counts and holds the trace ID of the most
+// recent traced observation per bucket ("" = none).
 type HistSnapshot struct {
-	Buckets []float64 `json:"buckets"`
-	Counts  []uint64  `json:"counts"`
-	Sum     float64   `json:"sum"`
-	Count   uint64    `json:"count"`
+	Buckets   []float64 `json:"buckets"`
+	Counts    []uint64  `json:"counts"`
+	Sum       float64   `json:"sum"`
+	Count     uint64    `json:"count"`
+	Exemplars []string  `json:"exemplars,omitempty"`
 }
 
 // Snapshot is a point-in-time copy of every instrument in a registry; it
 // shares no state with the live registry and marshals directly to JSON
-// (the payload of the trace package's "obs" record).
+// (the payload of the trace package's "obs" record). Labeled series
+// appear under their full series key (`name{k="v"}`).
 type Snapshot struct {
 	Counters   map[string]int64        `json:"counters,omitempty"`
 	Gauges     map[string]float64      `json:"gauges,omitempty"`
 	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
 }
 
-// Snapshot captures the registry's current state.
+// Snapshot captures the registry's current state, merged with every
+// shard created via Shard: counters and gauges sum, histograms with
+// matching bounds add element-wise (a shard histogram whose bounds
+// disagree with the parent's series is dropped from the merge and
+// counted under ObsHistBoundsConflicts on the next scrape).
 func (r *Registry) Snapshot() Snapshot {
+	s := r.ownSnapshot()
+	r.shardMu.Lock()
+	shards := append([]*Registry(nil), r.shards...)
+	r.shardMu.Unlock()
+	conflicts := 0
+	for _, sh := range shards {
+		conflicts += s.merge(sh.Snapshot())
+	}
+	if conflicts > 0 {
+		r.getCounter(ObsHistBoundsConflicts).Add(int64(conflicts))
+		s.Counters[ObsHistBoundsConflicts] += int64(conflicts)
+	}
+	return s
+}
+
+// ownSnapshot copies r's own instruments, shards excluded.
+func (r *Registry) ownSnapshot() Snapshot {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	s := Snapshot{
@@ -250,27 +412,75 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[name] = g.Value()
 	}
 	for name, h := range r.hists {
-		hs := HistSnapshot{
-			Buckets: append([]float64(nil), h.upper...),
-			Counts:  make([]uint64, len(h.buckets)),
-			Sum:     h.Sum(),
-			Count:   h.Count(),
-		}
-		for i := range h.buckets {
-			hs.Counts[i] = h.buckets[i].Load()
-		}
-		s.Histograms[name] = hs
+		s.Histograms[name] = h.snapshot()
 	}
 	return s
 }
 
-// sortedNames returns the keys of a metric map, ascending, for
-// deterministic export ordering.
-func sortedNames[V any](m map[string]V) []string {
+// merge folds a shard snapshot into s and returns the number of
+// histogram series it had to drop for mismatched bucket bounds.
+func (s *Snapshot) merge(sh Snapshot) int {
+	for name, v := range sh.Counters {
+		s.Counters[name] += v
+	}
+	for name, v := range sh.Gauges {
+		s.Gauges[name] += v
+	}
+	conflicts := 0
+	for name, hs := range sh.Histograms {
+		base, ok := s.Histograms[name]
+		if !ok {
+			s.Histograms[name] = hs
+			continue
+		}
+		if !boundsMatch(base.Buckets, hs.Buckets) {
+			conflicts++
+			continue
+		}
+		for i := range base.Counts {
+			base.Counts[i] += hs.Counts[i]
+		}
+		base.Sum += hs.Sum
+		base.Count += hs.Count
+		if hs.Exemplars != nil {
+			if base.Exemplars == nil {
+				base.Exemplars = make([]string, len(base.Counts))
+			}
+			for i, e := range hs.Exemplars {
+				if e != "" {
+					base.Exemplars[i] = e
+				}
+			}
+		}
+		s.Histograms[name] = base
+	}
+	return conflicts
+}
+
+// seriesFamily strips the label suffix from a series key: the Prometheus
+// metric-family name a # TYPE line announces.
+func seriesFamily(series string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i]
+	}
+	return series
+}
+
+// sortedSeries returns the keys of a metric map ordered by (family,
+// series), so every labeled variant of one family is contiguous in the
+// exposition — required for the single # TYPE line per family — and the
+// output is deterministic.
+func sortedSeries[V any](m map[string]V) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {
 		out = append(out, k)
 	}
-	sort.Strings(out)
+	sort.Slice(out, func(i, j int) bool {
+		fi, fj := seriesFamily(out[i]), seriesFamily(out[j])
+		if fi != fj {
+			return fi < fj
+		}
+		return out[i] < out[j]
+	})
 	return out
 }

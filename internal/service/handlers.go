@@ -5,11 +5,26 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"time"
+
+	"decor/internal/obs"
 )
 
 const jsonContentType = "application/json; charset=utf-8"
+
+// traceHeader carries the request's trace ID back to the client; feed it
+// to /debug/traces?trace=<id> or decor-trace to see the span tree.
+const traceHeader = "X-Decor-Trace"
+
+// tenantHeader optionally attributes a request to a tenant for the
+// labeled response counter. Cardinality is capped at maxTenantLabels;
+// later tenants are folded into "other" so a label-spraying client
+// cannot grow the registry unboundedly.
+const tenantHeader = "X-Decor-Tenant"
+
+const maxTenantLabels = 64
 
 // cacheStatusHeader reports how a response was produced: "miss" (a cold
 // worker computed it), "hit" (LRU cache), or "coalesced" (singleflight
@@ -19,17 +34,108 @@ const cacheStatusHeader = "X-Decor-Cache"
 
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/plan    field + sensors + k + method → placement plan
-//	POST /v1/repair  deployment + failed IDs      → restoration plan
-//	GET  /healthz    liveness/readiness (503 while draining)
-//	GET  /metrics    live Prometheus scrape of the obs registry
+//	POST /v1/plan       field + sensors + k + method → placement plan
+//	POST /v1/repair     deployment + failed IDs      → restoration plan
+//	GET  /healthz       liveness/readiness (503 while draining)
+//	GET  /metrics       live Prometheus scrape of the obs registry
+//	GET  /debug/traces  recent request span trees (?trace=<id> drills down)
+//	GET  /debug/flight  flight-recorder event dump (live + last-5xx)
+//	GET  /debug/pprof/  net/http/pprof, only with Config.EnablePprof
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/plan", s.handlePlan)
 	mux.HandleFunc("/v1/repair", s.handleRepair)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.Handle("/metrics", s.cfg.Registry.Handler())
+	mux.Handle("/debug/traces", s.cfg.Tracer.DebugHandler())
+	mux.HandleFunc("/debug/flight", s.handleFlight)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// handleFlight serves the flight recorder: the live ring contents plus
+// the snapshot taken when the most recent 5xx was served, if any.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		s.writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	s.dumpMu.Lock()
+	last := s.lastDump
+	s.dumpMu.Unlock()
+	w.Header().Set("Content-Type", jsonContentType)
+	json.NewEncoder(w).Encode(struct {
+		Live    []obs.FlightEvent `json:"live"`
+		Last5xx []obs.FlightEvent `json:"last_5xx,omitempty"`
+	}{Live: s.cfg.Flight.Dump(), Last5xx: last})
+}
+
+// captureFlight freezes the recorder's current contents for /debug/flight
+// after a 5xx response.
+func (s *Server) captureFlight() {
+	d := s.cfg.Flight.Dump()
+	if d == nil {
+		return
+	}
+	s.dumpMu.Lock()
+	s.lastDump = d
+	s.dumpMu.Unlock()
+}
+
+// tenantLabel maps the raw tenant header to a bounded label value.
+func (s *Server) tenantLabel(raw string) string {
+	if raw == "" {
+		return "none"
+	}
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	if s.tenants[raw] {
+		return raw
+	}
+	if len(s.tenants) >= maxTenantLabels {
+		return "other"
+	}
+	s.tenants[raw] = true
+	return raw
+}
+
+// recordResponse bumps the labeled response counter for one request.
+func (s *Server) recordResponse(route string, status int, tenant string) {
+	reg := s.cfg.Registry
+	ls := reg.Labels(
+		"route", route,
+		"status", strconv.Itoa(status),
+		"tenant", s.tenantLabel(tenant),
+	)
+	reg.CounterL(obs.ServeResponses, ls).Inc()
+}
+
+// statusWriter captures the status code a handler wrote so the response
+// counter and the 5xx flight capture can see it.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -83,7 +189,32 @@ func (s *Server) servePlanLike(w http.ResponseWriter, r *http.Request,
 	parse func(*http.Request) (string, time.Duration, func(context.Context) ([]byte, error), error)) {
 
 	start := time.Now()
-	defer func() { s.hRequestSeconds.Observe(time.Since(start).Seconds()) }()
+	route := r.URL.Path
+	tctx, root := s.cfg.Tracer.StartTrace(r.Context(), route)
+	sw := &statusWriter{ResponseWriter: w}
+	w = sw
+	if root != nil {
+		w.Header().Set(traceHeader, root.TraceID().String())
+	}
+	defer func() {
+		root.End()
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		sec := time.Since(start).Seconds()
+		if root != nil {
+			// The exemplar ties this latency bucket to the trace: a p99
+			// scrape can name an X-Decor-Trace ID to drill into.
+			s.hRequestSeconds.ObserveExemplar(sec, root.TraceID())
+		} else {
+			s.hRequestSeconds.Observe(sec)
+		}
+		s.recordResponse(route, status, r.Header.Get(tenantHeader))
+		if status >= 500 {
+			s.captureFlight()
+		}
+	}()
 
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", "POST")
@@ -91,7 +222,9 @@ func (s *Server) servePlanLike(w http.ResponseWriter, r *http.Request,
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.Limits.MaxBodyBytes)
+	_, pSpan := obs.StartSpanCtx(tctx, "parse")
 	key, timeout, run, err := parse(r)
+	pSpan.End()
 	if err != nil {
 		s.cBadReqs.Inc()
 		var ae *apiError
@@ -130,19 +263,28 @@ func (s *Server) servePlanLike(w http.ResponseWriter, r *http.Request,
 	}
 
 	// Leader: admit into the bounded pool. The deadline spans queue wait
-	// plus execution, carried by the job context into the round loop.
+	// plus execution, carried by the job context into the round loop; the
+	// trace's span context rides along so the planner's core.deploy and
+	// core.round spans land in this request's tree.
+	ectx, eSpan := obs.StartSpanCtx(tctx, "execute")
 	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
 	defer cancel()
+	ctx = obs.WithSpanContext(ctx, ectx)
 	j := &job{ctx: ctx, run: run, done: make(chan jobResult, 1)}
+	admission := s.cfg.Flight.Shard(s.cfg.Workers)
 	if !s.submit(j) {
+		eSpan.End()
 		s.cRejected.Inc()
+		admission.Record(s.uptime(), "admit.reject", -1, route)
 		retry := s.retryAfterSeconds()
 		s.flight.finish(key, call, nil, http.StatusServiceUnavailable, errOverloaded)
 		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		s.writeError(w, http.StatusServiceUnavailable, "admission queue full; retry later")
 		return
 	}
+	admission.Record(s.uptime(), "admit.ok", -1, route)
 	res := <-j.done
+	eSpan.End()
 	switch {
 	case res.err == nil:
 		s.cCacheMisses.Inc()

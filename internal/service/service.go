@@ -15,6 +15,7 @@ package service
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
@@ -39,6 +40,17 @@ type Config struct {
 	// Registry receives the decor_serve_* instruments and is exposed at
 	// /metrics (default: the process-wide obs.Default()).
 	Registry *obs.Registry
+	// Tracer records per-request span trees, exposed at /debug/traces;
+	// every response carries its trace ID in X-Decor-Trace (default: the
+	// process-wide obs.DefaultTracer()).
+	Tracer *obs.Tracer
+	// Flight is the structured event recorder dumped at /debug/flight;
+	// workers and the admission path write to it, and the dump taken when
+	// a 5xx is served is kept for post-mortem (default: one shard per
+	// worker plus one for admission decisions, 256 events each).
+	Flight *obs.FlightRecorder
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
 }
 
 func (c Config) normalized() Config {
@@ -55,6 +67,12 @@ func (c Config) normalized() Config {
 	if c.Registry == nil {
 		c.Registry = obs.Default()
 	}
+	if c.Tracer == nil {
+		c.Tracer = obs.DefaultTracer()
+	}
+	if c.Flight == nil {
+		c.Flight = obs.NewFlightRecorder(c.Workers+1, 256)
+	}
 	return c
 }
 
@@ -63,6 +81,7 @@ type job struct {
 	ctx  context.Context // carries the request deadline into the planner
 	run  func(context.Context) ([]byte, error)
 	done chan jobResult // buffered: the worker never blocks on delivery
+	enq  time.Time      // when submit accepted the job (queue-wait attr)
 }
 
 type jobResult struct {
@@ -88,6 +107,18 @@ type Server struct {
 	mu       sync.Mutex
 	draining bool
 
+	// started anchors the flight recorder's relative timestamps.
+	started time.Time
+
+	// lastDump holds the flight-recorder snapshot taken when the most
+	// recent 5xx was served, for /debug/flight post-mortems.
+	dumpMu   sync.Mutex
+	lastDump []obs.FlightEvent
+
+	// tenants caps the cardinality of the tenant response label.
+	tenantMu sync.Mutex
+	tenants  map[string]bool
+
 	// ewmaPlanMS tracks recent plan latency for Retry-After estimates.
 	ewmaPlanMS atomicFloat
 
@@ -110,6 +141,8 @@ func New(cfg Config) *Server {
 		queue:   make(chan *job, cfg.QueueDepth),
 		baseCtx: ctx,
 		abort:   cancel,
+		started: time.Now(),
+		tenants: map[string]bool{},
 	}
 	r := cfg.Registry
 	obs.RegisterServe(r)
@@ -129,16 +162,20 @@ func New(cfg Config) *Server {
 
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
-		go s.worker()
+		go s.worker(i)
 	}
 	return s
 }
 
+// uptime is the flight-recorder clock: seconds since the server started.
+func (s *Server) uptime() float64 { return time.Since(s.started).Seconds() }
+
 // Config returns the normalized configuration the server runs with.
 func (s *Server) Config() Config { return s.cfg }
 
-func (s *Server) worker() {
+func (s *Server) worker(idx int) {
 	defer s.wg.Done()
+	fs := s.cfg.Flight.Shard(idx)
 	for j := range s.queue {
 		s.gQueueDepth.Add(-1)
 		s.gInflight.Add(1)
@@ -149,9 +186,20 @@ func (s *Server) worker() {
 		// has already given up.
 		if err := j.ctx.Err(); err != nil {
 			res = jobResult{err: err}
+			fs.Record(s.uptime(), "plan.expired", idx, "deadline spent in queue")
 		} else {
-			body, err := j.run(j.ctx)
+			rctx, span := obs.StartSpanCtx(j.ctx, "plan.run")
+			if span != nil {
+				span.SetAttr(fmt.Sprintf("queue_wait_ms=%.2f", start.Sub(j.enq).Seconds()*1000))
+			}
+			body, err := j.run(rctx)
+			span.End()
 			res = jobResult{body: body, err: err}
+			if err != nil {
+				fs.Record(s.uptime(), "plan.err", idx, err.Error())
+			} else {
+				fs.Record(s.uptime(), "plan.done", idx, fmt.Sprintf("bytes=%d", len(body)))
+			}
 		}
 		sec := time.Since(start).Seconds()
 		s.hPlanSeconds.Observe(sec)
@@ -169,6 +217,7 @@ func (s *Server) submit(j *job) bool {
 	if s.draining {
 		return false
 	}
+	j.enq = time.Now()
 	select {
 	case s.queue <- j:
 		s.gQueueDepth.Add(1)

@@ -1,0 +1,233 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"decor/internal/obs"
+)
+
+// tracedServer is a testServer with private tracer and flight recorder so
+// parallel tests sharing the process-wide defaults cannot interfere.
+func tracedServer(t *testing.T, cfg Config) (*testServer, *obs.Tracer, *obs.FlightRecorder) {
+	t.Helper()
+	tr := obs.NewTracer(1024)
+	fr := obs.NewFlightRecorder(4, 128)
+	cfg.Tracer = tr
+	cfg.Flight = fr
+	return newTestServer(t, cfg), tr, fr
+}
+
+func getJSON(t *testing.T, url string, into any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode == http.StatusOK && into != nil {
+		if err := json.Unmarshal(b, into); err != nil {
+			t.Fatalf("bad JSON from %s: %v\n%s", url, err, b)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestResponseTraceRetrievable is the ISSUE's acceptance path: a plan
+// request returns X-Decor-Trace, and /debug/traces?trace=<id> serves that
+// request's span tree, including the spans recorded inside the planner.
+func TestResponseTraceRetrievable(t *testing.T) {
+	s, _, _ := tracedServer(t, Config{Workers: 2})
+	status, hdr, _ := s.post(t, "/v1/plan", planBody(31))
+	if status != http.StatusOK {
+		t.Fatalf("plan status = %d", status)
+	}
+	id := hdr.Get(traceHeader)
+	if id == "" {
+		t.Fatal("response missing " + traceHeader)
+	}
+	var spans []obs.SpanRecord
+	if st := getJSON(t, s.ts.URL+"/debug/traces?trace="+id, &spans); st != http.StatusOK {
+		t.Fatalf("/debug/traces?trace=%s status = %d", id, st)
+	}
+	byName := map[string]obs.SpanRecord{}
+	for _, sp := range spans {
+		if sp.Trace != id {
+			t.Errorf("span %s carries trace %s, want %s", sp.Name, sp.Trace, id)
+		}
+		byName[sp.Name] = sp
+	}
+	for _, want := range []string{"/v1/plan", "parse", "execute", "plan.run", "core.deploy"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("trace missing span %q, got %v", want, names(spans))
+		}
+	}
+	// The tree hangs together: parse and execute under the root, the
+	// worker's plan.run under execute, the planner's core.deploy below.
+	rootSpan := byName["/v1/plan"]
+	if rootSpan.Parent != "" {
+		t.Errorf("root has parent %q", rootSpan.Parent)
+	}
+	if byName["parse"].Parent != rootSpan.Span || byName["execute"].Parent != rootSpan.Span {
+		t.Error("parse/execute are not children of the request root")
+	}
+	if byName["plan.run"].Parent != byName["execute"].Span {
+		t.Error("plan.run is not a child of execute")
+	}
+	if byName["plan.run"].Attr == "" || !strings.Contains(byName["plan.run"].Attr, "queue_wait_ms=") {
+		t.Errorf("plan.run attr = %q, want queue_wait_ms", byName["plan.run"].Attr)
+	}
+	if byName["core.deploy"].Parent != byName["plan.run"].Span {
+		t.Errorf("core.deploy parent = %q, want plan.run %q",
+			byName["core.deploy"].Parent, byName["plan.run"].Span)
+	}
+
+	// The exemplar on the request-latency histogram names the same trace.
+	snap := s.reg.Snapshot()
+	h, ok := snap.Histograms[obs.ServeRequestSeconds]
+	if !ok {
+		t.Fatal("no request histogram in snapshot")
+	}
+	found := false
+	for _, ex := range h.Exemplars {
+		if ex == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("histogram exemplars %v do not include trace %s", h.Exemplars, id)
+	}
+}
+
+func names(spans []obs.SpanRecord) []string {
+	out := make([]string, len(spans))
+	for i, sp := range spans {
+		out[i] = sp.Name
+	}
+	return out
+}
+
+func TestLabeledResponseCounter(t *testing.T) {
+	s, _, _ := tracedServer(t, Config{Workers: 2})
+	req, err := http.NewRequest(http.MethodPost, s.ts.URL+"/v1/plan", strings.NewReader(planBody(32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(tenantHeader, "acme")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	s.post(t, "/v1/plan", planBody(32)) // no tenant header
+
+	var sb strings.Builder
+	if err := s.reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`decor_serve_responses_total{route="/v1/plan",status="200",tenant="acme"} 1`,
+		`decor_serve_responses_total{route="/v1/plan",status="200",tenant="none"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTenantCardinalityCapped(t *testing.T) {
+	s, _, _ := tracedServer(t, Config{Workers: 2})
+	for i := 0; i < maxTenantLabels+8; i++ {
+		if got := s.svc.tenantLabel(fmt.Sprintf("tenant-%03d", i)); i < maxTenantLabels && got == "other" {
+			t.Fatalf("tenant %d folded too early", i)
+		} else if i >= maxTenantLabels && got != "other" {
+			t.Fatalf("tenant %d = %q, want other", i, got)
+		}
+	}
+	// Tenants admitted before the cap keep their identity.
+	if got := s.svc.tenantLabel("tenant-000"); got != "tenant-000" {
+		t.Fatalf("existing tenant remapped to %q", got)
+	}
+}
+
+// TestFlightCapturedOn5xx forces a 503 (queue full) and checks the
+// flight recorder's contents were frozen for /debug/flight.
+func TestFlightCapturedOn5xx(t *testing.T) {
+	s, _, _ := tracedServer(t, Config{Workers: 1, QueueDepth: 1})
+	release := make(chan struct{})
+	blocked := make(chan struct{})
+	blocker := func(signal bool) *job {
+		return &job{
+			ctx: context.Background(),
+			run: func(context.Context) ([]byte, error) {
+				if signal {
+					close(blocked)
+				}
+				<-release
+				return []byte("{}"), nil
+			},
+			done: make(chan jobResult, 1),
+		}
+	}
+	b1, b2 := blocker(true), blocker(false)
+	if !s.svc.submit(b1) {
+		t.Fatal("first blocker rejected")
+	}
+	<-blocked // worker busy
+	if !s.svc.submit(b2) {
+		t.Fatal("second blocker rejected")
+	}
+	status, _, _ := s.post(t, "/v1/plan", planBody(33))
+	close(release)
+	<-b1.done
+	<-b2.done
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", status)
+	}
+	var dump struct {
+		Live    []obs.FlightEvent `json:"live"`
+		Last5xx []obs.FlightEvent `json:"last_5xx"`
+	}
+	if st := getJSON(t, s.ts.URL+"/debug/flight", &dump); st != http.StatusOK {
+		t.Fatalf("/debug/flight status = %d", st)
+	}
+	if len(dump.Last5xx) == 0 {
+		t.Fatal("no frozen flight dump after a 5xx")
+	}
+	foundReject := false
+	for _, ev := range dump.Last5xx {
+		if ev.Kind == "admit.reject" {
+			foundReject = true
+		}
+	}
+	if !foundReject {
+		t.Errorf("frozen dump lacks the admission rejection: %+v", dump.Last5xx)
+	}
+}
+
+func TestPprofGatedByFlag(t *testing.T) {
+	off, _, _ := tracedServer(t, Config{})
+	if st := getJSON(t, off.ts.URL+"/debug/pprof/", nil); st != http.StatusNotFound {
+		t.Fatalf("pprof without flag: status = %d, want 404", st)
+	}
+	on, _, _ := tracedServer(t, Config{EnablePprof: true})
+	resp, err := http.Get(on.ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof with flag: status = %d, want 200", resp.StatusCode)
+	}
+}

@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"testing"
+
+	"decor/internal/obs"
 )
 
 // benchActor is a heartbeat-like workload: a periodic timer that
@@ -59,6 +61,23 @@ func BenchmarkEngineRun(b *testing.B) {
 			b.ReportMetric(float64(events), "events/op")
 		})
 	}
+}
+
+// BenchmarkEngineRunRecorded is BenchmarkEngineRun/actors=64 with a
+// flight-recorder shard attached: the price of structured event capture
+// on every delivery and timer. scripts/benchstat.sh compares this against
+// the recorder-disabled run to measure tracing overhead; the disabled
+// path itself is gated against the committed baseline.
+func BenchmarkEngineRunRecorded(b *testing.B) {
+	b.ReportAllocs()
+	events := 0
+	for i := 0; i < b.N; i++ {
+		fr := obs.NewFlightRecorder(1, 4096)
+		e := benchEngine(64)
+		e.SetFlight(fr.Shard(0))
+		events = e.Run(25)
+	}
+	b.ReportMetric(float64(events), "events/op")
 }
 
 // BenchmarkEngineRunFaulted is the same workload under a bounded fault

@@ -17,6 +17,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -109,6 +110,8 @@ type Engine struct {
 	ob      engineObs
 	flushed obsFlushed
 	trace   func(Time, string)
+	flight  *obs.FlightShard
+	obsCtx  context.Context
 
 	lossRate float64
 	lossRNG  *rng.RNG
@@ -216,6 +219,20 @@ func NewEngine(latency Time) *Engine {
 
 // SetTrace installs a trace hook invoked with every processed event.
 func (e *Engine) SetTrace(fn func(Time, string)) { e.trace = fn }
+
+// SetFlight attaches a flight-recorder shard: every processed event
+// (deliveries, drops, losses, crashes, restarts, timers) is recorded as
+// a structured FlightEvent at its virtual time. The shard's ring bounds
+// memory; nil detaches. With no shard attached the event loop pays one
+// nil check per event — the disabled path the tracing-overhead gate in
+// scripts/benchstat.sh protects.
+func (e *Engine) SetFlight(s *obs.FlightShard) { e.flight = s }
+
+// SetObsContext hands the engine a context that may carry an obs trace
+// span (obs.StartTrace); each subsequent Run then records itself as a
+// child span named "sim.run" with its processed-event count. A nil or
+// span-less context keeps Run span-free.
+func (e *Engine) SetObsContext(ctx context.Context) { e.obsCtx = ctx }
 
 // SetRegistry redirects this engine's instrumentation (event counters and
 // queue-depth gauge) to r instead of the process-wide obs.Default().
@@ -469,6 +486,7 @@ func (e *Engine) schedule(ev event) {
 // until. It returns the number of events processed.
 func (e *Engine) Run(until Time) int {
 	processed := 0
+	_, runSpan := obs.StartSpanCtx(e.obsCtx, "sim.run")
 	e.running = true
 	for e.queue.Len() > 0 {
 		if e.queue.evs[0].at > until {
@@ -492,6 +510,7 @@ func (e *Engine) Run(until Time) int {
 			if e.trace != nil {
 				e.trace(e.now, fmt.Sprintf("crash @%d", target))
 			}
+			e.flight.Record(float64(e.now), "crash", target, "")
 			continue
 		}
 		if ev.kind == evRestart {
@@ -500,6 +519,7 @@ func (e *Engine) Run(until Time) int {
 				if e.trace != nil {
 					e.trace(e.now, fmt.Sprintf("restart @%d", target))
 				}
+				e.flight.Record(float64(e.now), "restart", target, "")
 				e.Restart(target)
 			}
 			continue
@@ -508,6 +528,9 @@ func (e *Engine) Run(until Time) int {
 		if !ok || e.dead[target] {
 			if ev.kind == evMessage {
 				e.stats.Dropped++
+				if e.flight != nil {
+					e.flight.Record(float64(e.now), "drop", target, fmt.Sprintf("%s %d->%d dead", ev.msg.Kind, ev.msg.From, target))
+				}
 			}
 			continue
 		}
@@ -518,10 +541,16 @@ func (e *Engine) Run(until Time) int {
 				if e.trace != nil {
 					e.trace(e.now, fmt.Sprintf("cut %s %d->%d", ev.msg.Kind, ev.msg.From, target))
 				}
+				if e.flight != nil {
+					e.flight.Record(float64(e.now), "cut", target, fmt.Sprintf("%s %d->%d", ev.msg.Kind, ev.msg.From, target))
+				}
 				continue
 			}
 			if e.lossRate > 0 && e.lossRNG.Bool(e.lossRate) {
 				e.stats.Lost++
+				if e.flight != nil {
+					e.flight.Record(float64(e.now), "lose", target, fmt.Sprintf("%s %d->%d", ev.msg.Kind, ev.msg.From, target))
+				}
 				continue
 			}
 			if e.faults != nil && e.faults.burstLost(e.now) {
@@ -529,11 +558,17 @@ func (e *Engine) Run(until Time) int {
 				if e.trace != nil {
 					e.trace(e.now, fmt.Sprintf("burst-lose %s %d->%d", ev.msg.Kind, ev.msg.From, target))
 				}
+				if e.flight != nil {
+					e.flight.Record(float64(e.now), "burst-lose", target, fmt.Sprintf("%s %d->%d", ev.msg.Kind, ev.msg.From, target))
+				}
 				continue
 			}
 			e.stats.Delivered++
 			if e.trace != nil {
 				e.trace(e.now, fmt.Sprintf("deliver %s %d->%d", ev.msg.Kind, ev.msg.From, target))
+			}
+			if e.flight != nil {
+				e.flight.Record(float64(e.now), "deliver", target, fmt.Sprintf("%s %d->%d", ev.msg.Kind, ev.msg.From, target))
 			}
 			ctx := e.getCtx(target)
 			actor.OnMessage(ctx, ev.msg)
@@ -542,6 +577,9 @@ func (e *Engine) Run(until Time) int {
 			e.stats.Timers++
 			if e.trace != nil {
 				e.trace(e.now, fmt.Sprintf("timer %s @%d", ev.msg.Kind, target))
+			}
+			if e.flight != nil {
+				e.flight.Record(float64(e.now), "timer", target, ev.msg.Kind)
 			}
 			ctx := e.getCtx(target)
 			actor.OnTimer(ctx, ev.msg.Kind)
@@ -552,6 +590,10 @@ func (e *Engine) Run(until Time) int {
 	e.flushObs()
 	if e.queue.Len() == 0 && until != Inf && e.now < until {
 		e.now = until
+	}
+	if runSpan != nil {
+		runSpan.SetAttr(fmt.Sprintf("events=%d", processed))
+		runSpan.End()
 	}
 	return processed
 }

@@ -1,12 +1,20 @@
 #!/bin/sh
-# Old-vs-new engine benchmark report: run the simulator/chaos benches
-# fresh and compare them against the committed BENCH_sim.json baseline
-# with decor-benchjson -diff. This is the `make check` performance smoke
-# — it REPORTS regressions (speedup < 1x) but does not gate on them yet.
+# Old-vs-new engine benchmark report AND the tracing-overhead gate: run
+# the simulator/chaos benches fresh (including the recorder-enabled
+# BenchmarkEngineRunRecorded), compare them against the committed
+# BENCH_sim.json baseline with decor-benchjson -diff, and FAIL if the
+# recorder-disabled hot path (BenchmarkEngineRun/actors=64) regressed in
+# mean ns/op beyond BENCH_GATE_PCT percent. The recorder-enabled-vs-
+# disabled ratio is printed as a report so the cost of flight recording
+# stays visible; only the disabled path is gated (it is what every
+# non-chaos caller pays).
 #
 # Tunables: BENCH_BASELINE (default BENCH_sim.json), BENCH_COUNT
 # (samples, default 1), BENCH_TIME (per-bench -benchtime, default 20x —
-# enough iterations to be indicative while staying a smoke).
+# enough iterations to be indicative while staying a smoke),
+# BENCH_GATE_PCT (allowed regression, default 25 — wide because shared
+# CI hosts show ±15% run-to-run drift; allocs/op would catch a real
+# structural regression long before ns/op does).
 set -e
 
 GO=${GO:-go}
@@ -14,6 +22,7 @@ BASELINE=${BENCH_BASELINE:-BENCH_sim.json}
 FRESH=${BENCH_FRESH:-$(mktemp /tmp/bench_sim_fresh.XXXXXX.json)}
 COUNT=${BENCH_COUNT:-1}
 TIME=${BENCH_TIME:-20x}
+GATE_PCT=${BENCH_GATE_PCT:-25}
 
 if [ ! -f "$BASELINE" ]; then
 	echo "benchstat: baseline $BASELINE missing; run 'make bench-json' first" >&2
@@ -23,4 +32,19 @@ fi
 $GO test -run '^$' -bench 'BenchmarkEngineRun|BenchmarkEngineSchedule|BenchmarkChaosScenario' \
 	-benchmem -benchtime="$TIME" -count="$COUNT" ./internal/sim/ ./internal/chaos/ |
 	$GO run ./cmd/decor-benchjson -o "$FRESH"
-$GO run ./cmd/decor-benchjson -diff "$BASELINE" "$FRESH"
+$GO run ./cmd/decor-benchjson -diff \
+	-gate 'BenchmarkEngineRun/actors=64$' -max-regress "$GATE_PCT" \
+	"$BASELINE" "$FRESH"
+
+# Recorder-enabled vs disabled: the per-event price of flight recording,
+# from the fresh run so both sides saw the same machine conditions.
+awk '
+/"name":/ { name = $0; sub(/.*: "/, "", name); sub(/".*/, "", name) }
+/"mean":/ { mean = $0; sub(/.*: /, "", mean); sub(/,.*/, "", mean)
+	if (name == "BenchmarkEngineRun/actors=64") disabled = mean
+	if (name == "BenchmarkEngineRunRecorded") recorded = mean }
+END {
+	if (disabled > 0 && recorded > 0)
+		printf "tracing overhead: recorder on %.0f ns/op vs off %.0f ns/op (%.2fx) [report only]\n",
+			recorded, disabled, recorded / disabled
+}' "$FRESH"
