@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check bench bench-json serve-smoke chaos-smoke cover figures extensions summary clean
+.PHONY: all build vet test test-short check bench bench-json bench-large serve-smoke chaos-smoke cover figures extensions summary clean
 
 all: build vet test
 
@@ -12,8 +12,10 @@ all: build vet test
 # so the benchmarks never rot, the engine benchmark diff against the
 # committed BENCH_sim.json baseline — which now GATES the tracing
 # overhead: the recorder-disabled BenchmarkEngineRun/actors=64 hot path
-# must stay within BENCH_GATE_PCT (default 25%) of the baseline, and the
-# recorder-enabled/disabled ratio is reported (scripts/benchstat.sh) —
+# must stay within BENCH_GATE_PCT (default 25%) of the baseline, the
+# core placement benches are likewise diffed and gated against
+# BENCH_core.json, and the recorder-enabled/disabled ratio is reported
+# (scripts/benchstat.sh) — the large-placement race smoke (bench-large),
 # the decor-serve end-to-end smoke (throughput + graceful drain), and
 # the chaos sweep (invariants + determinism under fault injection).
 check:
@@ -21,8 +23,18 @@ check:
 	$(GO) test -race ./...
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 	sh scripts/benchstat.sh
+	$(MAKE) bench-large
 	$(MAKE) serve-smoke
 	$(MAKE) chaos-smoke
+
+# Large-placement smoke: a downscaled (1e5-point) million-point-regime
+# deployment under the race detector, asserting the tile-parallel
+# conflict-resolution path places byte-identically to the sequential
+# tiled path and honors a resident-tile budget. Bounded wall-clock via
+# -timeout; the full 1e6 benchmarks stay behind DECOR_PLACE_LARGE=1 in
+# `make bench-json`.
+bench-large:
+	DECOR_BENCH_LARGE=1 $(GO) test -race -run '^TestPlaceLargeSmoke$$' -timeout 600s ./internal/core/
 
 # Chaos property gate: sweep 16 seeds per architecture under the race
 # detector, each run repeated to verify a byte-identical replay. The
@@ -64,11 +76,13 @@ bench:
 	$(GO) test -bench . -benchmem ./...
 
 # Refresh the committed benchmark baselines: BENCH_core.json (placement
-# hot path micro-benches) and BENCH_sim.json (simulator engine + chaos
-# scenario benches, real iteration counts so ns/op and allocs/op are
-# meaningful for scripts/benchstat.sh comparisons).
+# hot path: micro-benches plus the large-field BenchmarkPlace
+# deployments, with DECOR_PLACE_LARGE=1 so the 1e6-point entries are
+# included) and BENCH_sim.json (simulator engine + chaos scenario
+# benches, real iteration counts so ns/op and allocs/op are meaningful
+# for scripts/benchstat.sh comparisons).
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkBenefitRadius|BenchmarkIndexBall|BenchmarkDeployAblation' -benchtime=1x -count=3 ./internal/... | $(GO) run ./cmd/decor-benchjson -o BENCH_core.json
+	DECOR_PLACE_LARGE=1 $(GO) test -run '^$$' -bench 'BenchmarkBenefitRadius|BenchmarkIndexBall|BenchmarkDeployAblation|BenchmarkPlace' -benchtime=1x -count=3 -timeout 60m ./internal/... | $(GO) run ./cmd/decor-benchjson -o BENCH_core.json
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineRun|BenchmarkEngineSchedule|BenchmarkChaosScenario' -benchmem -benchtime=50x -count=3 ./internal/sim/ ./internal/chaos/ | $(GO) run ./cmd/decor-benchjson -o BENCH_sim.json
 
 # Regenerate the paper's evaluation tables (full parameters, ~4 s).

@@ -24,6 +24,11 @@ type Centralized struct {
 	// heterogeneous setting where new hardware may out-range the
 	// original deployment.
 	NewRs float64
+	// Workers parallelizes the one-time benefit build of the tiled path
+	// (shard semantics: non-positive = GOMAXPROCS). Only consulted on
+	// maps with tiled coverage storage; the result is worker-count-
+	// independent either way.
+	Workers int
 }
 
 // newRadius resolves the radius of newly placed sensors for a map.
@@ -42,9 +47,12 @@ func (c Centralized) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
 	validateDeployInputs(m, r)
 	res := Result{Method: c.Name(), NodeMessages: map[int]int{}, Cells: 1}
 	_, depSpan := obs.StartSpanCtx(opt.Ctx, "core.deploy")
-	if c.FullRescan {
+	switch {
+	case c.FullRescan:
 		c.deployRescan(m, opt, &res)
-	} else {
+	case m.Tiles() != nil:
+		c.deployTiled(m, opt, &res)
+	default:
 		c.deployIncremental(m, opt, &res)
 	}
 	res.Rounds = 1

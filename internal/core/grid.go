@@ -39,6 +39,14 @@ type GridDECOR struct {
 	// NewRs overrides the sensing radius of newly placed sensors
 	// (0 = the map default), the paper's heterogeneous setting.
 	NewRs float64
+	// Workers enables the tile-parallel engine (tiled.go) on maps with
+	// tiled coverage storage: decisions are scored concurrently across
+	// occupied cells and benefit updates scattered tile-partitioned.
+	// 0 disables it (the seed path), > 0 uses that many workers, < 0
+	// uses GOMAXPROCS. Placements are byte-identical for every setting
+	// (the tiled parity suite asserts it); it is ignored on flat maps
+	// and under the Sequential/FullRescan ablations.
+	Workers int
 }
 
 // Name implements Method.
@@ -123,12 +131,6 @@ func (g GridDECOR) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
 		st.addMember(st.part.CellIndex(p), id)
 	}
 
-	var cache *benefitCache
-	if !g.FullRescan {
-		cache = newBenefitCache(m, newRs, st.cellOf)
-		defer cache.flush()
-	}
-
 	// Initial position exchange: each occupied cell's leader advertises
 	// its sensors to occupied Moore neighbors (one message each).
 	for _, c := range st.occ {
@@ -139,6 +141,16 @@ func (g GridDECOR) Deploy(m *coverage.Map, r *rng.RNG, opt Options) Result {
 				res.NodeMessages[leader]++
 			}
 		}
+	}
+
+	if g.tiledActive(m) {
+		return g.deployTiled(m, st, newRs, opt, res, tctx, depSpan)
+	}
+
+	var cache *benefitCache
+	if !g.FullRescan {
+		cache = newBenefitCache(m, newRs, st.cellOf)
+		defer cache.flush()
 	}
 
 	nextID := nextSensorID(m)

@@ -1,0 +1,574 @@
+// Tile-parallel placement engines for maps with tiled coverage storage
+// (DESIGN.md §13).
+//
+// Both engines here are drop-in replacements for existing paths, proven
+// byte-identical by the tiled parity suite:
+//
+//   - GridDECOR.deployTiled replaces the decideCached/benefitCache round
+//     loop when the map uses tiled storage and g.Workers enables it. Per
+//     round, leader decisions are scored concurrently across occupied
+//     cells (the paper's per-cell independence argument: a decision
+//     reads only the round-start snapshot), then committed sequentially
+//     in cell order, and the benefit scatter for placements whose disks
+//     cross tile boundaries is partitioned by destination tile — each
+//     worker owns whole tiles, so the update is race-free and the final
+//     benefit state is independent of the worker count.
+//
+//   - Centralized.deployTiled replaces deployIncremental: the global
+//     argmax keeps a per-tile best-candidate memo, skips fully-k-covered
+//     tiles in O(1) via the tile deficiency summary, and re-scans only
+//     tiles whose memo a placement invalidated (those overlapping the
+//     2·rs disk around it).
+//
+// Determinism argument (the conflict-resolution round): decisions are
+// computed from an immutable snapshot into per-cell slots and compacted
+// in occupied-cell order, so the decided sequence equals the sequential
+// scan's. Applying a round's batch uses the order-free drop formulation
+// drop(j) = max(k−old_j,0) − max(k−new_j,0), which equals the sum of the
+// sequential per-placement decrements for any apply order; integer adds
+// commute, so the scattered benefit array is bit-equal for any worker
+// count, including one.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"decor/internal/coverage"
+	"decor/internal/geom"
+	"decor/internal/index"
+	"decor/internal/obs"
+	"decor/internal/shard"
+)
+
+// tiledActive reports whether the tile-parallel grid engine handles this
+// deployment. Sequential and FullRescan are ablation modes that must
+// keep their reference semantics; maps without tiled storage have no
+// tile structure to parallelize over.
+func (g GridDECOR) tiledActive(m *coverage.Map) bool {
+	return g.Workers != 0 && !g.Sequential && !g.FullRescan && m.Tiles() != nil
+}
+
+// tiledGrid carries the engine state for one GridDECOR.deployTiled run.
+type tiledGrid struct {
+	m     *coverage.Map
+	ts    *coverage.TileStore
+	st    *gridState
+	nb    *index.Neighborhoods
+	newRs float64
+	w     int // requested workers (0 = GOMAXPROCS)
+	k     int32
+
+	// snap mirrors the map's coverage counts (round-start semantics are
+	// preserved because it only advances in the sequential gather).
+	// benefit is the cell-restricted Eq. 1 cache: exact for every
+	// currently-deficient candidate, junk for covered ones — covered
+	// candidates are skipped before the read, and they can never become
+	// deficient again because counts only grow during a deployment.
+	snap    []int32
+	benefit []int32
+	cellDef []int32 // per grid cell: points with snap < k
+	tileOf  []int32
+
+	slots []gridPlacement // per occupied-cell decision slots
+
+	// Round-apply scratch (all reset each round).
+	coverCnt  []int32   // per point: placements covering it this round
+	touched   []int     // points with coverCnt > 0
+	drop      []int32   // per point: benefit drop this round
+	dropped   []int     // points with drop > 0
+	tileTouch [][]int32 // per tile: dropped points whose disk reaches it
+	tileMark  []int     // epoch guard for tileTouch
+	dirty     []int     // tiles with a non-empty tileTouch this round
+	epoch     int
+
+	cancelled atomic.Bool
+	deltas    int64
+}
+
+// deployTiled is the tile-parallel round loop. st is fully built and the
+// initial message exchange already accounted.
+func (g GridDECOR) deployTiled(m *coverage.Map, st *gridState, newRs float64, opt Options, res Result, tctx context.Context, depSpan *obs.ActiveSpan) Result {
+	e := &tiledGrid{
+		m:     m,
+		ts:    m.Tiles(),
+		st:    st,
+		nb:    m.PointNeighborhoods(newRs),
+		newRs: newRs,
+		w:     g.Workers,
+		k:     int32(m.K()),
+	}
+	if e.w < 0 {
+		e.w = 0 // shard resolves 0 to GOMAXPROCS
+	}
+	n := m.NumPoints()
+	e.tileOf = e.ts.TileMap()
+	e.snap = make([]int32, n)
+	e.ts.ForEachCount(func(i, c int) { e.snap[i] = int32(c) })
+	e.cellDef = make([]int32, e.st.part.NumCells())
+	for i, c := range e.snap {
+		if c < e.k {
+			e.cellDef[e.st.cellOf[i]]++
+		}
+	}
+	e.benefit = make([]int32, n)
+	e.coverCnt = make([]int32, n)
+	e.drop = make([]int32, n)
+	e.tileTouch = make([][]int32, e.ts.NumTiles())
+	e.tileMark = make([]int, e.ts.NumTiles())
+	for t := range e.tileMark {
+		e.tileMark[t] = -1
+	}
+	e.build(opt)
+	defer func() {
+		if e.deltas > 0 {
+			obsCacheDeltas.Add(e.deltas)
+		}
+	}()
+	if e.cancelled.Load() {
+		res.Interrupted = true
+		endDeploySpan(depSpan, &res)
+		return res
+	}
+
+	nextID := nextSensorID(m)
+	var decided []gridPlacement
+	for round := 0; !m.FullyCovered() && round < opt.maxRounds(); round++ {
+		if res.Capped {
+			break
+		}
+		if opt.interrupted() {
+			res.Interrupted = true
+			break
+		}
+		roundSpan := obs.StartSpan(obs.CoreRoundSeconds)
+		_, trSpan := obs.StartSpanCtx(tctx, "core.round")
+		evalSpan := obs.StartSpan(obs.CoreBenefitEvalSeconds)
+		decided = e.decide(round, opt, decided[:0])
+		evalSpan.End()
+		if e.cancelled.Load() {
+			res.Interrupted = true
+			roundSpan.End()
+			if trSpan != nil {
+				trSpan.End()
+			}
+			break
+		}
+		if len(decided) == 0 {
+			// Base-station fallback: seed the lowest deficient point
+			// (found through the tile summaries, not a full scan).
+			u := e.lowestDeficient()
+			if u < 0 {
+				roundSpan.End()
+				if trSpan != nil {
+					trSpan.End()
+				}
+				break
+			}
+			decided = append(decided, gridPlacement{leader: -1, cell: st.cellOf[u], pos: m.Point(u), ptIdx: u})
+			res.Seeded++
+		}
+		applied := e.apply(decided, &res, &nextID, round, opt)
+		e.fold(applied)
+		res.Rounds = round + 1
+		roundSpan.End()
+		if trSpan != nil {
+			trSpan.SetAttr(fmt.Sprintf("round=%d placed=%d", round, len(decided)))
+			trSpan.End()
+		}
+	}
+	endDeploySpan(depSpan, &res)
+	return res
+}
+
+// endDeploySpan closes the core.deploy trace span with the run summary.
+func endDeploySpan(depSpan *obs.ActiveSpan, res *Result) {
+	if depSpan != nil {
+		depSpan.SetAttr(fmt.Sprintf("method=%s rounds=%d placed=%d", res.Method, res.Rounds, len(res.Placed)))
+		depSpan.End()
+	}
+}
+
+// build gathers the cell-restricted benefit cache tile-parallel. Fully
+// covered tiles are skipped outright: every candidate in them stays
+// non-deficient for the whole run, so its benefit is never read. The
+// gather form (sum over the candidate's neighborhood) writes only to the
+// worker's own tile, making the build race-free, and integer adds make
+// it bit-equal to the sequential scatter build for any worker count.
+func (e *tiledGrid) build(opt Options) {
+	span := obs.StartSpan(obs.CoreCacheBuildSeconds)
+	defer span.End()
+	shard.ForEach(e.ts.NumTiles(), e.w, func(t int) {
+		if t&31 == 0 && opt.interrupted() {
+			e.cancelled.Store(true)
+		}
+		if e.cancelled.Load() {
+			return
+		}
+		if e.ts.DeficientInTile(t) == 0 {
+			return
+		}
+		for _, ii := range e.ts.TilePoints(t) {
+			i := int(ii)
+			if e.snap[i] >= e.k {
+				continue
+			}
+			ci := e.st.cellOf[i]
+			var b int32
+			for _, jj := range e.nb.At(i) {
+				j := int(jj)
+				if e.st.cellOf[j] != ci {
+					continue
+				}
+				if d := e.k - e.snap[j]; d > 0 {
+					b += d
+				}
+			}
+			e.benefit[i] = b
+		}
+	})
+}
+
+// bestIn returns the deficient candidate with maximum cached benefit,
+// lowest index on ties (candidates are ascending) — cache.best against
+// the engine's snapshot.
+func (e *tiledGrid) bestIn(candidates []int) (int, bool) {
+	bestV, bestIdx := int32(0), -1
+	for _, i := range candidates {
+		if e.snap[i] >= e.k {
+			continue
+		}
+		if b := e.benefit[i]; b > bestV {
+			bestV, bestIdx = b, i
+		}
+	}
+	return bestIdx, bestIdx >= 0
+}
+
+// decide scores one round's leader decisions concurrently across
+// occupied cells. Every job reads only round-start state (snap, benefit,
+// cellDef, membership) and writes its own slot; compaction in occupied-
+// cell order reproduces the sequential decision sequence exactly.
+// Cancellation is polled inside the scoring loop (every 32 cells), not
+// just at round boundaries, so /v1/plan deadlines abort million-point
+// rounds promptly.
+func (e *tiledGrid) decide(round int, opt Options, decided []gridPlacement) []gridPlacement {
+	occ := e.st.occ
+	if cap(e.slots) < len(occ) {
+		e.slots = make([]gridPlacement, len(occ))
+	}
+	e.slots = e.slots[:len(occ)]
+	shard.ForEach(len(occ), e.w, func(ci int) {
+		if ci&31 == 0 && opt.interrupted() {
+			e.cancelled.Store(true)
+		}
+		if e.cancelled.Load() {
+			return
+		}
+		e.slots[ci] = gridPlacement{ptIdx: -1}
+		c := occ[ci]
+		leader := e.st.members[c][round%len(e.st.members[c])]
+		// Own cell first. cellDef > 0 guarantees a positive-benefit
+		// candidate (a deficient point's benefit includes its own
+		// deficit), so the check is equivalent to cache.best's ok.
+		if e.cellDef[c] > 0 {
+			if idx, ok := e.bestIn(e.st.cells[c]); ok {
+				e.slots[ci] = gridPlacement{leader, c, e.m.Point(idx), idx}
+			}
+			return
+		}
+		// Own cell covered: adopt the first empty deficient neighbor.
+		for _, nc := range e.st.nbrs[c] {
+			if len(e.st.members[nc]) > 0 || e.cellDef[nc] == 0 {
+				continue
+			}
+			if idx, ok := e.bestIn(e.st.cells[nc]); ok {
+				e.slots[ci] = gridPlacement{leader, nc, e.m.Point(idx), idx}
+			}
+			return
+		}
+	})
+	if e.cancelled.Load() {
+		return decided
+	}
+	for _, s := range e.slots {
+		if s.ptIdx >= 0 {
+			decided = append(decided, s)
+		}
+	}
+	return decided
+}
+
+// apply commits the round's decided placements to the map sequentially
+// — identical bookkeeping (IDs, caps, membership, border messages) to
+// the seed path — and returns the sample points actually placed at.
+func (e *tiledGrid) apply(decided []gridPlacement, res *Result, nextID *int, round int, opt Options) []int {
+	m, st := e.m, e.st
+	var applied []int
+	for _, d := range decided {
+		if len(res.Placed) >= opt.maxPlacements() {
+			res.Capped = true
+			break
+		}
+		id := *nextID
+		*nextID++
+		if e.newRs == m.Rs() {
+			m.AddSensorAtPoint(id, d.ptIdx)
+		} else {
+			m.AddSensorRadius(id, d.pos, e.newRs)
+		}
+		st.addMember(d.cell, id)
+		applied = append(applied, d.ptIdx)
+		res.Placed = append(res.Placed, Placement{ID: id, Pos: d.pos, Round: round})
+		if d.leader < 0 {
+			continue // base-station seed: no leader messages
+		}
+		disk := geom.Disk{Center: d.pos, R: e.newRs}
+		for _, nc := range st.nbrs[d.cell] {
+			if len(st.members[nc]) == 0 {
+				continue
+			}
+			if disk.IntersectsRect(st.part.CellRect(nc)) {
+				res.Messages++
+				res.NodeMessages[d.leader]++
+			}
+		}
+		if d.cell != st.part.CellIndex(func() geom.Point { p, _ := m.SensorPos(d.leader); return p }()) {
+			res.Messages++ // instruct the remote cell's new leader
+			res.NodeMessages[d.leader]++
+		}
+	}
+	return applied
+}
+
+// fold advances the snapshot and benefit cache by one round's applied
+// placements: gather each covered point's total increment, convert it to
+// an order-free benefit drop, then scatter the drops tile-partitioned.
+func (e *tiledGrid) fold(applied []int) {
+	if len(applied) == 0 {
+		return
+	}
+	// Gather: how many of this round's disks cover each point.
+	for _, pi := range applied {
+		for _, jj := range e.nb.At(pi) {
+			j := int(jj)
+			if e.coverCnt[j] == 0 {
+				e.touched = append(e.touched, j)
+			}
+			e.coverCnt[j]++
+		}
+	}
+	// Convert to drops. drop(j) = max(k−old,0) − max(k−new,0) equals the
+	// cumulative effect of the sequential per-placement decrements
+	// regardless of apply order.
+	e.epoch++
+	e.dirty = e.dirty[:0]
+	par := shard.Workers(e.w, len(e.touched)+1) > 1
+	for _, j := range e.touched {
+		cc := e.coverCnt[j]
+		e.coverCnt[j] = 0
+		old := e.snap[j]
+		nw := old + cc
+		e.snap[j] = nw
+		if old >= e.k {
+			continue
+		}
+		var dr int32
+		if nw >= e.k {
+			dr = e.k - old
+			e.cellDef[e.st.cellOf[j]]--
+		} else {
+			dr = cc
+		}
+		e.drop[j] = dr
+		e.dropped = append(e.dropped, j)
+		e.deltas += int64(len(e.nb.At(j)))
+		if par {
+			// Register j with every tile its disk can reach, so the
+			// parallel scatter can partition updates by destination
+			// tile (disks crossing tile boundaries appear in each).
+			e.ts.VisitTilesInDisk(e.m.Point(j), e.newRs, func(t int) {
+				if e.tileMark[t] != e.epoch {
+					e.tileMark[t] = e.epoch
+					e.tileTouch[t] = e.tileTouch[t][:0]
+					e.dirty = append(e.dirty, t)
+				}
+				e.tileTouch[t] = append(e.tileTouch[t], int32(j))
+			})
+		}
+	}
+	e.touched = e.touched[:0]
+	// Scatter: each candidate in the dropped points' neighborhoods (same
+	// cell only — the leader knowledge model) loses the drop.
+	if !par {
+		for _, j := range e.dropped {
+			dr := e.drop[j]
+			cj := e.st.cellOf[j]
+			for _, ii := range e.nb.At(j) {
+				i := int(ii)
+				if e.st.cellOf[i] == cj {
+					e.benefit[i] -= dr
+				}
+			}
+		}
+	} else {
+		// Tile-partitioned: worker w updates only benefit[i] of tiles it
+		// owns, so no two workers write the same entry, and the result
+		// (a sum of the same integer drops) is worker-count-independent.
+		shard.ForEach(len(e.dirty), e.w, func(di int) {
+			t := e.dirty[di]
+			for _, jj := range e.tileTouch[t] {
+				j := int(jj)
+				dr := e.drop[j]
+				cj := e.st.cellOf[j]
+				for _, ii := range e.nb.At(j) {
+					i := int(ii)
+					if int(e.tileOf[i]) == t && e.st.cellOf[i] == cj {
+						e.benefit[i] -= dr
+					}
+				}
+			}
+		})
+	}
+	for _, j := range e.dropped {
+		e.drop[j] = 0
+	}
+	e.dropped = e.dropped[:0]
+}
+
+// lowestDeficient returns the lowest-index point with snap < k, or -1 —
+// the seed's UncoveredPoints()[0] through the tile summaries instead of
+// a full scan.
+func (e *tiledGrid) lowestDeficient() int {
+	best := -1
+	for t := 0; t < e.ts.NumTiles(); t++ {
+		if e.ts.DeficientInTile(t) == 0 {
+			continue
+		}
+		for _, ii := range e.ts.TilePoints(t) {
+			if e.snap[ii] < e.k {
+				if i := int(ii); best < 0 || i < best {
+					best = i
+				}
+				break // tile lists are ascending
+			}
+		}
+	}
+	return best
+}
+
+// deployTiled is the tile-aware centralized greedy: per-tile argmax
+// memos re-scanned only when a placement's 2·rs disk invalidates them,
+// fully covered tiles skipped in O(1) via the deficiency summary.
+// Placements are byte-identical to deployIncremental (the parity tests
+// assert it); Workers parallelizes only the one-time benefit build —
+// the steady-state loop is already sub-linear thanks to the memos.
+func (c Centralized) deployTiled(m *coverage.Map, opt Options, res *Result) {
+	ts := m.Tiles()
+	n := m.NumPoints()
+	rs := c.newRadius(m)
+	nb := m.PointNeighborhoods(rs)
+	kk := int32(m.K())
+	snap := make([]int32, n)
+	ts.ForEachCount(func(i, cnt int) { snap[i] = int32(cnt) })
+	benefit := make([]int32, n)
+	var cancelled atomic.Bool
+	span := obs.StartSpan(obs.CoreCacheBuildSeconds)
+	shard.ForEach(ts.NumTiles(), c.Workers, func(t int) {
+		if t&31 == 0 && opt.interrupted() {
+			cancelled.Store(true)
+		}
+		if cancelled.Load() {
+			return
+		}
+		if ts.DeficientInTile(t) == 0 {
+			return // all candidates covered: their benefit is never read
+		}
+		for _, ii := range ts.TilePoints(t) {
+			i := int(ii)
+			if snap[i] >= kk {
+				continue
+			}
+			var b int32
+			for _, jj := range nb.At(i) {
+				if d := kk - snap[jj]; d > 0 {
+					b += d
+				}
+			}
+			benefit[i] = b
+		}
+	})
+	span.End()
+	if cancelled.Load() {
+		res.Interrupted = true
+		return
+	}
+
+	nt := ts.NumTiles()
+	tileBest := make([]int32, nt) // best candidate per tile, -1 = none
+	tileBestV := make([]int32, nt)
+	tileValid := make([]bool, nt)
+	id := nextSensorID(m)
+	for !m.FullyCovered() {
+		if len(res.Placed) >= opt.maxPlacements() {
+			res.Capped = true
+			return
+		}
+		if opt.interrupted() {
+			res.Interrupted = true
+			return
+		}
+		scoreSpan := obs.StartSpan(obs.CoreCandidateScoringSeconds)
+		bestIdx, bestV := -1, int32(0)
+		for t := 0; t < nt; t++ {
+			if ts.DeficientInTile(t) == 0 {
+				continue // O(1) skip; counts never shrink mid-run
+			}
+			if !tileValid[t] {
+				bi, bv := int32(-1), int32(0)
+				for _, ii := range ts.TilePoints(t) {
+					if snap[ii] >= kk {
+						continue
+					}
+					if b := benefit[ii]; b > bv {
+						bv, bi = b, ii
+					}
+				}
+				tileBest[t], tileBestV[t], tileValid[t] = bi, bv, true
+			}
+			// Lexicographic (benefit, -index) max across tiles restores
+			// the sequential scan's lowest-global-index tie-break: tile
+			// order is spatial, not index order.
+			if bi := tileBest[t]; bi >= 0 {
+				if v := tileBestV[t]; v > bestV || (v == bestV && bestIdx >= 0 && int(bi) < bestIdx) {
+					bestV, bestIdx = v, int(bi)
+				}
+			}
+		}
+		scoreSpan.End()
+		if bestIdx < 0 {
+			return // unreachable: a deficient point always benefits itself
+		}
+		p := m.Point(bestIdx)
+		if rs == m.Rs() {
+			m.AddSensorAtPoint(id, bestIdx)
+		} else {
+			m.AddSensorRadius(id, p, rs)
+		}
+		for _, jj := range nb.At(bestIdx) {
+			j := int(jj)
+			if snap[j] < kk {
+				for _, ii := range nb.At(j) {
+					benefit[ii]--
+				}
+			}
+			snap[j]++
+		}
+		// Every touched snap/benefit entry lies within 2·rs of the
+		// placement; invalidate exactly the tiles that disk can reach.
+		ts.VisitTilesInDisk(p, 2*rs, func(t int) { tileValid[t] = false })
+		res.Placed = append(res.Placed, Placement{ID: id, Pos: p})
+		id++
+	}
+}

@@ -27,6 +27,12 @@ type Map struct {
 	counts    []int
 	deficient int // number of points with counts[i] < k
 
+	// tiles, when non-nil, replaces counts/deficient with the tiled
+	// uint8 store (DESIGN.md §13) for million-point fields: maps built
+	// with NewTiled keep counts nil and route every count access
+	// through it. Exactly one of counts/tiles is active.
+	tiles *TileStore
+
 	sensors   map[int]geom.Point
 	sensorIdx *index.Grid
 	// sortedIDs mirrors the key set of sensors in ascending order, kept
@@ -76,6 +82,50 @@ func New(field geom.Rect, pts []geom.Point, rs float64, k int) *Map {
 	return m
 }
 
+// NewTiled creates a coverage map whose counts live in the tiled uint8
+// store instead of a flat []int: cache-dense pages sized for ~opt.
+// TilePoints samples each, per-tile deficiency summaries for O(1)
+// fully-covered-tile skips, and optional eviction to a TileBacking under
+// opt.MaxResidentTiles. Observable behavior is identical to New — the
+// tiled parity suite holds the two modes byte-identical — but k must fit
+// the requirement in a uint8 page (k <= 255; counts themselves are exact
+// past 255 via an overflow sidecar). It panics on invalid rs or k.
+func NewTiled(field geom.Rect, pts []geom.Point, rs float64, k int, opt TileOptions) *Map {
+	if rs <= 0 {
+		panic("coverage: rs must be positive")
+	}
+	if k < 1 {
+		panic("coverage: k must be >= 1")
+	}
+	m := &Map{
+		field:     field,
+		rs:        rs,
+		k:         k,
+		pts:       append([]geom.Point(nil), pts...),
+		ptIdx:     index.NewGrid(field, rs),
+		sensors:   make(map[int]geom.Point),
+		sensorIdx: index.NewGrid(field, rs),
+		sensorRs:  make(map[int]float64),
+		maxRs:     rs,
+	}
+	m.tiles = newTileStore(field, m.pts, k, opt)
+	m.ptIdx.InsertDense(m.pts)
+	return m
+}
+
+// Tiles returns the tiled count store, or nil for a flat map. Engines
+// use it to branch onto the tile-parallel paths and to reach the
+// per-tile deficiency summaries.
+func (m *Map) Tiles() *TileStore { return m.tiles }
+
+// cnt returns point i's coverage count in either storage mode.
+func (m *Map) cnt(i int) int {
+	if m.tiles != nil {
+		return m.tiles.Count(i)
+	}
+	return m.counts[i]
+}
+
 // Field returns the monitored rectangle.
 func (m *Map) Field() geom.Rect { return m.field }
 
@@ -99,6 +149,10 @@ func (m *Map) SetK(k int) {
 		return
 	}
 	m.k = k
+	if m.tiles != nil {
+		m.tiles.SetK(k)
+		return
+	}
 	m.deficient = 0
 	for _, c := range m.counts {
 		if c < k {
@@ -114,38 +168,54 @@ func (m *Map) NumPoints() int { return len(m.pts) }
 func (m *Map) Point(i int) geom.Point { return m.pts[i] }
 
 // Count returns the current coverage count k_p of sample point i.
-func (m *Map) Count(i int) int { return m.counts[i] }
+func (m *Map) Count(i int) int { return m.cnt(i) }
 
 // Counts returns a copy of all coverage counts (a snapshot, used by the
 // round-based distributed simulation).
-func (m *Map) Counts() []int { return append([]int(nil), m.counts...) }
+func (m *Map) Counts() []int {
+	if m.tiles != nil {
+		out := make([]int, len(m.pts))
+		m.tiles.CountsInto(out)
+		return out
+	}
+	return append([]int(nil), m.counts...)
+}
 
 // CountsInto copies all coverage counts into dst, growing it only when
 // too small, and returns the snapshot. Round loops that need a fresh
 // snapshot every iteration pass the previous round's slice back in and
 // stop allocating after the first round.
 func (m *Map) CountsInto(dst []int) []int {
-	if cap(dst) < len(m.counts) {
-		dst = make([]int, len(m.counts))
+	if cap(dst) < len(m.pts) {
+		dst = make([]int, len(m.pts))
 	}
-	dst = dst[:len(m.counts)]
+	dst = dst[:len(m.pts)]
+	if m.tiles != nil {
+		m.tiles.CountsInto(dst)
+		return dst
+	}
 	copy(dst, m.counts)
 	return dst
 }
 
 // Deficit returns max(k - k_p, 0) for sample point i.
 func (m *Map) Deficit(i int) int {
-	if d := m.k - m.counts[i]; d > 0 {
+	if d := m.k - m.cnt(i); d > 0 {
 		return d
 	}
 	return 0
 }
 
 // NumDeficient returns the number of sample points with k_p < k.
-func (m *Map) NumDeficient() int { return m.deficient }
+func (m *Map) NumDeficient() int {
+	if m.tiles != nil {
+		return m.tiles.Deficient()
+	}
+	return m.deficient
+}
 
 // FullyCovered reports whether every sample point is k-covered.
-func (m *Map) FullyCovered() bool { return m.deficient == 0 }
+func (m *Map) FullyCovered() bool { return m.NumDeficient() == 0 }
 
 // NumSensors returns the number of deployed sensors.
 func (m *Map) NumSensors() int { return len(m.sensors) }
@@ -208,6 +278,13 @@ func (m *Map) AddSensorRadius(id int, p geom.Point, rs float64) {
 	if rs > m.maxRs {
 		m.maxRs = rs
 	}
+	if m.tiles != nil {
+		m.ptIdx.VisitBall(p, rs, func(i int, _ geom.Point) bool {
+			m.tiles.Inc(i)
+			return true
+		})
+		return
+	}
 	m.ptIdx.VisitBall(p, rs, func(i int, _ geom.Point) bool {
 		m.counts[i]++
 		if m.counts[i] == m.k {
@@ -235,6 +312,12 @@ func (m *Map) AddSensorAtPoint(id, ptIdx int) {
 	m.sensors[id] = p
 	m.sensorIdx.Insert(id, p)
 	m.insertSortedID(id)
+	if m.tiles != nil {
+		for _, j := range nb.At(ptIdx) {
+			m.tiles.Inc(int(j))
+		}
+		return
+	}
 	for _, j := range nb.At(ptIdx) {
 		m.counts[j]++
 		if m.counts[j] == m.k {
@@ -272,6 +355,13 @@ func (m *Map) RemoveSensor(id int) bool {
 	delete(m.sensorRs, id)
 	m.sensorIdx.Remove(id)
 	m.removeSortedID(id)
+	if m.tiles != nil {
+		m.ptIdx.VisitBall(p, rs, func(i int, _ geom.Point) bool {
+			m.tiles.Dec(i)
+			return true
+		})
+		return true
+	}
 	m.ptIdx.VisitBall(p, rs, func(i int, _ geom.Point) bool {
 		if m.counts[i] == m.k {
 			m.deficient++
@@ -290,9 +380,17 @@ func (m *Map) CoverageFrac(level int) float64 {
 		return 1
 	}
 	n := 0
-	for _, c := range m.counts {
-		if c >= level {
-			n++
+	if m.tiles != nil {
+		m.tiles.ForEachCount(func(_, c int) {
+			if c >= level {
+				n++
+			}
+		})
+	} else {
+		for _, c := range m.counts {
+			if c >= level {
+				n++
+			}
 		}
 	}
 	return float64(n) / float64(len(m.pts))
@@ -392,6 +490,15 @@ func (m *Map) Benefit(c geom.Point) int {
 // radius differs from the map default (heterogeneous deployments, §2).
 func (m *Map) BenefitRadius(c geom.Point, rs float64) int {
 	b := 0
+	if m.tiles != nil {
+		m.ptIdx.VisitBall(c, rs, func(i int, _ geom.Point) bool {
+			if d := m.k - m.tiles.Count(i); d > 0 {
+				b += d
+			}
+			return true
+		})
+		return b
+	}
 	m.ptIdx.VisitBall(c, rs, func(i int, _ geom.Point) bool {
 		if d := m.k - m.counts[i]; d > 0 {
 			b += d
@@ -430,6 +537,17 @@ func (m *Map) BenefitWithRadius(c geom.Point, rs float64, perceived func(i int) 
 // sorted ascending.
 func (m *Map) UncoveredPoints() []int {
 	var out []int
+	if m.tiles != nil {
+		// Tile-major scan (one page fault per tile), then sort to
+		// restore the ascending order the flat path produces.
+		m.tiles.ForEachCount(func(i, c int) {
+			if c < m.k {
+				out = append(out, i)
+			}
+		})
+		sort.Ints(out)
+		return out
+	}
 	for i, c := range m.counts {
 		if c < m.k {
 			out = append(out, i)
@@ -456,7 +574,7 @@ func (m *Map) IsRedundant(id int) bool {
 		// Removing the sensor lowers this point's count by one. The node
 		// "contributes" if that would take a currently >=k point below k,
 		// or reduce an under-covered point further.
-		if m.counts[i] <= m.k {
+		if m.cnt(i) <= m.k {
 			redundant = false
 			return false
 		}
@@ -526,6 +644,9 @@ func (m *Map) Clone() *Map {
 		maxRs:     m.maxRs,
 		nbShared:  m.nbShared,
 	}
+	if m.tiles != nil {
+		c.tiles = m.tiles.Clone()
+	}
 	for id, p := range m.sensors {
 		c.sensors[id] = p
 	}
@@ -538,6 +659,16 @@ func (m *Map) Clone() *Map {
 // CoverageHistogram returns counts[j] = number of sample points covered by
 // exactly j sensors, for j in [0, max].
 func (m *Map) CoverageHistogram() []int {
+	if m.tiles != nil {
+		hist := []int{0}
+		m.tiles.ForEachCount(func(_, c int) {
+			for c >= len(hist) {
+				hist = append(hist, 0)
+			}
+			hist[c]++
+		})
+		return hist
+	}
 	maxC := 0
 	for _, c := range m.counts {
 		if c > maxC {

@@ -1,0 +1,256 @@
+package coverage
+
+import (
+	"reflect"
+	"testing"
+
+	"decor/internal/geom"
+	"decor/internal/lowdisc"
+	"decor/internal/rng"
+)
+
+// tiledPair builds the same field in flat and tiled mode. TilePoints is
+// kept tiny so even a 400-point field spans many tiles and sensing
+// disks routinely cross tile boundaries.
+func tiledPair(t *testing.T, n, k int, opt TileOptions) (*Map, *Map) {
+	t.Helper()
+	field := geom.Square(50)
+	pts := lowdisc.Halton{}.Points(n, field)
+	return New(field, pts, 4, k), NewTiled(field, pts, 4, k, opt)
+}
+
+// assertSameState compares every observable count-derived quantity of
+// the two storage modes.
+func assertSameState(t *testing.T, flat, tiled *Map) {
+	t.Helper()
+	if got, want := tiled.NumDeficient(), flat.NumDeficient(); got != want {
+		t.Fatalf("NumDeficient: tiled %d, flat %d", got, want)
+	}
+	if got, want := tiled.Counts(), flat.Counts(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Counts diverge: tiled %v, flat %v", got, want)
+	}
+	if got, want := tiled.CoverageFrac(flat.K()), flat.CoverageFrac(flat.K()); got != want {
+		t.Fatalf("CoverageFrac: tiled %v, flat %v", got, want)
+	}
+	if got, want := tiled.UncoveredPoints(), flat.UncoveredPoints(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("UncoveredPoints: tiled %v, flat %v", got, want)
+	}
+	if got, want := tiled.CoverageHistogram(), flat.CoverageHistogram(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("CoverageHistogram: tiled %v, flat %v", got, want)
+	}
+}
+
+// TestTiledParityRandomOps drives both storage modes through an
+// identical randomized add/remove/SetK sequence and checks every
+// observable after each step.
+func TestTiledParityRandomOps(t *testing.T) {
+	for _, opt := range []TileOptions{
+		{TilePoints: 16},
+		{TilePoints: 16, MaxResidentTiles: 2},
+		{TilePoints: 64, MaxResidentTiles: 1},
+	} {
+		flat, tiled := tiledPair(t, 400, 2, opt)
+		r := rng.New(7)
+		live := []int{}
+		next := 0
+		for step := 0; step < 200; step++ {
+			switch {
+			case len(live) > 0 && r.Bool(0.3):
+				i := r.Intn(len(live))
+				id := live[i]
+				live = append(live[:i], live[i+1:]...)
+				if !flat.RemoveSensor(id) || !tiled.RemoveSensor(id) {
+					t.Fatalf("remove %d failed", id)
+				}
+			case r.Bool(0.1):
+				k := 1 + r.Intn(4)
+				flat.SetK(k)
+				tiled.SetK(k)
+			default:
+				p := r.PointInRect(flat.Field())
+				rs := 2 + 4*r.Float64()
+				flat.AddSensorRadius(next, p, rs)
+				tiled.AddSensorRadius(next, p, rs)
+				live = append(live, next)
+				next++
+			}
+			if step%17 == 0 {
+				assertSameState(t, flat, tiled)
+			}
+		}
+		assertSameState(t, flat, tiled)
+		if got, want := tiled.RedundantSensors(), flat.RedundantSensors(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("RedundantSensors: tiled %v, flat %v", got, want)
+		}
+		assertSameState(t, flat, tiled) // RedundantSensors must restore state
+		if max := opt.MaxResidentTiles; max > 0 && tiled.Tiles().Resident() > max {
+			t.Fatalf("resident tiles %d exceed limit %d", tiled.Tiles().Resident(), max)
+		}
+	}
+}
+
+// TestTiledOverflowExact stacks enough sensors on one spot to push
+// counts past the uint8 saturation point and checks counts stay exact
+// through the overflow sidecar, including back down through removal.
+func TestTiledOverflowExact(t *testing.T) {
+	field := geom.Square(10)
+	pts := lowdisc.Halton{}.Points(50, field)
+	flat := New(field, pts, 4, 1)
+	tiled := NewTiled(field, pts, 4, 1, TileOptions{TilePoints: 8})
+	center := geom.Point{X: 5, Y: 5}
+	for id := 0; id < 300; id++ {
+		flat.AddSensor(id, center)
+		tiled.AddSensor(id, center)
+	}
+	assertSameState(t, flat, tiled)
+	for id := 0; id < 300; id += 2 {
+		flat.RemoveSensor(id)
+		tiled.RemoveSensor(id)
+	}
+	assertSameState(t, flat, tiled)
+	for id := 0; id < 300; id++ {
+		flat.RemoveSensor(id)
+		tiled.RemoveSensor(id)
+	}
+	assertSameState(t, flat, tiled)
+	if tiled.NumDeficient() != tiled.NumPoints() {
+		t.Fatalf("expected all points deficient after removing everything")
+	}
+}
+
+// TestTiledEvictionRoundTrip forces page eviction with a 1-page budget
+// and verifies counts survive the backing round-trip.
+func TestTiledEvictionRoundTrip(t *testing.T) {
+	flat, tiled := tiledPair(t, 300, 1, TileOptions{TilePoints: 8, MaxResidentTiles: 1})
+	r := rng.New(3)
+	for id := 0; id < 40; id++ {
+		p := r.PointInRect(flat.Field())
+		flat.AddSensor(id, p)
+		tiled.AddSensor(id, p)
+	}
+	ts := tiled.Tiles()
+	if ts.Resident() > 1 {
+		t.Fatalf("resident %d with MaxResidentTiles=1", ts.Resident())
+	}
+	// Per-point reads in index order deliberately hop between tiles,
+	// exercising fault/evict on nearly every access.
+	for i := 0; i < tiled.NumPoints(); i++ {
+		if got, want := tiled.Count(i), flat.Count(i); got != want {
+			t.Fatalf("point %d: tiled count %d, flat %d", i, got, want)
+		}
+	}
+	assertSameState(t, flat, tiled)
+}
+
+// TestTiledCloneIndependent checks Clone copies tiled state deeply
+// enough that the original and the clone evolve independently, even
+// when some source pages are evicted at clone time.
+func TestTiledCloneIndependent(t *testing.T) {
+	flat, tiled := tiledPair(t, 300, 2, TileOptions{TilePoints: 8, MaxResidentTiles: 2})
+	r := rng.New(11)
+	for id := 0; id < 30; id++ {
+		p := r.PointInRect(flat.Field())
+		flat.AddSensor(id, p)
+		tiled.AddSensor(id, p)
+	}
+	flatC, tiledC := flat.Clone(), tiled.Clone()
+	assertSameState(t, flatC, tiledC)
+	// Diverge the clones; originals must not move.
+	p := geom.Point{X: 25, Y: 25}
+	flatC.AddSensor(1000, p)
+	tiledC.AddSensor(1000, p)
+	assertSameState(t, flatC, tiledC)
+	assertSameState(t, flat, tiled)
+	// And the other direction.
+	flat.RemoveSensor(0)
+	tiled.RemoveSensor(0)
+	assertSameState(t, flat, tiled)
+	assertSameState(t, flatC, tiledC)
+}
+
+// TestTiledZeroTilesStayCold verifies reading counts of an untouched
+// region materializes no pages.
+func TestTiledZeroTilesStayCold(t *testing.T) {
+	field := geom.Square(100)
+	pts := lowdisc.Halton{}.Points(1000, field)
+	tiled := NewTiled(field, pts, 4, 1, TileOptions{TilePoints: 16})
+	for i := 0; i < tiled.NumPoints(); i++ {
+		if tiled.Count(i) != 0 {
+			t.Fatalf("fresh map has nonzero count at %d", i)
+		}
+	}
+	if got := tiled.Tiles().Resident(); got != 0 {
+		t.Fatalf("reading a fresh map materialized %d pages", got)
+	}
+	// One sensor touches only the tiles its disk overlaps.
+	tiled.AddSensor(0, geom.Point{X: 50, Y: 50})
+	if got, all := tiled.Tiles().Resident(), tiled.Tiles().NumTiles(); got == 0 || got >= all {
+		t.Fatalf("one sensor materialized %d of %d pages", got, all)
+	}
+}
+
+// TestTiledKValidation: tiled storage requires k <= 255 at construction
+// and through SetK.
+func TestTiledKValidation(t *testing.T) {
+	field := geom.Square(10)
+	pts := lowdisc.Halton{}.Points(20, field)
+	for _, bad := range []func(){
+		func() { NewTiled(field, pts, 4, 256, TileOptions{}) },
+		func() { NewTiled(field, pts, 4, 1, TileOptions{}).SetK(300) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for k > 255 in tiled mode")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+// TestTileGeometry sanity-checks the CSR point bucketing: every point
+// in exactly one tile, ascending within the tile, consistent with
+// TileOf, and VisitTilesInDisk covers the tiles of all points in range.
+func TestTileGeometry(t *testing.T) {
+	field := geom.Square(40)
+	pts := lowdisc.Halton{}.Points(500, field)
+	m := NewTiled(field, pts, 4, 1, TileOptions{TilePoints: 32})
+	ts := m.Tiles()
+	seen := make([]bool, m.NumPoints())
+	for tl := 0; tl < ts.NumTiles(); tl++ {
+		prev := int32(-1)
+		for _, i := range ts.TilePoints(tl) {
+			if i <= prev {
+				t.Fatalf("tile %d point list not ascending: %d after %d", tl, i, prev)
+			}
+			prev = i
+			if seen[i] {
+				t.Fatalf("point %d in two tiles", i)
+			}
+			seen[i] = true
+			if ts.TileOf(int(i)) != tl {
+				t.Fatalf("TileOf(%d)=%d, listed in %d", i, ts.TileOf(int(i)), tl)
+			}
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("point %d in no tile", i)
+		}
+	}
+	// Disk enumeration covers the tile of every in-range point.
+	r := rng.New(5)
+	for trial := 0; trial < 50; trial++ {
+		c := r.PointInRect(field)
+		rad := 1 + 9*r.Float64()
+		hit := map[int]bool{}
+		ts.VisitTilesInDisk(c, rad, func(tl int) { hit[tl] = true })
+		m.VisitPointsInBall(c, rad, func(i int, _ geom.Point) bool {
+			if !hit[ts.TileOf(i)] {
+				t.Fatalf("VisitTilesInDisk missed tile %d of in-range point %d", ts.TileOf(i), i)
+			}
+			return true
+		})
+	}
+}

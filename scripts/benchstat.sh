@@ -1,33 +1,52 @@
 #!/bin/sh
-# Old-vs-new engine benchmark report AND the tracing-overhead gate: run
-# the simulator/chaos benches fresh (including the recorder-enabled
-# BenchmarkEngineRunRecorded), compare them against the committed
-# BENCH_sim.json baseline with decor-benchjson -diff, and FAIL if the
-# recorder-disabled hot path (BenchmarkEngineRun/actors=64) regressed in
-# mean ns/op beyond BENCH_GATE_PCT percent. The recorder-enabled-vs-
-# disabled ratio is printed as a report so the cost of flight recording
-# stays visible; only the disabled path is gated (it is what every
-# non-chaos caller pays).
+# Old-vs-new benchmark report AND the regression gates, two sections:
 #
-# Tunables: BENCH_BASELINE (default BENCH_sim.json), BENCH_COUNT
-# (samples, default 1), BENCH_TIME (per-bench -benchtime, default 20x —
+# 1. Simulator: run the simulator/chaos benches fresh (including the
+#    recorder-enabled BenchmarkEngineRunRecorded), compare against the
+#    committed BENCH_sim.json with decor-benchjson -diff, and FAIL if
+#    the recorder-disabled hot path (BenchmarkEngineRun/actors=64)
+#    regressed in mean ns/op beyond BENCH_GATE_PCT percent. The
+#    recorder-enabled-vs-disabled ratio is printed as a report so the
+#    cost of flight recording stays visible; only the disabled path is
+#    gated (it is what every non-chaos caller pays).
+#
+# 2. Core placement: run the placement hot-path benches fresh
+#    (BenchmarkBenefitRadius micro-benches + the 1e5-point
+#    BenchmarkPlace deployments; the env-gated 1e6 sizes stay skipped
+#    here — `make bench-json` refreshes those), compare against
+#    BENCH_core.json, and FAIL if a 1e5 tiled placement variant
+#    regressed beyond BENCH_CORE_GATE_PCT percent. Full deployments are
+#    the gate (hundreds of ms per op, stable at -benchtime=1x) rather
+#    than the microsecond-scale micro-benches, which flap on shared
+#    hosts.
+#
+# Tunables: BENCH_BASELINE (default BENCH_sim.json), BENCH_CORE_BASELINE
+# (default BENCH_core.json), BENCH_COUNT (samples, default 1),
+# BENCH_TIME (per-bench -benchtime for the sim section, default 20x —
 # enough iterations to be indicative while staying a smoke),
 # BENCH_GATE_PCT (allowed regression, default 25 — wide because shared
 # CI hosts show ±15% run-to-run drift; allocs/op would catch a real
-# structural regression long before ns/op does).
+# structural regression long before ns/op does), BENCH_CORE_GATE_PCT
+# (default 50 — single-iteration deployment times drift more than the
+# 20x-averaged engine benches).
 set -e
 
 GO=${GO:-go}
 BASELINE=${BENCH_BASELINE:-BENCH_sim.json}
+CORE_BASELINE=${BENCH_CORE_BASELINE:-BENCH_core.json}
 FRESH=${BENCH_FRESH:-$(mktemp /tmp/bench_sim_fresh.XXXXXX.json)}
+CORE_FRESH=${BENCH_CORE_FRESH:-$(mktemp /tmp/bench_core_fresh.XXXXXX.json)}
 COUNT=${BENCH_COUNT:-1}
 TIME=${BENCH_TIME:-20x}
 GATE_PCT=${BENCH_GATE_PCT:-25}
+CORE_GATE_PCT=${BENCH_CORE_GATE_PCT:-50}
 
-if [ ! -f "$BASELINE" ]; then
-	echo "benchstat: baseline $BASELINE missing; run 'make bench-json' first" >&2
-	exit 1
-fi
+for f in "$BASELINE" "$CORE_BASELINE"; do
+	if [ ! -f "$f" ]; then
+		echo "benchstat: baseline $f missing; run 'make bench-json' first" >&2
+		exit 1
+	fi
+done
 
 $GO test -run '^$' -bench 'BenchmarkEngineRun|BenchmarkEngineSchedule|BenchmarkChaosScenario' \
 	-benchmem -benchtime="$TIME" -count="$COUNT" ./internal/sim/ ./internal/chaos/ |
@@ -48,3 +67,20 @@ END {
 		printf "tracing overhead: recorder on %.0f ns/op vs off %.0f ns/op (%.2fx) [report only]\n",
 			recorded, disabled, recorded / disabled
 }' "$FRESH"
+
+# Core placement section: micro-benches are reported, the 1e5-point
+# deployments are gated (flat seed path AND the tiled engines, so
+# neither side of the compatibility layer regresses silently). Each
+# bench is one full deployment per sample, so take BENCH_CORE_COUNT
+# samples (default 3, ~1 s each) and gate on the mean — a single draw
+# lands anywhere in a ±30% band on shared hosts. The baseline also
+# holds env-gated 1e6 entries; they are absent from the fresh run and
+# the diff tolerates that.
+CORE_COUNT=${BENCH_CORE_COUNT:-3}
+$GO test -run '^$' -bench 'BenchmarkBenefitRadius|BenchmarkPlace' \
+	-benchmem -benchtime=1x -count="$CORE_COUNT" ./internal/core/ |
+	$GO run ./cmd/decor-benchjson -o "$CORE_FRESH"
+$GO run ./cmd/decor-benchjson -diff \
+	-gate 'BenchmarkPlace/pts=1e5/(grid-flat|grid-seq|grid-par4|centralized-tiled)$' \
+	-max-regress "$CORE_GATE_PCT" \
+	"$CORE_BASELINE" "$CORE_FRESH"
