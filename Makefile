@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check bench bench-json bench-large serve-smoke chaos-smoke cover figures extensions summary clean
+.PHONY: all build vet test test-short check bench bench-json bench-large serve-smoke chaos-smoke session-smoke cover figures extensions summary clean
 
 all: build vet test
 
@@ -16,8 +16,10 @@ all: build vet test
 # core placement benches are likewise diffed and gated against
 # BENCH_core.json, and the recorder-enabled/disabled ratio is reported
 # (scripts/benchstat.sh) — the large-placement race smoke (bench-large),
-# the decor-serve end-to-end smoke (throughput + graceful drain), and
-# the chaos sweep (invariants + determinism under fault injection).
+# the decor-serve end-to-end smoke (throughput + graceful drain), the
+# chaos sweep (invariants + determinism under fault injection), and the
+# field-session soak (byte-identical delta streams across two seeded
+# multi-tenant runs; see session-smoke).
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
@@ -26,6 +28,7 @@ check:
 	$(MAKE) bench-large
 	$(MAKE) serve-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) session-smoke
 
 # Large-placement smoke: a downscaled (1e5-point) million-point-regime
 # deployment under the race detector, asserting the tile-parallel
@@ -45,6 +48,14 @@ bench-large:
 # `go run ./cmd/decor-chaos -arch grid -seed 7`.
 chaos-smoke:
 	$(GO) run -race ./cmd/decor-chaos -arch all -seeds 16
+
+# Field-session soak: a seeded multi-tenant event storm (concurrent
+# NDJSON streams, mid-stream evict/restore) run twice under the race
+# detector, asserting the two runs produce byte-identical delta streams
+# — the session subsystem's determinism contract end to end (DESIGN.md
+# §14). Quota isolation is asserted in the same package run.
+session-smoke:
+	$(GO) test -race -run '^TestSessionSoak$$|^TestSoakQuotaIsolation$$' -count=1 -timeout 300s ./internal/session/
 
 # Coverage gate: combined statement coverage of internal/sim and
 # internal/protocol must stay at or above the post-chaos-PR baseline
@@ -84,6 +95,7 @@ bench:
 bench-json:
 	DECOR_PLACE_LARGE=1 $(GO) test -run '^$$' -bench 'BenchmarkBenefitRadius|BenchmarkIndexBall|BenchmarkDeployAblation|BenchmarkPlace' -benchtime=1x -count=3 -timeout 60m ./internal/... | $(GO) run ./cmd/decor-benchjson -o BENCH_core.json
 	$(GO) test -run '^$$' -bench 'BenchmarkEngineRun|BenchmarkEngineSchedule|BenchmarkChaosScenario' -benchmem -benchtime=50x -count=3 ./internal/sim/ ./internal/chaos/ | $(GO) run ./cmd/decor-benchjson -o BENCH_sim.json
+	$(GO) test -run '^$$' -bench 'BenchmarkSessionDelta|BenchmarkStatelessRepair' -benchmem -benchtime=1x -count=3 -timeout 30m ./internal/session/ | $(GO) run ./cmd/decor-benchjson -o BENCH_session.json
 
 # Regenerate the paper's evaluation tables (full parameters, ~4 s).
 figures:

@@ -1,0 +1,179 @@
+// Session-mode load generation: -sessions N switches decor-load from
+// stateless /v1/plan traffic to stateful field-session traffic. Each of
+// the N drivers owns one long-lived field session and streams failure
+// events into it closed-loop — one POST /v1/fields/{id}/events in
+// flight at a time, each answered by an incremental delta plan. The
+// failure schedules come from chaos.TrafficFromPlan, so the offered
+// fault distribution is the same seeded, bounded severity the chaos
+// suite proves survivable. When a driver exhausts its schedule it drops
+// the session and recreates it with a fresh seed, so a long run cycles
+// through session lifetimes (create → stream → drop) rather than
+// draining a fixed script.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"decor/internal/chaos"
+	"decor/internal/session"
+	"decor/internal/sim"
+)
+
+const tenantHeader = "X-Decor-Tenant"
+
+// sessionDriver owns one field session for the duration of the run.
+type sessionDriver struct {
+	client *http.Client
+	base   string
+	tenant string
+	id     string
+	cfg    config
+}
+
+func measureSessions(cfg config) (*summary, error) {
+	client := &http.Client{Timeout: cfg.timeout}
+
+	// Validate the target before unleashing drivers: create and drop a
+	// probe session so an unreachable or mis-versioned server fails fast.
+	probe := sessionDriver{client: client, base: cfg.url, tenant: "load-probe", id: "probe", cfg: cfg}
+	if _, s := probe.create(0); s.status != http.StatusCreated {
+		return nil, fmt.Errorf("target %s: probe session create got status %d", cfg.url, s.status)
+	}
+	probe.drop()
+
+	var (
+		mu      sync.Mutex
+		samples []sample
+		stop    atomic.Bool
+		wg      sync.WaitGroup
+	)
+	start := time.Now()
+	time.AfterFunc(cfg.dur, func() { stop.Store(true) })
+	wg.Add(cfg.sessions)
+	for i := 0; i < cfg.sessions; i++ {
+		d := sessionDriver{
+			client: client,
+			base:   cfg.url,
+			tenant: fmt.Sprintf("tenant-%d", i%cfg.tenants),
+			id:     fmt.Sprintf("load-%d", i),
+			cfg:    cfg,
+		}
+		go func(i int) {
+			defer wg.Done()
+			local := d.drive(uint64(i), &stop)
+			mu.Lock()
+			samples = append(samples, local...)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("no events completed in %s", cfg.dur)
+	}
+	s := summarize(cfg, samples, elapsed)
+	s.Mode = "sessions"
+	s.Sessions = cfg.sessions
+	s.Tenants = cfg.tenants
+	return s, nil
+}
+
+// drive cycles session generations until the stop flag flips: create a
+// session, stream its whole chaos schedule one event per request, drop
+// it, recreate with the next seed. Only event posts are recorded as
+// samples — they are the deltas/s the summary reports; create/drop are
+// lifecycle overhead and failures there surface as transport samples so
+// they still fail -max-errors gates.
+func (d sessionDriver) drive(seed uint64, stop *atomic.Bool) []sample {
+	local := make([]sample, 0, 1024)
+	for gen := 0; !stop.Load(); gen++ {
+		total, cs := d.create(seed + uint64(gen)*1000)
+		if cs.status != http.StatusCreated {
+			// Quota pressure (429) or drain (503): back off briefly and
+			// retry; record the rejection so the report shows it.
+			local = append(local, cs)
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		ids := make([]int, total)
+		for i := range ids {
+			ids[i] = i
+		}
+		schedule := chaos.TrafficFromPlan(sim.FaultPlan{Seed: seed + uint64(gen)*1000}, ids, 64)
+		for _, ev := range schedule {
+			if stop.Load() {
+				break
+			}
+			body, _ := json.Marshal(map[string]any{"failed": ev.IDs})
+			local = append(local, d.do("POST", "/events", body))
+		}
+		d.drop()
+	}
+	return local
+}
+
+// create provisions the driver's field session and returns the initial
+// sensor population (scatter + placements) from the seq-0 delta.
+func (d sessionDriver) create(seed uint64) (int, sample) {
+	// A stale session from an earlier run (or an aborted generation)
+	// would make the create 409; drop first, ignoring 404.
+	d.drop()
+	body, _ := json.Marshal(map[string]any{
+		"field_id":   d.id,
+		"field_side": d.cfg.field,
+		"k":          d.cfg.k,
+		"rs":         d.cfg.rs,
+		"num_points": d.cfg.points,
+		"scatter":    d.cfg.scatter,
+		"method":     d.cfg.method,
+		"seed":       seed,
+	})
+	t0 := time.Now()
+	req, _ := http.NewRequest("POST", d.base+"/v1/fields", bytes.NewReader(body))
+	req.Header.Set(tenantHeader, d.tenant)
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return 0, sample{latency: time.Since(t0)}
+	}
+	defer resp.Body.Close()
+	var delta session.Delta
+	json.NewDecoder(resp.Body).Decode(&delta)
+	io.Copy(io.Discard, resp.Body)
+	return delta.TotalSensors, sample{latency: time.Since(t0), status: resp.StatusCode}
+}
+
+func (d sessionDriver) drop() {
+	req, _ := http.NewRequest("DELETE", d.base+"/v1/fields/"+d.id, nil)
+	req.Header.Set(tenantHeader, d.tenant)
+	if resp, err := d.client.Do(req); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+// do issues one session-scoped request (path is relative to the
+// session's /v1/fields/{id}) and records it as a sample.
+func (d sessionDriver) do(method, path string, body []byte) sample {
+	t0 := time.Now()
+	req, err := http.NewRequest(method, d.base+"/v1/fields/"+d.id+path, bytes.NewReader(body))
+	if err != nil {
+		return sample{latency: time.Since(t0)}
+	}
+	req.Header.Set(tenantHeader, d.tenant)
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := d.client.Do(req)
+	if err != nil {
+		return sample{latency: time.Since(t0)}
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return sample{latency: time.Since(t0), status: resp.StatusCode}
+}

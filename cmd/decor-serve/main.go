@@ -1,10 +1,15 @@
 // Command decor-serve exposes the DECOR planner as a long-running HTTP
 // JSON service (see internal/service and DESIGN.md §9).
 //
-//	POST /v1/plan    field + sensors + k + method → placement plan
-//	POST /v1/repair  deployment + failed IDs      → restoration plan
-//	GET  /healthz    liveness (503 while draining)
-//	GET  /metrics    live Prometheus scrape
+//	POST /v1/plan                     field + sensors + k + method → placement plan
+//	POST /v1/repair                   deployment + failed IDs      → restoration plan
+//	POST /v1/fields                   create a stateful field session (201 + initial delta)
+//	POST /v1/fields/{id}/events       stream NDJSON failure events in, delta plans out
+//	GET  /v1/fields/{id}/stream       live SSE delta feed (?from_seq= ring replay)
+//	GET  /v1/fields/{id}              session metadata
+//	DELETE /v1/fields/{id}            drop the session
+//	GET  /healthz                     liveness (503 while draining)
+//	GET  /metrics                     live Prometheus scrape
 //
 // Examples:
 //
@@ -36,6 +41,7 @@ import (
 
 	"decor/internal/obs"
 	"decor/internal/service"
+	"decor/internal/session"
 )
 
 func main() {
@@ -56,6 +62,11 @@ func run() int {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a TERM/INT drain may take before in-flight plans are aborted")
 		enablePprof  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		traceCap     = flag.Int("trace-cap", 4096, "trace ring capacity in spans (rounded up to a power of two)")
+
+		sessShards    = flag.Int("session-shards", 0, "field-session worker shards (0 = GOMAXPROCS)")
+		sessMax       = flag.Int("session-max", 0, "global live field-session cap (0 = default 4096)")
+		sessMaxTenant = flag.Int("session-max-per-tenant", 0, "per-tenant field-session cap (0 = default 64); excess creates get 429")
+		sessIdleTTL   = flag.Duration("session-idle-ttl", 0, "idle time before a session is snapshotted and evicted (0 = built-in default)")
 	)
 	var ofl obs.RunFlags
 	ofl.Register(flag.CommandLine)
@@ -81,6 +92,12 @@ func run() int {
 			MaxSensors:     *maxSensors,
 			DefaultTimeout: *defTimeout,
 			MaxTimeout:     *maxTimeout,
+		},
+		Sessions: session.Config{
+			Shards:               *sessShards,
+			MaxSessions:          *sessMax,
+			MaxSessionsPerTenant: *sessMaxTenant,
+			IdleTTL:              *sessIdleTTL,
 		},
 		Tracer:      tracer,
 		EnablePprof: *enablePprof,

@@ -1,0 +1,129 @@
+package decor
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// The session subsystem (internal/session, DESIGN.md §14) keeps one
+// long-lived Deployment per field and repairs it incrementally:
+// DeployContext → FailSensors → DeployContext → ... for the session's
+// whole lifetime. Its snapshot/restore determinism rests on a facade
+// property this file pins down: an incrementally-repaired deployment is
+// indistinguishable, at every step, from a fresh deployment that
+// replays the same operation sequence from scratch. If any method kept
+// hidden state across Deploy calls that a rebuild would not reproduce,
+// session restore would silently diverge from the live session it
+// replaced.
+
+// liveIDs returns the deployment's sensor IDs, sorted.
+func liveIDs(d *Deployment) []int {
+	sensors := d.Sensors()
+	ids := make([]int, len(sensors))
+	for i, s := range sensors {
+		ids[i] = s.ID
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// victims picks a deterministic, spread-out triple of live sensors so
+// every parity step kills the same IDs in the incremental run and in
+// each replay.
+func victims(ids []int, round int) []int {
+	n := len(ids)
+	return []int{ids[(round*7)%n], ids[n/2], ids[n-1-round%3]}
+}
+
+func dedup(ids []int) []int {
+	sort.Ints(ids)
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func TestIncrementalRepairMatchesFullReplay(t *testing.T) {
+	const (
+		scatter = 40
+		rounds  = 4
+	)
+	for _, method := range []string{"grid-small", "voronoi-small", "centralized"} {
+		t.Run(method, func(t *testing.T) {
+			ctx := context.Background()
+
+			// The long-lived deployment, repaired incrementally.
+			live, err := NewDeployment(quickParams(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			live.ScatterRandom(scatter)
+			if _, err := live.DeployContext(ctx, method); err != nil {
+				t.Fatal(err)
+			}
+
+			// The op log the session's restore path would replay.
+			var failLog [][]int
+			totalPlaced := 0
+
+			for round := 0; round < rounds; round++ {
+				vs := dedup(victims(liveIDs(live), round))
+				if err := live.FailSensors(vs...); err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+				rep, err := live.DeployContext(ctx, method)
+				if err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+				failLog = append(failLog, vs)
+
+				// Fresh full replay of the whole history up to here.
+				replay, err := NewDeployment(quickParams(1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				replay.ScatterRandom(scatter)
+				if _, err := replay.DeployContext(ctx, method); err != nil {
+					t.Fatal(err)
+				}
+				var lastRep Report
+				for i, vs := range failLog {
+					if err := replay.FailSensors(vs...); err != nil {
+						t.Fatalf("replay round %d: %v", i, err)
+					}
+					if lastRep, err = replay.DeployContext(ctx, method); err != nil {
+						t.Fatalf("replay round %d: %v", i, err)
+					}
+				}
+
+				// Differential parity: the repair report and the full
+				// sensor population (IDs and positions) must match.
+				if !reflect.DeepEqual(rep, lastRep) {
+					t.Fatalf("round %d: incremental report %+v != replay report %+v", round, rep, lastRep)
+				}
+				liveSensors, replaySensors := live.Sensors(), replay.Sensors()
+				sort.Slice(liveSensors, func(i, j int) bool { return liveSensors[i].ID < liveSensors[j].ID })
+				sort.Slice(replaySensors, func(i, j int) bool { return replaySensors[i].ID < replaySensors[j].ID })
+				if !reflect.DeepEqual(liveSensors, replaySensors) {
+					t.Fatalf("round %d: sensor populations diverged (%d vs %d sensors)",
+						round, len(liveSensors), len(replaySensors))
+				}
+				if !live.FullyCovered() {
+					t.Fatalf("round %d: repair left the field uncovered", round)
+				}
+				totalPlaced += rep.Placed
+			}
+			// A round may legitimately place nothing (the victims were
+			// redundant), but a whole run that never places anything
+			// proves nothing about the repair path.
+			if totalPlaced == 0 {
+				t.Fatal("vacuous: no round placed any repair sensors")
+			}
+		})
+	}
+}

@@ -1,0 +1,68 @@
+package chaos
+
+import (
+	"sort"
+
+	"decor/internal/rng"
+	"decor/internal/sim"
+)
+
+// FailureEvent is one scheduled sensor-hardware failure in a live
+// traffic stream: at virtual time At (seconds from session start) the
+// listed sensors die together. IDs are sorted; a sensor appears at most
+// once across a whole schedule.
+type FailureEvent struct {
+	At  float64 `json:"at"`
+	IDs []int   `json:"ids"`
+}
+
+// TrafficFromPlan turns a seeded fault plan into a live failure-traffic
+// schedule for a field session: up to `events` batches of 1–3 victims
+// sampled without replacement from ids, at increasing times inside the
+// plan's fault horizon (plan.Until). This is the same severity
+// philosophy as BoundedPlan — bounded, seeded, replayable — applied to
+// sensor hardware instead of the message layer, so `decor-load
+// -sessions` and the session soak drive live fields with exactly the
+// fault distribution the chaos suite proves survivable. Identical
+// (plan.Seed, plan.Until, ids, events) inputs yield identical schedules.
+//
+// Like the selfheal saboteur, at most a quarter of the population dies
+// over one schedule: restoration traffic should exercise repair, not
+// annihilate the field.
+func TrafficFromPlan(plan sim.FaultPlan, ids []int, events int) []FailureEvent {
+	horizon := float64(plan.Until)
+	if horizon <= 0 {
+		horizon = 40 // the deployment-arch fault window
+	}
+	r := rng.New(plan.Seed ^ 0x1fa11)
+	pool := append([]int(nil), ids...)
+	budget := len(ids) / 4
+	if budget < 1 {
+		budget = 1
+	}
+
+	var out []FailureEvent
+	killed := 0
+	for e := 0; e < events && len(pool) > 0 && killed < budget; e++ {
+		k := 1 + r.Intn(3)
+		if k > len(pool) {
+			k = len(pool)
+		}
+		if k > budget-killed {
+			k = budget - killed
+		}
+		ev := FailureEvent{}
+		for j := 0; j < k; j++ {
+			i := r.Intn(len(pool))
+			ev.IDs = append(ev.IDs, pool[i])
+			pool[i] = pool[len(pool)-1]
+			pool = pool[:len(pool)-1]
+		}
+		sort.Ints(ev.IDs)
+		ev.At = r.Range(0.5, horizon)
+		out = append(out, ev)
+		killed += k
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}

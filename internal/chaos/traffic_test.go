@@ -1,0 +1,92 @@
+package chaos
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"decor/internal/sim"
+)
+
+func trafficIDs(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+func TestTrafficFromPlanDeterministic(t *testing.T) {
+	plan := BoundedPlan(DefaultScenario(ArchGrid, 7))
+	a := TrafficFromPlan(plan, trafficIDs(40), 10)
+	b := TrafficFromPlan(plan, trafficIDs(40), 10)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical inputs produced different schedules:\n%v\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("schedule is empty")
+	}
+	c := TrafficFromPlan(sim.FaultPlan{Seed: plan.Seed ^ 1, Until: plan.Until}, trafficIDs(40), 10)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestTrafficFromPlanBounds(t *testing.T) {
+	plan := sim.FaultPlan{Seed: 42, Until: 60}
+	ids := trafficIDs(20)
+	events := TrafficFromPlan(plan, ids, 50)
+
+	horizon := float64(plan.Until)
+	budget := len(ids) / 4
+	seen := map[int]bool{}
+	killed := 0
+	lastAt := 0.0
+	for i, ev := range events {
+		if ev.At < lastAt {
+			t.Fatalf("event %d out of order: %v after %v", i, ev.At, lastAt)
+		}
+		lastAt = ev.At
+		if ev.At <= 0.5 || ev.At >= horizon {
+			t.Errorf("event %d time %v outside (0.5, %v)", i, ev.At, horizon)
+		}
+		if len(ev.IDs) < 1 || len(ev.IDs) > 3 {
+			t.Errorf("event %d batch size %d outside [1,3]", i, len(ev.IDs))
+		}
+		if !sort.IntsAreSorted(ev.IDs) {
+			t.Errorf("event %d IDs not sorted: %v", i, ev.IDs)
+		}
+		for _, id := range ev.IDs {
+			if seen[id] {
+				t.Errorf("sensor %d fails twice", id)
+			}
+			seen[id] = true
+			if id < 0 || id >= len(ids) {
+				t.Errorf("sensor %d outside population", id)
+			}
+			killed++
+		}
+	}
+	if killed > budget {
+		t.Errorf("killed %d sensors, budget is %d (quarter of population)", killed, budget)
+	}
+	if killed == 0 {
+		t.Error("no sensors killed at all")
+	}
+}
+
+func TestTrafficFromPlanTinyPopulation(t *testing.T) {
+	// A population too small for the quarter-budget still yields one
+	// victim — the budget floor — and never loops forever.
+	events := TrafficFromPlan(sim.FaultPlan{Seed: 3}, trafficIDs(2), 8)
+	total := 0
+	for _, ev := range events {
+		total += len(ev.IDs)
+	}
+	if total != 1 {
+		t.Fatalf("tiny population killed %d sensors, want exactly 1", total)
+	}
+	if got := TrafficFromPlan(sim.FaultPlan{Seed: 3}, nil, 8); len(got) != 0 {
+		t.Fatalf("empty population produced events: %v", got)
+	}
+}

@@ -65,6 +65,25 @@ const (
 	ServeQueueDepth     = "decor_serve_queue_depth"
 	ServeInflight       = "decor_serve_inflight_plans"
 
+	// internal/session field-session subsystem (DESIGN.md §14): owned
+	// sessions (live + evicted snapshots), lifecycle counters, delta
+	// throughput, quota rejections, and dropped (lagging) subscribers.
+	SessionLive           = "decor_session_fields"
+	SessionCreated        = "decor_session_created_total"
+	SessionEvicted        = "decor_session_evicted_total"
+	SessionRestored       = "decor_session_restored_total"
+	SessionDropped        = "decor_session_dropped_total"
+	SessionDeltas         = "decor_session_deltas_total"
+	SessionQuotaRejected  = "decor_session_quota_rejected_total"
+	SessionSubsDropped    = "decor_session_subscribers_dropped_total"
+	SessionDeltaSeconds   = "decor_session_delta_seconds"
+	SessionRestoreSeconds = "decor_session_restore_seconds"
+
+	// Per-tenant labeled session series, capped at the same tenant
+	// cardinality bound as the serve response counter.
+	SessionTenantCreated = "decor_session_tenant_created_total"
+	SessionTenantDeltas  = "decor_session_tenant_deltas_total"
+
 	// internal/obs self-observation: histogram lookups whose bucket
 	// bounds disagreed with the live series (the caller's bounds were
 	// dropped — a misconfiguration that used to be silent).
@@ -111,6 +130,21 @@ func RegisterStandard(r *Registry) {
 	} {
 		r.Histogram(name, DefLatencyBuckets)
 	}
+}
+
+// RegisterSession eagerly creates the field-session instrument set on r,
+// so the first scrape of a fresh server exposes every session series at
+// zero.
+func RegisterSession(r *Registry) {
+	for _, name := range []string{
+		SessionCreated, SessionEvicted, SessionRestored, SessionDropped,
+		SessionDeltas, SessionQuotaRejected, SessionSubsDropped,
+	} {
+		r.Counter(name)
+	}
+	r.Gauge(SessionLive)
+	r.Histogram(SessionDeltaSeconds, DefLatencyBuckets)
+	r.Histogram(SessionRestoreSeconds, DefLatencyBuckets)
 }
 
 // RegisterServe eagerly creates the decor-serve instrument set on r, so

@@ -34,17 +34,29 @@ const cacheStatusHeader = "X-Decor-Cache"
 
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/plan       field + sensors + k + method → placement plan
-//	POST /v1/repair     deployment + failed IDs      → restoration plan
-//	GET  /healthz       liveness/readiness (503 while draining)
-//	GET  /metrics       live Prometheus scrape of the obs registry
-//	GET  /debug/traces  recent request span trees (?trace=<id> drills down)
-//	GET  /debug/flight  flight-recorder event dump (live + last-5xx)
-//	GET  /debug/pprof/  net/http/pprof, only with Config.EnablePprof
+//	POST   /v1/plan                field + sensors + k + method → placement plan
+//	POST   /v1/repair              deployment + failed IDs      → restoration plan
+//	POST   /v1/fields              create a stateful field session
+//	POST   /v1/fields/{id}/events  stream failure events in, deltas out (NDJSON)
+//	GET    /v1/fields/{id}/stream  SSE delta feed (?from_seq=N)
+//	GET    /v1/fields/{id}         session metadata
+//	DELETE /v1/fields/{id}         drop the session
+//	GET    /healthz                liveness/readiness (503 while draining)
+//	GET    /metrics                live Prometheus scrape of the obs registry
+//	GET    /debug/traces           recent request span trees (?trace=<id> drills down)
+//	GET    /debug/flight           flight-recorder event dump (live + last-5xx)
+//	GET    /debug/pprof/           net/http/pprof, only with Config.EnablePprof
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/plan", s.handlePlan)
 	mux.HandleFunc("/v1/repair", s.handleRepair)
+	// Field sessions (sessions.go, DESIGN.md §14). Explicit route labels
+	// keep the response counter's cardinality independent of field IDs.
+	mux.HandleFunc("POST /v1/fields", s.withSessionMetrics("/v1/fields", s.handleFieldCreate))
+	mux.HandleFunc("POST /v1/fields/{id}/events", s.withSessionMetrics("/v1/fields/{id}/events", s.handleFieldEvents))
+	mux.HandleFunc("GET /v1/fields/{id}/stream", s.withSessionMetrics("/v1/fields/{id}/stream", s.handleFieldStream))
+	mux.HandleFunc("GET /v1/fields/{id}", s.withSessionMetrics("/v1/fields/{id}", s.handleFieldGet))
+	mux.HandleFunc("DELETE /v1/fields/{id}", s.withSessionMetrics("/v1/fields/{id}", s.handleFieldDelete))
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.Handle("/metrics", s.cfg.Registry.Handler())
 	mux.Handle("/debug/traces", s.cfg.Tracer.DebugHandler())
@@ -136,6 +148,17 @@ func (sw *statusWriter) Write(b []byte) (int, error) {
 		sw.status = http.StatusOK
 	}
 	return sw.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer so the SSE and NDJSON
+// streaming handlers still flush through the metrics wrapper.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		f.Flush()
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -270,20 +293,28 @@ func (s *Server) servePlanLike(w http.ResponseWriter, r *http.Request,
 	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
 	defer cancel()
 	ctx = obs.WithSpanContext(ctx, ectx)
-	j := &job{ctx: ctx, run: run, done: make(chan jobResult, 1)}
+	j := &job{ctx: ctx, run: run, done: make(chan jobResult, 1), tenant: r.Header.Get(tenantHeader)}
 	admission := s.cfg.Flight.Shard(s.cfg.Workers)
-	if !s.submit(j) {
+	if err := s.submit(j); err != nil {
 		eSpan.End()
 		s.cRejected.Inc()
 		admission.Record(s.uptime(), "admit.reject", -1, route)
-		retry := s.retryAfterSeconds()
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		if errors.Is(err, errTenantOverloaded) {
+			// The tenant's fair share is spoken for; followers of the same
+			// key should not inherit a 429 another tenant earned, but
+			// identical keys imply identical tenants in practice.
+			s.flight.finish(key, call, nil, http.StatusTooManyRequests, err)
+			s.writeError(w, http.StatusTooManyRequests, "tenant admission quota exhausted; retry later")
+			return
+		}
 		s.flight.finish(key, call, nil, http.StatusServiceUnavailable, errOverloaded)
-		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		s.writeError(w, http.StatusServiceUnavailable, "admission queue full; retry later")
 		return
 	}
 	admission.Record(s.uptime(), "admit.ok", -1, route)
 	res := <-j.done
+	s.release(j)
 	eSpan.End()
 	switch {
 	case res.err == nil:

@@ -1,0 +1,47 @@
+package service
+
+import (
+	"math"
+	"testing"
+)
+
+// TestClampRetrySeconds pins the Retry-After clamp across the estimator's
+// failure modes. The regression that motivates it: int(math.Ceil(est))
+// on an overflowed or infinite EWMA estimate is implementation-defined
+// (minimum int on amd64), which the old code then clamped to 1 — telling
+// clients to hammer a server that had just measured itself as maximally
+// overloaded. Huge and non-finite estimates must saturate at max, not
+// wrap around to the floor.
+func TestClampRetrySeconds(t *testing.T) {
+	const max = 30
+	tests := []struct {
+		name string
+		est  float64
+		want int
+	}{
+		{"zero", 0, 1},
+		{"negative", -3.5, 1},
+		{"sub-second rounds up to floor", 0.2, 1},
+		{"exactly one", 1, 1},
+		{"fractional rounds up", 1.01, 2},
+		{"mid-range", 7.4, 8},
+		{"just under max", 29.5, 30},
+		{"exactly max", 30, 30},
+		{"above max", 31, 30},
+		{"huge EWMA", 1e18, 30},
+		{"beyond int64", 1e300, 30},
+		{"positive infinity", math.Inf(1), 30},
+		{"negative infinity", math.Inf(-1), 1},
+		{"NaN", math.NaN(), 1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := clampRetrySeconds(tc.est, max); got != tc.want {
+				t.Errorf("clampRetrySeconds(%v, %d) = %d, want %d", tc.est, max, got, tc.want)
+			}
+			if got := clampRetrySeconds(tc.est, max); got < 1 || got > max {
+				t.Errorf("clampRetrySeconds(%v, %d) = %d, outside [1, %d]", tc.est, max, got, max)
+			}
+		})
+	}
+}

@@ -15,6 +15,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"decor/internal/obs"
+	"decor/internal/session"
 )
 
 // Config sizes a Server. The zero value gets sensible defaults from
@@ -51,6 +53,15 @@ type Config struct {
 	Flight *obs.FlightRecorder
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// MaxQueuePerTenant caps how much of the admission queue one tenant
+	// may occupy at once — the fairness bound that keeps a single noisy
+	// tenant from starving everyone else's plans. Exceeding it answers
+	// 429 + Retry-After (the queue itself still answers 503 when full).
+	// Default: QueueDepth/4.
+	MaxQueuePerTenant int
+	// Sessions sizes the stateful field-session subsystem (DESIGN.md
+	// §14); its Registry defaults to this Config's Registry.
+	Sessions session.Config
 }
 
 func (c Config) normalized() Config {
@@ -73,15 +84,25 @@ func (c Config) normalized() Config {
 	if c.Flight == nil {
 		c.Flight = obs.NewFlightRecorder(c.Workers+1, 256)
 	}
+	if c.MaxQueuePerTenant <= 0 {
+		c.MaxQueuePerTenant = c.QueueDepth / 4
+		if c.MaxQueuePerTenant < 1 {
+			c.MaxQueuePerTenant = 1
+		}
+	}
+	if c.Sessions.Registry == nil {
+		c.Sessions.Registry = c.Registry
+	}
 	return c
 }
 
 // job is one admitted planning request.
 type job struct {
-	ctx  context.Context // carries the request deadline into the planner
-	run  func(context.Context) ([]byte, error)
-	done chan jobResult // buffered: the worker never blocks on delivery
-	enq  time.Time      // when submit accepted the job (queue-wait attr)
+	ctx    context.Context // carries the request deadline into the planner
+	run    func(context.Context) ([]byte, error)
+	done   chan jobResult // buffered: the worker never blocks on delivery
+	enq    time.Time      // when submit accepted the job (queue-wait attr)
+	tenant string         // raw tenant header, for the fairness bound
 }
 
 type jobResult struct {
@@ -106,6 +127,12 @@ type Server struct {
 
 	mu       sync.Mutex
 	draining bool
+	// queued tracks how many admitted jobs each tenant currently has in
+	// the pool (queued or running), for the per-tenant fairness bound.
+	queued map[string]int
+
+	// sessions owns the stateful field sessions (see sessions.go).
+	sessions *session.Manager
 
 	// started anchors the flight recorder's relative timestamps.
 	started time.Time
@@ -143,7 +170,9 @@ func New(cfg Config) *Server {
 		abort:   cancel,
 		started: time.Now(),
 		tenants: map[string]bool{},
+		queued:  map[string]int{},
 	}
+	s.sessions = session.New(cfg.Sessions)
 	r := cfg.Registry
 	obs.RegisterServe(r)
 	s.cPlanReqs = r.Counter(obs.ServePlanRequests)
@@ -209,37 +238,78 @@ func (s *Server) worker(idx int) {
 	}
 }
 
-// submit offers j to the admission queue without blocking; false means
-// the server is saturated (or draining) and the caller must shed load.
-func (s *Server) submit(j *job) bool {
+// errTenantOverloaded: the tenant's fair share of the admission queue
+// is spoken for; other tenants' requests still admit normally.
+var errTenantOverloaded = errors.New("tenant admission quota exhausted")
+
+// submit offers j to the admission queue without blocking. A nil error
+// admits; errTenantOverloaded means the tenant hit its fairness bound
+// (429), errOverloaded means the whole queue is saturated or draining
+// (503). Admitted jobs hold one slot of their tenant's share until
+// release.
+func (s *Server) submit(j *job) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
-		return false
+		return errOverloaded
+	}
+	// The fairness bound applies per named tenant; anonymous requests
+	// (no X-Decor-Tenant) share the queue's global capacity only.
+	if j.tenant != "" && s.queued[j.tenant] >= s.cfg.MaxQueuePerTenant {
+		return errTenantOverloaded
 	}
 	j.enq = time.Now()
 	select {
 	case s.queue <- j:
+		if j.tenant != "" {
+			s.queued[j.tenant]++
+		}
 		s.gQueueDepth.Add(1)
-		return true
+		return nil
 	default:
-		return false
+		return errOverloaded
+	}
+}
+
+// release returns j's tenant-share slot once its result is consumed.
+func (s *Server) release(j *job) {
+	if j.tenant == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.queued[j.tenant] > 0 {
+		s.queued[j.tenant]--
+		if s.queued[j.tenant] == 0 {
+			delete(s.queued, j.tenant)
+		}
 	}
 }
 
 // retryAfterSeconds estimates when a rejected client should try again: a
-// full queue's worth of work spread over the pool, floored at one
-// second (the resolution of the Retry-After header).
+// full queue's worth of work spread over the pool, clamped to [1, 30]
+// (Retry-After has one-second resolution, and anything above half a
+// minute just makes clients give up).
 func (s *Server) retryAfterSeconds() int {
 	est := float64(s.cfg.QueueDepth) * s.ewmaPlanMS.load() / 1000 / float64(s.cfg.Workers)
-	sec := int(math.Ceil(est))
-	if sec < 1 {
-		sec = 1
+	return clampRetrySeconds(est, 30)
+}
+
+// clampRetrySeconds rounds a latency estimate in seconds up to a whole
+// second and clamps it into [1, max]. The comparison happens in float
+// space before any int conversion: converting a huge or infinite float
+// to int is implementation-defined in Go (on amd64 it produces the
+// minimum integer), so the old `int(math.Ceil(est))` turned an
+// overflowed EWMA into Retry-After: 1 — precisely the wrong signal for
+// a server that just reported being the most overloaded it can be.
+func clampRetrySeconds(est float64, max int) int {
+	if math.IsNaN(est) || est < 1 {
+		return 1
 	}
-	if sec > 30 {
-		sec = 30
+	if est >= float64(max) {
+		return max
 	}
-	return sec
+	return int(math.Ceil(est))
 }
 
 // Draining reports whether Shutdown has begun (healthz turns 503 so load
@@ -268,6 +338,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// draining under the same mutex.
 		close(s.queue)
 	}
+	// Close the session manager first: it closes every subscriber
+	// channel, which unblocks SSE handlers so http.Server.Shutdown can
+	// finish. Idempotent, and session state is rebuildable by design.
+	s.sessions.Close()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()

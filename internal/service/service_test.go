@@ -230,12 +230,12 @@ func TestBackpressure503WithRetryAfter(t *testing.T) {
 		}
 	}
 	j1, j2 := mk(true), mk(false)
-	if !s.svc.submit(j1) {
-		t.Fatal("first priming job should be admitted")
+	if err := s.svc.submit(j1); err != nil {
+		t.Fatalf("first priming job should be admitted: %v", err)
 	}
 	<-blocked // the worker is now executing j1 and the queue is empty
-	if !s.svc.submit(j2) {
-		t.Fatal("second priming job should fill the queue")
+	if err := s.svc.submit(j2); err != nil {
+		t.Fatalf("second priming job should fill the queue: %v", err)
 	}
 
 	status, hdr, body := s.post(t, "/v1/plan", planBody(1))
@@ -276,8 +276,8 @@ func TestDeadlineExceededReturns504(t *testing.T) {
 		},
 		done: make(chan jobResult, 1),
 	}
-	if !s.svc.submit(blocker) {
-		t.Fatal("blocker job should be admitted")
+	if err := s.svc.submit(blocker); err != nil {
+		t.Fatalf("blocker job should be admitted: %v", err)
 	}
 	<-blocked
 	go func() {
@@ -409,8 +409,8 @@ func TestGracefulShutdownDrainsInflight(t *testing.T) {
 		},
 		done: make(chan jobResult, 1),
 	}
-	if !svc.submit(j) {
-		t.Fatal("job not admitted")
+	if err := svc.submit(j); err != nil {
+		t.Fatalf("job not admitted: %v", err)
 	}
 	<-running
 

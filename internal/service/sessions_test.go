@@ -1,0 +1,390 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"decor/internal/obs"
+	"decor/internal/session"
+)
+
+// do issues a request with a tenant header against the test server.
+func (s *testServer) do(t *testing.T, method, path, tenant, body string) (int, http.Header, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, s.ts.URL+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "" {
+		req.Header.Set(tenantHeader, tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, b
+}
+
+// fieldBody is a small session field that plans in milliseconds.
+func fieldBody(id string, seed uint64) string {
+	return fmt.Sprintf(`{"field_id":%q,"field_side":30,"k":1,"rs":4,"num_points":200,"seed":%d,"scatter":20,"method":"centralized"}`, id, seed)
+}
+
+func decodeDelta(t *testing.T, b []byte) session.Delta {
+	t.Helper()
+	var d session.Delta
+	if err := json.Unmarshal(b, &d); err != nil {
+		t.Fatalf("not a delta: %v\n%s", err, b)
+	}
+	return d
+}
+
+func TestFieldSessionLifecycle(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+
+	status, hdr, body := s.do(t, "POST", "/v1/fields", "acme", fieldBody("f1", 5))
+	if status != http.StatusCreated {
+		t.Fatalf("create status = %d, body %s", status, body)
+	}
+	if loc := hdr.Get("Location"); loc != "/v1/fields/f1" {
+		t.Errorf("Location = %q", loc)
+	}
+	initial := decodeDelta(t, body)
+	if initial.Seq != 0 || initial.FieldID != "f1" || !initial.Covered {
+		t.Errorf("initial delta = %+v", initial)
+	}
+
+	// Duplicate create: 409.
+	if status, _, _ := s.do(t, "POST", "/v1/fields", "acme", fieldBody("f1", 5)); status != http.StatusConflict {
+		t.Errorf("duplicate create status = %d, want 409", status)
+	}
+
+	// Two NDJSON events in one request: two delta lines back, in order.
+	status, _, body = s.do(t, "POST", "/v1/fields/f1/events", "acme",
+		"{\"failed\":[1]}\n{\"failed\":[2,3]}\n")
+	if status != http.StatusOK {
+		t.Fatalf("events status = %d, body %s", status, body)
+	}
+	lines := bytes.Split(bytes.TrimSpace(body), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("got %d delta lines, want 2:\n%s", len(lines), body)
+	}
+	d1, d2 := decodeDelta(t, lines[0]), decodeDelta(t, lines[1])
+	if d1.Seq != 1 || d2.Seq != 2 {
+		t.Errorf("delta seqs = %d, %d; want 1, 2", d1.Seq, d2.Seq)
+	}
+	if len(d2.Failed) != 2 {
+		t.Errorf("second delta failed = %v", d2.Failed)
+	}
+
+	// Metadata reflects the applied events.
+	status, _, body = s.do(t, "GET", "/v1/fields/f1", "acme", "")
+	if status != http.StatusOK {
+		t.Fatalf("get status = %d, body %s", status, body)
+	}
+	var info session.Info
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Seq != 2 || !info.Covered {
+		t.Errorf("info = %+v", info)
+	}
+
+	// Unknown sensor is a 400 and does not advance the session.
+	if status, _, body := s.do(t, "POST", "/v1/fields/f1/events", "acme", `{"failed":[9999]}`); status != http.StatusBadRequest {
+		t.Errorf("unknown sensor status = %d, body %s", status, body)
+	}
+	if _, _, body := s.do(t, "GET", "/v1/fields/f1", "acme", ""); !strings.Contains(string(body), `"seq":2`) {
+		t.Errorf("rejected event advanced the session: %s", body)
+	}
+
+	// Delete, then the field is gone.
+	if status, _, _ := s.do(t, "DELETE", "/v1/fields/f1", "acme", ""); status != http.StatusNoContent {
+		t.Errorf("delete status = %d", status)
+	}
+	if status, _, _ := s.do(t, "GET", "/v1/fields/f1", "acme", ""); status != http.StatusNotFound {
+		t.Errorf("get after delete status = %d", status)
+	}
+}
+
+// TestFieldSessionMatchesStatelessReplay proves the delta-repair
+// correctness criterion over HTTP: a session's cumulative delta stream
+// is byte-identical to a second, fresh session driven through the same
+// op sequence (the session architecture's replay determinism), and each
+// delta's sensor accounting is internally consistent.
+func TestFieldSessionMatchesStatelessReplay(t *testing.T) {
+	run := func(s *testServer) []byte {
+		var stream bytes.Buffer
+		_, _, body := s.do(t, "POST", "/v1/fields", "t", fieldBody("f", 11))
+		stream.Write(body)
+		_, _, body = s.do(t, "POST", "/v1/fields/f/events", "t",
+			"{\"failed\":[0]}\n{\"failed\":[4,5]}\n{\"failed\":[9]}\n")
+		stream.Write(body)
+		return stream.Bytes()
+	}
+	a := run(newTestServer(t, Config{Workers: 1}))
+	b := run(newTestServer(t, Config{Workers: 2, Sessions: session.Config{Shards: 4}}))
+	if !bytes.Equal(a, b) {
+		t.Errorf("delta streams differ across servers:\n%s\nvs\n%s", a, b)
+	}
+	total := 0
+	for _, line := range bytes.Split(bytes.TrimSpace(a), []byte("\n")) {
+		d := decodeDelta(t, line)
+		if d.Seq == 0 {
+			total = d.TotalSensors
+			continue
+		}
+		total += d.Placed - len(d.Failed)
+		if d.TotalSensors != total {
+			t.Errorf("seq %d: total %d, want %d", d.Seq, d.TotalSensors, total)
+		}
+		if !d.Covered {
+			t.Errorf("seq %d: field not restored to full coverage", d.Seq)
+		}
+	}
+}
+
+func TestFieldTenantIsolation(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	if status, _, body := s.do(t, "POST", "/v1/fields", "a", fieldBody("shared", 1)); status != http.StatusCreated {
+		t.Fatalf("tenant a create: %d %s", status, body)
+	}
+	// Tenant b cannot see a's field...
+	if status, _, _ := s.do(t, "GET", "/v1/fields/shared", "b", ""); status != http.StatusNotFound {
+		t.Errorf("cross-tenant get status = %d, want 404", status)
+	}
+	if status, _, _ := s.do(t, "DELETE", "/v1/fields/shared", "b", ""); status != http.StatusNotFound {
+		t.Errorf("cross-tenant delete status = %d, want 404", status)
+	}
+	// ...and may use the same field ID for its own session.
+	if status, _, body := s.do(t, "POST", "/v1/fields", "b", fieldBody("shared", 2)); status != http.StatusCreated {
+		t.Errorf("tenant b create with same id: %d %s", status, body)
+	}
+	// Both sessions work independently.
+	if status, _, body := s.do(t, "POST", "/v1/fields/shared/events", "a", `{"failed":[1]}`); status != http.StatusOK {
+		t.Errorf("tenant a event: %d %s", status, body)
+	}
+	if status, _, body := s.do(t, "POST", "/v1/fields/shared/events", "b", `{"failed":[1]}`); status != http.StatusOK {
+		t.Errorf("tenant b event: %d %s", status, body)
+	}
+}
+
+// TestFieldQuota429DoesNotDisturbOtherTenants is the acceptance
+// criterion for admission isolation: a tenant that exhausts its session
+// quota gets 429 + Retry-After while another tenant's sessions keep
+// planning deltas with zero failures.
+func TestFieldQuota429DoesNotDisturbOtherTenants(t *testing.T) {
+	s := newTestServer(t, Config{
+		Workers:  2,
+		Sessions: session.Config{MaxSessionsPerTenant: 2},
+	})
+	for i := 0; i < 2; i++ {
+		if status, _, body := s.do(t, "POST", "/v1/fields", "noisy", fieldBody(fmt.Sprintf("n%d", i), uint64(i))); status != http.StatusCreated {
+			t.Fatalf("noisy create %d: %d %s", i, status, body)
+		}
+	}
+	if status, _, body := s.do(t, "POST", "/v1/fields", "good", fieldBody("g", 9)); status != http.StatusCreated {
+		t.Fatalf("good create: %d %s", status, body)
+	}
+
+	status, hdr, body := s.do(t, "POST", "/v1/fields", "noisy", fieldBody("n2", 3))
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("over-quota create status = %d, body %s", status, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Errorf("429 must carry Retry-After")
+	}
+
+	// The good tenant keeps streaming events while the noisy tenant
+	// keeps hammering creates.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			s.do(t, "POST", "/v1/fields", "noisy", fieldBody(fmt.Sprintf("x%d", i), uint64(i)))
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		if status, _, body := s.do(t, "POST", "/v1/fields/g/events", "good", fmt.Sprintf(`{"failed":[%d]}`, i)); status != http.StatusOK {
+			t.Errorf("good tenant disturbed at event %d: %d %s", i, status, body)
+		}
+	}
+	wg.Wait()
+	if got := s.counter(obs.SessionQuotaRejected); got < 1 {
+		t.Errorf("quota rejections = %d, want >= 1", got)
+	}
+}
+
+// TestFieldSSEStream covers the live feed: ring replay from from_seq,
+// live deltas as events apply, and prompt stream teardown on drop.
+func TestFieldSSEStream(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	if status, _, body := s.do(t, "POST", "/v1/fields", "t", fieldBody("f", 7)); status != http.StatusCreated {
+		t.Fatalf("create: %d %s", status, body)
+	}
+	if status, _, body := s.do(t, "POST", "/v1/fields/f/events", "t", `{"failed":[1]}`); status != http.StatusOK {
+		t.Fatalf("event: %d %s", status, body)
+	}
+
+	req, err := http.NewRequest("GET", s.ts.URL+"/v1/fields/f/stream?from_seq=1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(tenantHeader, "t")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content type = %q", ct)
+	}
+
+	type sse struct {
+		id   string
+		data session.Delta
+	}
+	events := make(chan sse, 16)
+	go func() {
+		defer close(events)
+		sc := bufio.NewScanner(resp.Body)
+		var cur sse
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "id: "):
+				cur.id = strings.TrimPrefix(line, "id: ")
+			case strings.HasPrefix(line, "data: "):
+				json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &cur.data)
+			case line == "":
+				events <- cur
+				cur = sse{}
+			}
+		}
+	}()
+
+	wait := func(what string) sse {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				t.Fatalf("stream closed waiting for %s", what)
+			}
+			return ev
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		panic("unreachable")
+	}
+
+	// from_seq=1 skips the ring's Seq-0 entry and replays Seq 1.
+	if ev := wait("ring replay"); ev.id != "1" || ev.data.Seq != 1 {
+		t.Fatalf("replayed event = %+v", ev)
+	}
+
+	// A live event arrives on the open stream.
+	if status, _, body := s.do(t, "POST", "/v1/fields/f/events", "t", `{"failed":[2]}`); status != http.StatusOK {
+		t.Fatalf("live event: %d %s", status, body)
+	}
+	if ev := wait("live delta"); ev.data.Seq != 2 || len(ev.data.Failed) != 1 || ev.data.Failed[0] != 2 {
+		t.Fatalf("live delta = %+v", ev.data)
+	}
+
+	// Dropping the session closes the stream.
+	if status, _, _ := s.do(t, "DELETE", "/v1/fields/f", "t", ""); status != http.StatusNoContent {
+		t.Fatal("drop failed")
+	}
+	select {
+	case _, ok := <-events:
+		if ok {
+			// A buffered delta may still arrive; the close must follow.
+			if _, ok := <-events; ok {
+				t.Error("stream still open after drop")
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("stream did not close after drop")
+	}
+}
+
+// TestPlanTenantFairness429 exercises the per-tenant admission bound on
+// the stateless plan path: one tenant saturating its share gets 429
+// while the queue still has room for others.
+func TestPlanTenantFairness429(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueDepth: 8, MaxQueuePerTenant: 1})
+	// Occupy the single worker so admitted jobs stay queued.
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	unblock := func() { releaseOnce.Do(func() { close(release) }) }
+	defer unblock()
+	blocked := make(chan struct{})
+	blocker := &job{
+		ctx: context.Background(),
+		run: func(ctx context.Context) ([]byte, error) {
+			close(blocked)
+			<-release
+			return []byte("{}"), nil
+		},
+		done: make(chan jobResult, 1),
+	}
+	if err := s.svc.submit(blocker); err != nil {
+		t.Fatalf("blocker: %v", err)
+	}
+	<-blocked
+
+	// The hog's first plan occupies its whole per-tenant share (queued
+	// behind the blocker); fire it asynchronously.
+	hogDone := make(chan struct{})
+	go func() {
+		defer close(hogDone)
+		s.do(t, "POST", "/v1/plan", "hog", planBody(50))
+	}()
+	waitFor(t, func() bool { return s.svc.queuedFor("hog") == 1 })
+
+	status, hdr, body := s.do(t, "POST", "/v1/plan", "hog", planBody(51))
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("hog second plan status = %d, body %s", status, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Errorf("429 must carry Retry-After")
+	}
+
+	// Another tenant still admits into the same queue.
+	otherDone := make(chan int, 1)
+	go func() {
+		status, _, _ := s.do(t, "POST", "/v1/plan", "polite", planBody(52))
+		otherDone <- status
+	}()
+	waitFor(t, func() bool { return s.svc.queuedFor("polite") == 1 })
+
+	unblock()
+	<-blocker.done
+	<-hogDone
+	if status := <-otherDone; status != http.StatusOK {
+		t.Errorf("polite tenant status = %d, want 200", status)
+	}
+}
+
+// queuedFor reports a tenant's current admission-share occupancy.
+func (s *Server) queuedFor(tenant string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued[tenant]
+}

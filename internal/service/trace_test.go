@@ -181,12 +181,12 @@ func TestFlightCapturedOn5xx(t *testing.T) {
 		}
 	}
 	b1, b2 := blocker(true), blocker(false)
-	if !s.svc.submit(b1) {
-		t.Fatal("first blocker rejected")
+	if err := s.svc.submit(b1); err != nil {
+		t.Fatalf("first blocker rejected: %v", err)
 	}
 	<-blocked // worker busy
-	if !s.svc.submit(b2) {
-		t.Fatal("second blocker rejected")
+	if err := s.svc.submit(b2); err != nil {
+		t.Fatalf("second blocker rejected: %v", err)
 	}
 	status, _, _ := s.post(t, "/v1/plan", planBody(33))
 	close(release)

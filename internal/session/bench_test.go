@@ -1,0 +1,144 @@
+package session
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// The 1e5-point session-vs-stateless comparison (ISSUE 8 acceptance):
+// the same field regime as core's BenchmarkPlace — 0.2 points/unit²,
+// rs = 4, k = 1, n/40 scattered sensors — driven through the session
+// delta path and through the stateless /v1/repair-equivalent full
+// replan. BENCH_session.json records both; an incremental delta must
+// cost at least 10× fewer allocs/op than the full replan.
+
+const benchPoints = 100_000
+
+func benchSpec() Spec {
+	return Spec{
+		FieldSide: math.Sqrt(benchPoints / 0.2),
+		K:         1,
+		Rs:        4,
+		NumPoints: benchPoints,
+		Generator: "halton",
+		Seed:      99,
+		Scatter:   benchPoints / 40,
+		Method:    "centralized",
+	}
+}
+
+// benchSession wraps a live session state with the bookkeeping the
+// driver needs to keep failing sensors forever: the sorted alive-ID
+// list, updated from each delta's Placed count. The planner assigns
+// placements sequential IDs starting at (largest live ID)+1, so since
+// victims always come off the top of the list the new IDs are exactly
+// the next integers after the surviving maximum.
+type benchSession struct {
+	st    *state
+	alive []int
+}
+
+func newBenchSession(tb testing.TB, spec Spec) *benchSession {
+	tb.Helper()
+	st, initial, err := newState(context.Background(), "bench", "f", spec, 0)
+	if err != nil {
+		tb.Fatalf("build session: %v", err)
+	}
+	b := &benchSession{st: st}
+	for id := 0; id < spec.Scatter; id++ {
+		b.alive = append(b.alive, id)
+	}
+	b.grow(initial.Placed)
+	return b
+}
+
+func (b *benchSession) grow(placed int) {
+	next := 0
+	if len(b.alive) > 0 {
+		next = b.alive[len(b.alive)-1] + 1
+	}
+	for i := 0; i < placed; i++ {
+		b.alive = append(b.alive, next)
+		next++
+	}
+}
+
+// step fails the three most recently placed sensors and repairs.
+func (b *benchSession) step(tb testing.TB) Delta {
+	victims := append([]int(nil), b.alive[len(b.alive)-3:]...)
+	d, err := b.st.apply(context.Background(), victims, 0)
+	if err != nil {
+		tb.Fatalf("apply: %v", err)
+	}
+	b.alive = b.alive[:len(b.alive)-3]
+	b.grow(d.Placed)
+	return d
+}
+
+// BenchmarkSessionDelta measures one incremental failure→repair delta
+// on a warm 1e5-point session. Setup (field build + initial deploy) is
+// excluded; each iteration is exactly what one streamed event costs.
+func BenchmarkSessionDelta(b *testing.B) {
+	s := newBenchSession(b, benchSpec())
+	s.step(b) // warm the incremental path before measuring
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.step(b)
+	}
+}
+
+// BenchmarkStatelessRepair measures the equivalent stateless
+// /v1/repair: rebuild the whole field from the spec, fail the same-size
+// batch, and replan. This is what every event costs without sessions.
+func BenchmarkStatelessRepair(b *testing.B) {
+	spec := benchSpec()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := spec.build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.FailSensors(0, 1, 2); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := d.DeployContext(context.Background(), spec.Method); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestDeltaAllocAdvantage asserts the ISSUE 8 acceptance ratio directly
+// (benchstat gates the absolute numbers; this pins the relationship):
+// an incremental delta allocates at least 10× less than a stateless
+// full replan on the same 1e5-point field.
+func TestDeltaAllocAdvantage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1e5-point field build in -short mode")
+	}
+	spec := benchSpec()
+	s := newBenchSession(t, spec)
+	s.step(t) // warm
+	delta := testing.AllocsPerRun(3, func() { s.step(t) })
+
+	stateless := testing.AllocsPerRun(1, func() {
+		d, err := spec.build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.FailSensors(0, 1, 2); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.DeployContext(context.Background(), spec.Method); err != nil {
+			t.Fatal(err)
+		}
+	})
+	ratio := stateless / delta
+	t.Logf("stateless %.0f allocs, delta %.0f allocs: %.1fx", stateless, delta, ratio)
+	if ratio < 10 {
+		t.Errorf("delta advantage %.1fx, want >= 10x (stateless %.0f vs delta %.0f allocs)",
+			ratio, stateless, delta)
+	}
+}

@@ -1,0 +1,59 @@
+package session
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+)
+
+// Snapshot is the persistent form of a session: its spec plus the replay
+// log of applied failure batches. Restoration replays the log against a
+// freshly built field — every step is seeded and deterministic, so the
+// restored session (coverage map, RNG position, delta ring, sequence
+// number) is byte-for-byte the session that was evicted, and its future
+// deltas are identical to the ones the unevicted session would have
+// produced. That replay-equals-live property is exactly what the
+// differential tests assert (DESIGN.md §14).
+type Snapshot struct {
+	Tenant string  `json:"tenant"`
+	ID     string  `json:"field_id"`
+	Spec   Spec    `json:"spec"`
+	Events [][]int `json:"events,omitempty"`
+}
+
+// snapshot captures the session's persistent state. Live-only state (the
+// subscriber set, the coverage map itself) is reconstructed on restore.
+func (st *state) snapshot() []byte {
+	b, err := json.Marshal(Snapshot{
+		Tenant: st.tenant,
+		ID:     st.id,
+		Spec:   st.spec,
+		Events: st.events,
+	})
+	if err != nil {
+		// Spec and events are plain structs of finite numbers.
+		panic(fmt.Sprintf("session: snapshot marshal: %v", err))
+	}
+	return b
+}
+
+// restore rebuilds a session from its snapshot by replaying the event
+// log: initial deploy, then every failure batch in order. The delta ring
+// refills from the replayed deltas, so SSE catch-up reads spanning an
+// evict/restore boundary see one seamless stream.
+func restore(ctx context.Context, raw []byte, ringCap int) (*state, error) {
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return nil, fmt.Errorf("session: corrupt snapshot: %w", err)
+	}
+	st, _, err := newState(ctx, snap.Tenant, snap.ID, snap.Spec, ringCap)
+	if err != nil {
+		return nil, fmt.Errorf("session: restore build: %w", err)
+	}
+	for i, failed := range snap.Events {
+		if _, err := st.apply(ctx, failed, ringCap); err != nil {
+			return nil, fmt.Errorf("session: restore replay event %d: %w", i, err)
+		}
+	}
+	return st, nil
+}

@@ -20,6 +20,14 @@
 #    than the microsecond-scale micro-benches, which flap on shared
 #    hosts.
 #
+# 3. Field sessions: run the session delta benches fresh, compare
+#    against BENCH_session.json, gate BenchmarkSessionDelta's ns/op
+#    regression (wide band: single-iteration millisecond ops on a
+#    noisy single-CPU host), and HARD-gate the structural acceptance
+#    criterion — the incremental delta path must stay >= 10x fewer
+#    allocs/op than a stateless full replan. Allocs are deterministic,
+#    so that gate holds even when timings flap.
+#
 # Tunables: BENCH_BASELINE (default BENCH_sim.json), BENCH_CORE_BASELINE
 # (default BENCH_core.json), BENCH_COUNT (samples, default 1),
 # BENCH_TIME (per-bench -benchtime for the sim section, default 20x —
@@ -28,20 +36,24 @@
 # CI hosts show ±15% run-to-run drift; allocs/op would catch a real
 # structural regression long before ns/op does), BENCH_CORE_GATE_PCT
 # (default 50 — single-iteration deployment times drift more than the
-# 20x-averaged engine benches).
+# 20x-averaged engine benches), BENCH_SESSION_GATE_PCT (default 60 —
+# same noisy-host reasoning, even wider because the delta op is ~1 ms).
 set -e
 
 GO=${GO:-go}
 BASELINE=${BENCH_BASELINE:-BENCH_sim.json}
 CORE_BASELINE=${BENCH_CORE_BASELINE:-BENCH_core.json}
+SESSION_BASELINE=${BENCH_SESSION_BASELINE:-BENCH_session.json}
 FRESH=${BENCH_FRESH:-$(mktemp /tmp/bench_sim_fresh.XXXXXX.json)}
 CORE_FRESH=${BENCH_CORE_FRESH:-$(mktemp /tmp/bench_core_fresh.XXXXXX.json)}
+SESSION_FRESH=${BENCH_SESSION_FRESH:-$(mktemp /tmp/bench_session_fresh.XXXXXX.json)}
 COUNT=${BENCH_COUNT:-1}
 TIME=${BENCH_TIME:-20x}
 GATE_PCT=${BENCH_GATE_PCT:-25}
 CORE_GATE_PCT=${BENCH_CORE_GATE_PCT:-50}
+SESSION_GATE_PCT=${BENCH_SESSION_GATE_PCT:-60}
 
-for f in "$BASELINE" "$CORE_BASELINE"; do
+for f in "$BASELINE" "$CORE_BASELINE" "$SESSION_BASELINE"; do
 	if [ ! -f "$f" ]; then
 		echo "benchstat: baseline $f missing; run 'make bench-json' first" >&2
 		exit 1
@@ -84,3 +96,34 @@ $GO run ./cmd/decor-benchjson -diff \
 	-gate 'BenchmarkPlace/pts=1e5/(grid-flat|grid-seq|grid-par4|centralized-tiled)$' \
 	-max-regress "$CORE_GATE_PCT" \
 	"$CORE_BASELINE" "$CORE_FRESH"
+
+# Field-session section: one incremental delta repair vs one stateless
+# full replan on the same 1e5-point field. The delta ns/op gate is wide
+# (millisecond single iterations on a noisy host); the alloc-ratio gate
+# is exact — it is the structural property the session subsystem exists
+# to provide, and allocs/op do not flap.
+SESSION_COUNT=${BENCH_SESSION_COUNT:-3}
+$GO test -run '^$' -bench 'BenchmarkSessionDelta|BenchmarkStatelessRepair' \
+	-benchmem -benchtime=1x -count="$SESSION_COUNT" ./internal/session/ |
+	$GO run ./cmd/decor-benchjson -o "$SESSION_FRESH"
+$GO run ./cmd/decor-benchjson -diff \
+	-gate 'BenchmarkSessionDelta$' -max-regress "$SESSION_GATE_PCT" \
+	"$SESSION_BASELINE" "$SESSION_FRESH"
+
+awk '
+/"name":/ { name = $0; sub(/.*: "/, "", name); sub(/".*/, "", name) }
+/"allocs_per_op":/ { a = $0; sub(/.*: /, "", a); sub(/,.*/, "", a)
+	if (name == "BenchmarkSessionDelta") delta = a + 0
+	if (name == "BenchmarkStatelessRepair") full = a + 0 }
+END {
+	if (delta <= 0 || full <= 0) {
+		print "session gate: missing BenchmarkSessionDelta/BenchmarkStatelessRepair allocs" > "/dev/stderr"
+		exit 1
+	}
+	ratio = full / delta
+	printf "session delta advantage: full replan %d allocs/op vs incremental %d allocs/op (%.0fx)\n", full, delta, ratio
+	if (ratio < 10) {
+		printf "session gate: FAIL alloc advantage %.1fx < required 10x\n", ratio > "/dev/stderr"
+		exit 1
+	}
+}' "$SESSION_FRESH"
