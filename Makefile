@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short check bench bench-json bench-large serve-smoke chaos-smoke session-smoke cover figures extensions summary clean
+.PHONY: all build vet test test-short check bench bench-json bench-large serve-smoke chaos-smoke session-smoke snapshot-smoke cover figures extensions summary clean
 
 all: build vet test
 
@@ -28,6 +28,7 @@ check:
 	$(MAKE) bench-large
 	$(MAKE) serve-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) snapshot-smoke
 	$(MAKE) session-smoke
 
 # Large-placement smoke: a downscaled (1e5-point) million-point-regime
@@ -49,13 +50,24 @@ bench-large:
 chaos-smoke:
 	$(GO) run -race ./cmd/decor-chaos -arch all -seeds 16
 
+# Snapshot/differential gate: the checkpoint parity suite (snapshot ->
+# restore -> run-to-end must be byte-equal to the straight run for every
+# architecture at randomized cut points, second-generation resumes
+# included), the typed-rejection corruption matrix, and the snapshot
+# fuzz seed corpus, all under the race detector (DESIGN.md §15).
+snapshot-smoke:
+	$(GO) test -race -run '^TestCheckpointedRunMatchesStraightRun$$|^TestResumeParity$$|^TestResumeEmitsFurtherCheckpoints$$|^TestResumeRejectsCorruption$$|^FuzzSnapshotRoundTrip$$' -count=1 -timeout 300s ./internal/chaos/
+
 # Field-session soak: a seeded multi-tenant event storm (concurrent
 # NDJSON streams, mid-stream evict/restore) run twice under the race
 # detector, asserting the two runs produce byte-identical delta streams
 # — the session subsystem's determinism contract end to end (DESIGN.md
-# §14). Quota isolation is asserted in the same package run.
+# §14). Quota isolation, the fast-restore differential (binary restore
+# byte-equal to replay restore), and cross-manager migration parity
+# (Export/Import mid-stream, DESIGN.md §15) are asserted in the same
+# package run.
 session-smoke:
-	$(GO) test -race -run '^TestSessionSoak$$|^TestSoakQuotaIsolation$$' -count=1 -timeout 300s ./internal/session/
+	$(GO) test -race -run '^TestSessionSoak$$|^TestSoakQuotaIsolation$$|^TestFastRestoreMatchesReplay$$|^TestSessionMigrationDeltaParity$$' -count=1 -timeout 300s ./internal/session/
 
 # Coverage gate: combined statement coverage of internal/sim and
 # internal/protocol must stay at or above the post-chaos-PR baseline

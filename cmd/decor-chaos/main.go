@@ -10,6 +10,8 @@
 //	decor-chaos -arch all -seeds 16 -json
 //	decor-chaos -arch voronoi -seed 3 -dup-prob 0.4 -loss 0.2
 //	decor-chaos -arch selfheal -seed 9 -no-verify
+//	decor-chaos -arch selfheal -seed 9 -checkpoint-every 25 -checkpoint-to run.snap
+//	decor-chaos -resume-from run.snap
 package main
 
 import (
@@ -40,8 +42,42 @@ func main() {
 		until     = flag.Float64("until", -1, "override probabilistic-fault horizon")
 		loss      = flag.Float64("loss", -1, "override uniform loss rate")
 		burst     = flag.String("burst", "", "override burst channel as pG2B,pB2G,lossGood,lossBad ('off' to disable)")
+
+		// Checkpoint/resume (single run only): the snapshot is the complete
+		// run state, so a resumed run finishes with the identical verdict
+		// and trace hash the uninterrupted one would have produced.
+		ckEvery    = flag.Float64("checkpoint-every", 0, "emit a snapshot every this many virtual seconds (requires -checkpoint-to)")
+		ckTo       = flag.String("checkpoint-to", "", "file holding the latest snapshot (atomically replaced at each boundary)")
+		resumeFrom = flag.String("resume-from", "", "resume from a snapshot file; scenario flags are ignored, -checkpoint-* still apply")
 	)
 	flag.Parse()
+
+	if (*ckEvery > 0) != (*ckTo != "") {
+		fmt.Fprintln(os.Stderr, "decor-chaos: -checkpoint-every and -checkpoint-to must be used together")
+		os.Exit(2)
+	}
+	var ckFn chaos.CheckpointFunc
+	if *ckTo != "" {
+		ckFn = checkpointWriter(*ckTo)
+	}
+
+	if *resumeFrom != "" {
+		data, err := os.ReadFile(*resumeFrom)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "decor-chaos: %v\n", err)
+			os.Exit(2)
+		}
+		v, err := chaos.Resume(data, sim.Time(*ckEvery), ckFn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "decor-chaos: resume: %v\n", err)
+			os.Exit(2)
+		}
+		report(v, true, *jsonOut, false)
+		if !v.OK {
+			os.Exit(1)
+		}
+		return
+	}
 
 	archs := []string{*arch}
 	if *arch == "all" {
@@ -75,6 +111,19 @@ func main() {
 			scs = append(scs, sc)
 		}
 	}
+	if *ckEvery > 0 {
+		if len(scs) != 1 {
+			fmt.Fprintln(os.Stderr, "decor-chaos: -checkpoint-every needs a single run (one arch, -seeds 1)")
+			os.Exit(2)
+		}
+		v := chaos.RunCheckpointed(scs[0], sim.Time(*ckEvery), ckFn)
+		report(v, true, *jsonOut, false)
+		if !v.OK {
+			os.Exit(1)
+		}
+		return
+	}
+
 	failures := 0
 	for _, res := range chaos.Sweep(scs, !*noVerify, *parallel) {
 		if !res.Verdict.OK || !res.ReplayOK {
@@ -85,6 +134,22 @@ func main() {
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "decor-chaos: %d failing run(s)\n", failures)
 		os.Exit(1)
+	}
+}
+
+// checkpointWriter persists each snapshot over the previous one via
+// write-then-rename, so a kill mid-write leaves the last good snapshot
+// intact and -resume-from always reads a sealed envelope.
+func checkpointWriter(path string) chaos.CheckpointFunc {
+	return func(at sim.Time, data []byte) {
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "decor-chaos: checkpoint at t=%v: %v\n", at, err)
+			return
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			fmt.Fprintf(os.Stderr, "decor-chaos: checkpoint at t=%v: %v\n", at, err)
+		}
 	}
 }
 

@@ -40,6 +40,8 @@ func main() {
 		ascii      = flag.Bool("ascii", false, "print an ASCII rendering of the final field")
 		showTour   = flag.Bool("tour", false, "plan and report the deployment robot's tour over the placed sensors")
 		parallel   = flag.Int("parallel", 0, "worker goroutines when -method lists several scenarios (0 = GOMAXPROCS); reports print in list order either way")
+		ckTo       = flag.String("checkpoint-to", "", "write the final field (sensors + RNG state) to this snapshot file")
+		resumeFrom = flag.String("resume-from", "", "start from a field snapshot instead of a fresh scatter; -field/-k/-rs/-points/-gen/-seed/-initial are taken from the snapshot")
 	)
 	var ofl obs.RunFlags
 	ofl.Register(flag.CommandLine)
@@ -58,11 +60,16 @@ func main() {
 	for i := range methods {
 		methods[i] = strings.TrimSpace(methods[i])
 	}
+	if (*ckTo != "" || *resumeFrom != "") && len(methods) > 1 {
+		fmt.Fprintln(os.Stderr, "decor-sim: -checkpoint-to/-resume-from need a single -method")
+		os.Exit(2)
+	}
 	sc := scenario{
 		fieldSide: *fieldSide, k: *k, rs: *rs, rc: *rc,
 		points: *points, gen: *gen, initial: *initial, seed: *seed,
 		failArea: *failArea, failRandom: *failRandom, restore: *restore,
 		ascii: *ascii, showTour: *showTour,
+		checkpointTo: *ckTo, resumeFrom: *resumeFrom,
 	}
 
 	// Each method is an independent scenario over its own deployment, so
@@ -102,19 +109,52 @@ type scenario struct {
 	failArea, failRandom float64
 	restore              string
 	ascii, showTour      bool
+	checkpointTo         string
+	resumeFrom           string
 }
 
-func (s scenario) run(w io.Writer, method string) error {
+// buildField constructs the scenario's starting deployment: a fresh
+// scatter, or — with -resume-from — the exact field a previous run
+// checkpointed, mid-stream RNG included, so continuing a run here is
+// indistinguishable from never having stopped it.
+func (s scenario) buildField(w io.Writer) (*decor.Deployment, error) {
+	if s.resumeFrom != "" {
+		data, err := os.ReadFile(s.resumeFrom)
+		if err != nil {
+			return nil, err
+		}
+		d, err := decor.RestoreDeployment(data)
+		if err != nil {
+			return nil, fmt.Errorf("decor-sim: resume: %w", err)
+		}
+		p := d.Params()
+		fmt.Fprintf(w, "resumed field %.0fx%.0f, %d points (%s), rs=%g, k=%d, %d sensors\n",
+			p.FieldSide, p.FieldSide, p.NumPoints, p.Generator, p.Rs, p.K, d.NumSensors())
+		return d, nil
+	}
 	d, err := decor.NewDeployment(decor.Params{
 		FieldSide: s.fieldSide, K: s.k, Rs: s.rs, Rc: s.rc,
 		NumPoints: s.points, Generator: s.gen, Seed: s.seed,
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	d.ScatterRandom(s.initial)
 	fmt.Fprintf(w, "field %.0fx%.0f, %d points (%s), rs=%g, k=%d, %d initial sensors\n",
 		s.fieldSide, s.fieldSide, s.points, s.gen, s.rs, s.k, s.initial)
+	return d, nil
+}
+
+func (s scenario) run(w io.Writer, method string) error {
+	d, err := s.buildField(w)
+	if err != nil {
+		return err
+	}
+	if s.resumeFrom != "" {
+		// Geometry flags are snapshot-owned on resume.
+		p := d.Params()
+		s.k, s.fieldSide = p.K, p.FieldSide
+	}
 	fmt.Fprintf(w, "initial coverage: %.1f%% k-covered, %.1f%% 1-covered\n",
 		100*d.Coverage(s.k), 100*d.Coverage(1))
 
@@ -152,6 +192,13 @@ func (s scenario) run(w io.Writer, method string) error {
 	if s.ascii {
 		fmt.Fprintln(w)
 		fmt.Fprint(w, d.ASCII(100))
+	}
+	if s.checkpointTo != "" {
+		if err := os.WriteFile(s.checkpointTo, d.Snapshot(), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nfield snapshot (%d sensors) written to %s\n",
+			d.NumSensors(), s.checkpointTo)
 	}
 	return nil
 }

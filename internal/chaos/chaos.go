@@ -25,6 +25,7 @@ import (
 	"decor/internal/rng"
 	"decor/internal/sim"
 	"decor/internal/sim/invariant"
+	"decor/internal/snap"
 )
 
 // timelineTail bounds the flight-recorder excerpt attached to a failed
@@ -316,14 +317,12 @@ func Run(sc Scenario) Verdict { return RunReg(sc, nil) }
 // counters; verdicts are unaffected — instruments never feed the trace.
 func RunReg(sc Scenario, reg *obs.Registry) Verdict {
 	sc = sc.withDefaults()
-	switch sc.Arch {
-	case ArchGrid, ArchVoronoi:
-		return runDeploy(sc, reg)
-	case ArchSelfheal:
-		return runSelfheal(sc, reg)
-	default:
-		panic(fmt.Sprintf("chaos: unknown architecture %q", sc.Arch))
+	v, err := dispatch(sc, reg, nil, nil)
+	if err != nil {
+		// Unreachable: without a snapshot there is nothing to mis-decode.
+		panic(fmt.Sprintf("chaos: %v", err))
 	}
+	return v
 }
 
 // world builds the deterministic sample-point field and a traced engine
@@ -340,8 +339,11 @@ func (sc Scenario) world(reg *obs.Registry) (*coverage.Map, *sim.Engine, hash.Ha
 	eng.SetFlight(fr.Shard(0))
 	h := sha256.New()
 	lines := new(int)
-	eng.SetTrace(func(t sim.Time, s string) {
-		fmt.Fprintf(h, "%.9f %s\n", float64(t), s)
+	// The engine formats each line into a reused buffer (byte-identical
+	// to the former fmt composition — the golden hashes in replay_test.go
+	// prove it), so hashing the trace allocates nothing per event.
+	eng.SetTraceLine(func(line []byte) {
+		h.Write(line)
 		*lines++
 	})
 	if sc.Loss > 0 {
@@ -352,8 +354,7 @@ func (sc Scenario) world(reg *obs.Registry) (*coverage.Map, *sim.Engine, hash.Ha
 }
 
 func verdict(sc Scenario, eng *sim.Engine, chk *invariant.Checker, converged bool, h hash.Hash, lines int, fr *obs.FlightRecorder) Verdict {
-	st := eng.Stats()
-	st.SentBy = nil // keep verdicts compact and directly comparable
+	st := eng.Totals() // SentBy omitted: verdicts stay compact and comparable
 	v := Verdict{
 		Arch:       sc.Arch,
 		Seed:       sc.Seed,
@@ -377,13 +378,17 @@ func verdict(sc Scenario, eng *sim.Engine, chk *invariant.Checker, converged boo
 // the end. The seed fallback guarantees convergence under any bounded
 // plan: each drain that leaves coverage deficient places at least one
 // sensor at a deficient point, so total deficit strictly decreases.
-func runDeploy(sc Scenario, reg *obs.Registry) Verdict {
+// With a non-nil ck it emits snapshots at virtual-time boundaries; with
+// a non-nil res it restores one instead of starting fresh.
+func runDeploy(sc Scenario, reg *obs.Registry, ck *ckpt, res *snap.Reader) (Verdict, error) {
 	m, eng, h, lines, fr := sc.world(reg)
 
 	var start func()
 	var seed func() bool
 	var placed func() int
 	var actorFor func(point int) int
+	var encodeWorld func(*snap.Writer)
+	var restoreWorld func(*snap.Reader) error
 	if sc.Arch == ArchGrid {
 		w := protocol.NewWorld(m, sc.CellSize, eng, sc.Period)
 		start = w.Start
@@ -392,22 +397,58 @@ func runDeploy(sc Scenario, reg *obs.Registry) Verdict {
 		actorFor = func(point int) int {
 			return protocol.LeaderActor(w.Part.CellIndex(m.Point(point)))
 		}
+		encodeWorld = w.EncodeState
+		restoreWorld = w.RestoreState
 	} else {
 		w := protocol.NewVoronoiWorld(m, sc.Rc, eng, sc.Period)
 		start = w.Start
 		seed = w.Seed
 		placed = func() int { return len(w.PlacementLog) }
 		actorFor = nil // points have no statically responsible node
+		encodeWorld = w.EncodeState
+		restoreWorld = w.RestoreState
 	}
 
 	chk := invariant.New().
 		Add(invariant.AccountingName, invariant.Accounting(eng)).
 		Add(invariant.BudgetName, invariant.Budget(m, sc.Budget))
 
-	start()
 	seeds := 0
-	for !m.FullyCovered() {
-		eng.Run(sim.Inf)
+	if res != nil {
+		// Restore over the fresh world: the engine snapshot wholesale
+		// replaces the queue/RNG state world() just initialized, and the
+		// protocol worlds re-attach their actors without OnStart.
+		if err := restoreCommon(res, h, lines, eng, m); err != nil {
+			return Verdict{}, err
+		}
+		seeds = res.Int()
+		if err := restoreWorld(res); err != nil {
+			return Verdict{}, err
+		}
+		chk.RestoreState(res)
+		if err := res.Close(); err != nil {
+			return Verdict{}, err
+		}
+	} else {
+		start()
+	}
+	if ck != nil {
+		ck.snap = func() []byte {
+			w := encodeCommon(sc, h, *lines, eng, m)
+			w.Int(seeds)
+			encodeWorld(w)
+			chk.EncodeState(w)
+			return w.Seal()
+		}
+		ck.alignAfter(eng.Now())
+	}
+	// A restored run always finishes its interrupted drain first: the
+	// checkpoint may have been cut after the last placement made coverage
+	// whole but while notifications were still in flight, and the straight
+	// run delivers those before its loop re-checks coverage.
+	for res != nil || !m.FullyCovered() {
+		res = nil
+		ck.drive(eng, sim.Inf)
 		chk.RunAt(eng.Now())
 		if m.FullyCovered() || m.NumSensors() > sc.Budget {
 			break
@@ -425,7 +466,7 @@ func runDeploy(sc Scenario, reg *obs.Registry) Verdict {
 	v := verdict(sc, eng, chk, m.FullyCovered(), h, *lines, fr)
 	v.Placed = placed()
 	v.Seeds = seeds
-	return v
+	return v, nil
 }
 
 // saboteur fails sensors (hardware death, not actor crash) at scheduled
@@ -472,39 +513,67 @@ func (s *saboteur) liveCoverage(m *coverage.Map) *coverage.Map {
 // monitored-field protocol, injects seeded sensor failures in the first
 // third of the horizon, and requires coverage to be whole again by the
 // end while the watchdog re-checks accounting and the budget throughout.
-func runSelfheal(sc Scenario, reg *obs.Registry) Verdict {
+// With a non-nil ck it emits snapshots at virtual-time boundaries; with
+// a non-nil res it restores one instead of starting fresh.
+func runSelfheal(sc Scenario, reg *obs.Registry, ck *ckpt, res *snap.Reader) (Verdict, error) {
 	m, eng, h, lines, fr := sc.world(reg)
 
-	// Deterministic initial deployment: greedily drop a sensor on the
-	// lowest-index uncovered point until every point is k-covered.
-	next := 0
-	for {
-		unc := m.UncoveredPoints()
-		if len(unc) == 0 {
-			break
+	var f *protocol.MonitoredField
+	sab := &saboteur{failed: map[int]bool{}}
+	if res != nil {
+		if err := restoreCommon(res, h, lines, eng, m); err != nil {
+			return Verdict{}, err
 		}
-		m.AddSensor(next, m.Point(unc[0]))
-		next++
-	}
+		f = protocol.NewMonitoredField(m, eng, sc.CellSize, sc.Tc, sc.TimeoutMult)
+		sab.field = f
+		for n := res.CollectionLen(); n > 0; n-- {
+			sab.victims = append(sab.victims, res.Int())
+			sab.times = append(sab.times, sim.Time(res.F64()))
+		}
+		for n := res.CollectionLen(); n > 0; n-- {
+			sab.failed[res.Int()] = true
+		}
+		if err := f.RestoreState(res); err != nil {
+			return Verdict{}, err
+		}
+		// The saboteur's fail timers live in the restored queue.
+		eng.RegisterRestored(saboteurActor, sab)
+	} else {
+		// Deterministic initial deployment: greedily drop a sensor on the
+		// lowest-index uncovered point until every point is k-covered. The
+		// scan reads counts directly instead of materializing the uncovered
+		// set per iteration — same placement sequence, zero allocations.
+		next := 0
+		for !m.FullyCovered() {
+			idx := -1
+			for i := 0; i < m.NumPoints(); i++ {
+				if m.Count(i) < m.K() {
+					idx = i
+					break
+				}
+			}
+			m.AddSensor(next, m.Point(idx))
+			next++
+		}
 
-	f := protocol.NewMonitoredField(m, eng, sc.CellSize, sc.Tc, sc.TimeoutMult)
-	f.Start()
+		f = protocol.NewMonitoredField(m, eng, sc.CellSize, sc.Tc, sc.TimeoutMult)
+		f.Start()
 
-	// Seeded victims among the deployed sensors, all failing inside the
-	// fault horizon so healing has the rest of the run.
-	ids := append([]int(nil), m.SensorIDs()...)
-	sort.Ints(ids)
-	r := rng.New(sc.Seed ^ 0x5ab07)
-	n := sc.Failures
-	if n > len(ids)/4 {
-		n = len(ids) / 4
+		// Seeded victims among the deployed sensors, all failing inside the
+		// fault horizon so healing has the rest of the run.
+		ids := m.SensorIDs() // already ascending
+		r := rng.New(sc.Seed ^ 0x5ab07)
+		n := sc.Failures
+		if n > len(ids)/4 {
+			n = len(ids) / 4
+		}
+		sab.field = f
+		for _, i := range r.Sample(len(ids), n) {
+			sab.victims = append(sab.victims, ids[i])
+			sab.times = append(sab.times, sim.Time(r.Range(0.5, float64(sc.faultHorizon()))))
+		}
+		eng.Register(saboteurActor, sab)
 	}
-	sab := &saboteur{field: f, failed: map[int]bool{}}
-	for _, i := range r.Sample(len(ids), n) {
-		sab.victims = append(sab.victims, ids[i])
-		sab.times = append(sab.times, sim.Time(r.Range(0.5, float64(sc.faultHorizon()))))
-	}
-	eng.Register(saboteurActor, sab)
 
 	// Coverage is checked against LIVE sensors: a failed sensor still sits
 	// in the map until its monitor detects the silence, but it no longer
@@ -519,13 +588,45 @@ func runSelfheal(sc Scenario, reg *obs.Registry) Verdict {
 		Add(invariant.AccountingName, invariant.Accounting(eng)).
 		Add(invariant.BudgetName, invariant.Budget(m, sc.Budget)).
 		Add(invariant.KCoverageName, invariant.After(sc.Horizon, liveKCoverage))
-	chk.Watch(eng, sc.Tc)
+	if res != nil {
+		chk.RestoreState(res)
+		if err := res.Close(); err != nil {
+			return Verdict{}, err
+		}
+		chk.WatchRestored(eng, sc.Tc)
+	} else {
+		chk.Watch(eng, sc.Tc)
+	}
 
-	eng.Run(sc.Horizon)
+	if ck != nil {
+		ck.snap = func() []byte {
+			w := encodeCommon(sc, h, *lines, eng, m)
+			w.Int(len(sab.victims))
+			for i := range sab.victims {
+				w.Int(sab.victims[i])
+				w.F64(float64(sab.times[i]))
+			}
+			failed := make([]int, 0, len(sab.failed))
+			for id := range sab.failed {
+				failed = append(failed, id)
+			}
+			sort.Ints(failed)
+			w.Int(len(failed))
+			for _, id := range failed {
+				w.Int(id)
+			}
+			f.EncodeState(w)
+			chk.EncodeState(w)
+			return w.Seal()
+		}
+		ck.alignAfter(eng.Now())
+	}
+
+	ck.drive(eng, sc.Horizon)
 	chk.RunAt(sc.Horizon) // final check, with the coverage gate open
 
 	v := verdict(sc, eng, chk, sab.liveCoverage(m).FullyCovered(), h, *lines, fr)
 	v.Placed = m.NumSensors()
 	v.Repairs = len(f.Repairs)
-	return v
+	return v, nil
 }

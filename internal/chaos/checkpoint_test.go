@@ -1,0 +1,185 @@
+package chaos
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"decor/internal/rng"
+	"decor/internal/sim"
+	"decor/internal/snap"
+)
+
+// stripTimeline removes the flight-recorder excerpt: a resumed run's
+// recorder starts at the checkpoint, so only failed verdicts' timelines
+// legitimately differ. Everything else must be byte-equal.
+func stripTimeline(v Verdict) Verdict {
+	v.Timeline = nil
+	return v
+}
+
+// TestCheckpointedRunMatchesStraightRun: emitting checkpoints must not
+// perturb the run at all — same trace hash, same verdict.
+func TestCheckpointedRunMatchesStraightRun(t *testing.T) {
+	for _, arch := range Archs() {
+		for seed := uint64(1); seed <= 4; seed++ {
+			sc := DefaultScenario(arch, seed)
+			straight := stripTimeline(Run(sc))
+			snaps := 0
+			ck := stripTimeline(RunCheckpointed(sc, 7, func(at sim.Time, data []byte) {
+				snaps++
+				if len(data) == 0 {
+					t.Fatalf("%s/%d: empty snapshot at t=%v", arch, seed, at)
+				}
+			}))
+			if !reflect.DeepEqual(straight, ck) {
+				t.Errorf("%s/%d: checkpointed verdict diverged:\nstraight: %+v\ncheckpointed: %+v",
+					arch, seed, straight, ck)
+			}
+			// A run that outlives the first boundary must have cut there.
+			if snaps == 0 && straight.FinalTime > 7 {
+				t.Errorf("%s/%d: no checkpoints emitted over %v virtual seconds",
+					arch, seed, straight.FinalTime)
+			}
+		}
+	}
+}
+
+// TestResumeParity is the differential suite the snapshot layer answers
+// to: snapshot -> restore -> run-to-end must equal run-straight-through
+// for every architecture at randomized checkpoint periods, against the
+// same golden hashes replay_test.go pins.
+func TestResumeParity(t *testing.T) {
+	r := rng.New(0xc4ec9)
+	for _, arch := range Archs() {
+		for seed := uint64(1); seed <= 4; seed++ {
+			sc := DefaultScenario(arch, seed)
+			straight := stripTimeline(Run(sc))
+
+			// Randomized cut cadence: anywhere from sub-period to a large
+			// fraction of the run.
+			every := sim.Time(r.Range(0.3, 15))
+			var snaps []snapAt
+			_ = RunCheckpointed(sc, every, func(at sim.Time, data []byte) {
+				snaps = append(snaps, snapAt{at, data})
+			})
+			if len(snaps) == 0 {
+				if straight.FinalTime > every {
+					t.Fatalf("%s/%d: no checkpoints at every=%v", arch, seed, every)
+				}
+				continue // run ended before the first boundary
+			}
+
+			// Resume from the first, a random middle, and the last cut.
+			picks := []int{0, r.Intn(len(snaps)), len(snaps) - 1}
+			for _, i := range picks {
+				resumed, err := Resume(snaps[i].data, 0, nil)
+				if err != nil {
+					t.Fatalf("%s/%d: resume from t=%v: %v", arch, seed, snaps[i].at, err)
+				}
+				if got := stripTimeline(resumed); !reflect.DeepEqual(straight, got) {
+					t.Errorf("%s/%d: resume from t=%v diverged:\nstraight: %+v\nresumed:  %+v",
+						arch, seed, snaps[i].at, straight, got)
+				}
+			}
+		}
+	}
+}
+
+type snapAt struct {
+	at   sim.Time
+	data []byte
+}
+
+// TestResumeEmitsFurtherCheckpoints: a resumed run keeps checkpointing
+// past the restore point, and those later snapshots resume correctly
+// too (checkpoint-of-a-resume, the decor-chaos -resume-from +
+// -checkpoint-every composition).
+func TestResumeEmitsFurtherCheckpoints(t *testing.T) {
+	sc := DefaultScenario(ArchSelfheal, 2)
+	straight := stripTimeline(Run(sc))
+
+	var first []byte
+	_ = RunCheckpointed(sc, 10, func(at sim.Time, data []byte) {
+		if first == nil {
+			first = data
+		}
+	})
+	if first == nil {
+		t.Fatal("no checkpoint emitted")
+	}
+
+	var later []snapAt
+	v, err := Resume(first, 25, func(at sim.Time, data []byte) {
+		later = append(later, snapAt{at, data})
+	})
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if got := stripTimeline(v); !reflect.DeepEqual(straight, got) {
+		t.Errorf("resume-with-checkpoints diverged from straight run")
+	}
+	if len(later) == 0 {
+		t.Fatal("resumed run emitted no further checkpoints")
+	}
+	for _, s := range later {
+		if s.at <= 10 {
+			t.Errorf("resumed run re-emitted pre-restore checkpoint at t=%v", s.at)
+		}
+		v2, err := Resume(s.data, 0, nil)
+		if err != nil {
+			t.Fatalf("second-generation resume from t=%v: %v", s.at, err)
+		}
+		if got := stripTimeline(v2); !reflect.DeepEqual(straight, got) {
+			t.Errorf("second-generation resume from t=%v diverged", s.at)
+		}
+	}
+}
+
+// TestResumeRejectsCorruption: every envelope violation maps to its
+// typed snap error.
+func TestResumeRejectsCorruption(t *testing.T) {
+	sc := DefaultScenario(ArchGrid, 1)
+	var data []byte
+	_ = RunCheckpointed(sc, 7, func(_ sim.Time, d []byte) {
+		if data == nil {
+			data = d
+		}
+	})
+	if data == nil {
+		t.Fatal("no checkpoint emitted")
+	}
+
+	if _, err := Resume(nil, 0, nil); !errors.Is(err, snap.ErrMagic) {
+		t.Errorf("nil: %v", err)
+	}
+	if _, err := Resume([]byte("junk that is long enough to not be a length failure.............."), 0, nil); !errors.Is(err, snap.ErrMagic) {
+		t.Errorf("garbage: %v", err)
+	}
+	if _, err := Resume(data[:len(data)/2], 0, nil); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+
+	bumped := append([]byte(nil), data...)
+	bumped[4]++
+	if _, err := Resume(bumped, 0, nil); !errors.Is(err, snap.ErrVersion) {
+		t.Errorf("version bump: %v", err)
+	}
+
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)/2] ^= 0x20
+	if _, err := Resume(flipped, 0, nil); !errors.Is(err, snap.ErrCorrupt) {
+		t.Errorf("bit flip: %v", err)
+	}
+}
+
+// TestVerdictEqualityIsMeaningful guards the parity suite itself: two
+// DIFFERENT seeds must produce different verdicts, or DeepEqual above
+// would vacuously pass.
+func TestVerdictEqualityIsMeaningful(t *testing.T) {
+	a := Run(DefaultScenario(ArchGrid, 1))
+	b := Run(DefaultScenario(ArchGrid, 2))
+	if a.TraceHash == b.TraceHash {
+		t.Fatal("distinct seeds produced identical trace hashes")
+	}
+}

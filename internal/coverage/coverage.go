@@ -225,6 +225,22 @@ func (m *Map) SensorIDs() []int {
 	return append([]int(nil), m.sortedIDs...)
 }
 
+// VisitSensors calls fn for every deployed sensor in ascending ID order
+// with its position and effective sensing radius — the allocation-free
+// sibling of SensorIDs for hot rebuild loops and snapshot encoders.
+// Every query on the map is sensor-order independent (or sorts), so
+// replaying the visited (id, pos, rs) triples into a fresh map via
+// AddSensorRadius reconstructs an observably identical coverage state.
+func (m *Map) VisitSensors(fn func(id int, pos geom.Point, rs float64)) {
+	for _, id := range m.sortedIDs {
+		rs, ok := m.sensorRs[id]
+		if !ok {
+			rs = m.rs
+		}
+		fn(id, m.sensors[id], rs)
+	}
+}
+
 // insertSortedID keeps sortedIDs ascending. Placement engines allocate
 // IDs in increasing order, so the append path is the common case.
 func (m *Map) insertSortedID(id int) {

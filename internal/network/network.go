@@ -109,11 +109,18 @@ func linked(a, b *Node) bool {
 // NeighborsOf returns the alive 1-hop neighbors of id, ascending. A dead
 // or unknown node has no neighbors.
 func (n *Network) NeighborsOf(id int) []int {
+	return n.NeighborsInto(id, nil)
+}
+
+// NeighborsInto is NeighborsOf reusing buf's capacity: protocol rounds
+// pass last round's slice back in and stop allocating once it has grown
+// to the node's degree.
+func (n *Network) NeighborsInto(id int, buf []int) []int {
 	nd, ok := n.nodes[id]
 	if !ok || !nd.Alive {
 		return nil
 	}
-	var out []int
+	out := buf[:0]
 	for oid, other := range n.nodes {
 		if oid == id || !other.Alive {
 			continue

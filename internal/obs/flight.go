@@ -19,6 +19,15 @@ type FlightEvent struct {
 	Kind   string  `json:"kind"`
 	Actor  int     `json:"actor"`
 	Detail string  `json:"detail,omitempty"`
+
+	// Structured message fields recorded by RecordMsg on the hot path;
+	// snapshot materializes them into Detail lazily so recording never
+	// formats (and never allocates). hasMsg distinguishes "structured,
+	// not yet materialized" from a plain Record.
+	msgKind  string
+	from, to int
+	dead     bool
+	hasMsg   bool
 }
 
 func (e FlightEvent) String() string {
@@ -105,7 +114,33 @@ func (s *FlightShard) Record(t float64, kind string, actor int, detail string) {
 	s.mu.Unlock()
 }
 
-// snapshot copies the shard's valid events in write order.
+// RecordMsg appends one message-shaped event (deliver, drop, lose, cut)
+// without formatting anything: the message fields are stored raw and the
+// human-readable Detail — "<msgKind> <from>-><to>[ dead]", exactly what
+// callers used to Sprintf — is materialized only if the ring is ever
+// dumped. Recording stays allocation-free on the sim engine's hot path.
+func (s *FlightShard) RecordMsg(t float64, kind string, actor int, msgKind string, from, to int, dead bool) {
+	if s == nil {
+		return
+	}
+	seq := s.rec.seq.Add(1)
+	s.mu.Lock()
+	s.evs[s.next] = FlightEvent{
+		Seq: seq, T: t, Kind: kind, Actor: actor,
+		msgKind: msgKind, from: from, to: to, dead: dead, hasMsg: true,
+	}
+	s.next++
+	if s.next == len(s.evs) {
+		s.next = 0
+	}
+	if s.n < len(s.evs) {
+		s.n++
+	}
+	s.mu.Unlock()
+}
+
+// snapshot copies the shard's valid events in write order, materializing
+// lazily recorded message details.
 func (s *FlightShard) snapshot() []FlightEvent {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -115,7 +150,16 @@ func (s *FlightShard) snapshot() []FlightEvent {
 		start += len(s.evs)
 	}
 	for i := 0; i < s.n; i++ {
-		out = append(out, s.evs[(start+i)%len(s.evs)])
+		ev := s.evs[(start+i)%len(s.evs)]
+		if ev.hasMsg {
+			if ev.dead {
+				ev.Detail = fmt.Sprintf("%s %d->%d dead", ev.msgKind, ev.from, ev.to)
+			} else {
+				ev.Detail = fmt.Sprintf("%s %d->%d", ev.msgKind, ev.from, ev.to)
+			}
+			ev.msgKind, ev.from, ev.to, ev.dead, ev.hasMsg = "", 0, 0, false, false
+		}
+		out = append(out, ev)
 	}
 	return out
 }

@@ -141,10 +141,13 @@ func (w *World) placeSensor(pos geom.Point) int {
 type CellLeader struct {
 	world *World
 	cell  int
-	// counts is the leader's belief about its own cell points' coverage.
-	counts map[int]int
-	pts    []int        // own cell sample-point indices
-	own    map[int]bool // membership set of pts
+	// counts is the leader's belief about its own cell points' coverage,
+	// indexed by global point index (flat slice, not a map: belief
+	// updates on every observed placement allocate nothing). own is the
+	// matching membership mask.
+	counts []int
+	pts    []int  // own cell sample-point indices
+	own    []bool // membership mask over all points
 	done   bool
 	// Placed counts sensors this leader deployed.
 	Placed int
@@ -155,10 +158,19 @@ type CellLeader struct {
 // the leader's belief from scratch rather than accumulating.
 func (l *CellLeader) OnStart(ctx *sim.Context) {
 	w := l.world
-	l.counts = map[int]int{}
-	l.own = map[int]bool{}
+	np := w.M.NumPoints()
+	if cap(l.counts) < np {
+		l.counts = make([]int, np)
+		l.own = make([]bool, np)
+	}
+	l.counts = l.counts[:np]
+	l.own = l.own[:np]
+	for i := range l.counts {
+		l.counts[i] = 0
+		l.own[i] = false
+	}
 	l.pts = l.pts[:0]
-	for i := 0; i < w.M.NumPoints(); i++ {
+	for i := 0; i < np; i++ {
 		if w.Part.CellIndex(w.M.Point(i)) == l.cell {
 			l.pts = append(l.pts, i)
 			l.own[i] = true
@@ -166,10 +178,9 @@ func (l *CellLeader) OnStart(ctx *sim.Context) {
 	}
 	// Initial survey: the leader hears every sensor currently deployed
 	// whose disk reaches its cell (the §3.3 initial position exchange).
-	for _, id := range w.M.SensorIDs() {
-		p, _ := w.M.SensorPos(id)
+	w.M.VisitSensors(func(id int, p geom.Point, _ float64) {
 		l.observe(id, p)
-	}
+	})
 	// De-phase wake-ups by cell index.
 	phase := sim.Time(float64(l.cell%29)/29.0) * w.Period
 	ctx.SetTimer(phase, timerPlace)
@@ -258,7 +269,7 @@ func (l *CellLeader) bestDeficient() (int, bool) {
 			if !l.own[j] {
 				return -1 // outside the leader's knowledge
 			}
-			return l.counts[j] // zero-valued for never-covered points
+			return l.counts[j]
 		})
 		if b > best {
 			best, bestIdx = b, i
@@ -300,12 +311,13 @@ func (l *CellLeader) notifyNeighbors(ctx *sim.Context, placedCell int, pl Placem
 	w := l.world
 	obsPlacementsOut.Inc()
 	disk := geom.Disk{Center: pl.Pos, R: w.M.Rs()}
+	var boxed any = pl // one boxing for the whole notification fan-out
 	for _, nc := range w.Part.Neighbors(placedCell) {
 		if nc == l.cell || w.leaders[nc] == nil {
 			continue
 		}
 		if disk.IntersectsRect(w.Part.CellRect(nc)) {
-			ctx.Send(leaderActorBase+nc, MsgPlacement, pl)
+			ctx.Send(leaderActorBase+nc, MsgPlacement, boxed)
 			w.MessagesSent++
 		}
 	}

@@ -97,39 +97,64 @@ func (w *VoronoiWorld) Seed() bool {
 	return true
 }
 
+// knownSensor is one row of a node's knowledge ledger.
+type knownSensor struct {
+	id  int
+	pos geom.Point
+}
+
 // VoronoiNode is one sensor actor.
 type VoronoiNode struct {
 	world *VoronoiWorld
 	id    int
 	pos   geom.Point
 	// known holds every sensor this node has heard of (including
-	// itself): the basis for its local Voronoi cell.
-	known map[int]geom.Point
+	// itself), ascending by ID: the basis for its local Voronoi cell.
+	// Flat and sorted, so owner() iterates it directly instead of
+	// materializing and sorting a key slice per query.
+	known []knownSensor
 	done  bool
 	// Placed counts sensors this node deployed.
 	Placed int
+	// defScratch is the owned-deficient result buffer and ballScratch
+	// the sensor-ball buffer, both reused across wake-ups.
+	defScratch  []int
+	ballScratch []int
 }
 
 // OnStart implements sim.Actor.
 func (n *VoronoiNode) OnStart(ctx *sim.Context) {
 	w := n.world
 	n.pos, _ = w.M.SensorPos(n.id)
-	n.known = map[int]geom.Point{n.id: n.pos}
+	n.known = n.known[:0]
 	// Initial HELLO exchange: learn every sensor currently within rc.
-	for _, nid := range w.M.SensorsInBall(n.pos, w.Rc) {
+	// SensorsInBall is ascending and includes this node itself (its own
+	// position is in the map), so the ledger starts sorted; learn keeps
+	// the self row in the unlikely case the ball misses it.
+	n.ballScratch = w.M.AppendSensorsInBall(n.ballScratch[:0], n.pos, w.Rc)
+	for _, nid := range n.ballScratch {
 		p, _ := w.M.SensorPos(nid)
-		n.known[nid] = p
+		n.known = append(n.known, knownSensor{id: nid, pos: p})
 	}
+	n.learn(n.id, n.pos)
 	phase := sim.Time(float64(n.id%23)/23.0) * w.Period
 	ctx.SetTimer(phase, timerPlace)
 }
 
-// learn folds a sensor into this node's knowledge.
+// learn folds a sensor into this node's knowledge, keeping the ledger
+// sorted by ID.
 func (n *VoronoiNode) learn(id int, pos geom.Point) {
-	n.known[id] = pos
 	// New knowledge can only reduce work; done remains valid, except
 	// that a node that believed itself finished stays finished (its
 	// owned deficits can only have shrunk).
+	i := sort.Search(len(n.known), func(i int) bool { return n.known[i].id >= id })
+	if i < len(n.known) && n.known[i].id == id {
+		n.known[i].pos = pos
+		return
+	}
+	n.known = append(n.known, knownSensor{})
+	copy(n.known[i+1:], n.known[i:])
+	n.known[i] = knownSensor{id: id, pos: pos}
 }
 
 // OnMessage implements sim.Actor.
@@ -143,11 +168,12 @@ func (n *VoronoiNode) OnMessage(_ *sim.Context, msg sim.Message) {
 }
 
 // ownedDeficient returns this node's believed-deficient owned points,
-// ascending: points within rc whose nearest KNOWN sensor is this node
-// and whose believed coverage is below k.
+// ascending, in a buffer reused across wake-ups: points within rc whose
+// nearest KNOWN sensor is this node and whose believed coverage is below
+// k.
 func (n *VoronoiNode) ownedDeficient() []int {
 	w := n.world
-	var out []int
+	out := n.defScratch[:0]
 	w.M.VisitPointsInBall(n.pos, w.Rc, func(i int, p geom.Point) bool {
 		if n.owner(p) != n.id {
 			return true
@@ -158,22 +184,20 @@ func (n *VoronoiNode) ownedDeficient() []int {
 		return true
 	})
 	sort.Ints(out)
+	n.defScratch = out
 	return out
 }
 
 // owner returns the known sensor nearest to p (ties to lowest ID),
-// restricted to known sensors within rc of p.
+// restricted to known sensors within rc of p. The ledger is already
+// sorted ascending, so the scan resolves ties identically to the former
+// sorted-key iteration without building one.
 func (n *VoronoiNode) owner(p geom.Point) int {
 	w := n.world
 	best, bestD := -1, w.Rc*w.Rc
-	ids := make([]int, 0, len(n.known))
-	for id := range n.known {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	for _, id := range ids {
-		if d := n.known[id].Dist2(p); d < bestD || (d == bestD && best < 0) {
-			best, bestD = id, d
+	for i := range n.known {
+		if d := n.known[i].pos.Dist2(p); d < bestD || (d == bestD && best < 0) {
+			best, bestD = n.known[i].id, d
 		}
 	}
 	return best
@@ -183,8 +207,8 @@ func (n *VoronoiNode) owner(p geom.Point) int {
 func (n *VoronoiNode) believedCount(p geom.Point) int {
 	rs := n.world.M.Rs()
 	c := 0
-	for _, pos := range n.known {
-		if pos.Dist2(p) <= rs*rs {
+	for i := range n.known {
+		if n.known[i].pos.Dist2(p) <= rs*rs {
 			c++
 		}
 	}
@@ -227,13 +251,15 @@ func (n *VoronoiNode) OnTimer(ctx *sim.Context, tag string) {
 	n.Placed++
 	// Radio announcement: everyone physically within rc of the SENDER
 	// hears it (the new sensor's actor spawns already knowing its
-	// surroundings).
-	for _, nid := range w.M.SensorsInBall(n.pos, w.Rc) {
+	// surroundings). The payload is boxed once for the whole broadcast.
+	var announce any = PlacementPayload{NewID: id, Pos: pos}
+	n.ballScratch = w.M.AppendSensorsInBall(n.ballScratch[:0], n.pos, w.Rc)
+	for _, nid := range n.ballScratch {
 		if nid == n.id || nid == id {
 			continue
 		}
 		if w.nodes[nid] != nil {
-			ctx.Send(sensorActorBase+nid, MsgPlacement, PlacementPayload{NewID: id, Pos: pos})
+			ctx.Send(sensorActorBase+nid, MsgPlacement, announce)
 			w.MessagesSent++
 		}
 	}

@@ -1,0 +1,70 @@
+package protocol
+
+// Pooled heartbeat payloads. A heartbeat broadcast used to box one
+// HeartbeatPayload interface value per neighbor per round — the dominant
+// steady-state allocation of the protocol layer. Instead, each Node draws
+// one *hbMsg from its pool per round, sends the same pointer to every
+// neighbor with one reference per scheduled delivery, and the engine
+// (sim.Poolable) releases each reference as its delivery resolves; the
+// box returns to the free list when the count reaches zero.
+//
+// The contract this buys is sharp: a receiver may read the payload only
+// during OnMessage. After release the same box is reinitialized for a
+// future round, so a retained pointer aliases a different heartbeat. The
+// pool tests enforce both directions — outstanding boxes return to zero
+// at quiescence (no leaks), and released boxes are poisoned in test mode
+// so any use-after-release is observable.
+
+// hbMsg is one pooled heartbeat box. refs counts scheduled deliveries;
+// the engine Retains for fault-injected duplicates and Releases once per
+// resolution. Single-goroutine by the engine contract, so plain ints.
+type hbMsg struct {
+	HeartbeatPayload
+	refs int
+	pool *hbPool
+}
+
+// Retain implements sim.Poolable.
+func (m *hbMsg) Retain() { m.refs++ }
+
+// Release implements sim.Poolable.
+func (m *hbMsg) Release() {
+	m.refs--
+	if m.refs == 0 {
+		m.pool.put(m)
+	} else if m.refs < 0 {
+		panic("protocol: heartbeat payload over-released")
+	}
+}
+
+// hbPool is a per-node free list of heartbeat boxes with a live-box
+// counter — the leak detector the pool tests read.
+type hbPool struct {
+	free        []*hbMsg
+	outstanding int
+	// poison, set by tests, overwrites released payloads with a sentinel
+	// so a receiver that retained the box past OnMessage sees garbage
+	// instead of silently reading a stale (or future) heartbeat.
+	poison bool
+}
+
+// poisonedCell is the sentinel a poisoned box carries in Cell.
+const poisonedCell = -0xdead
+
+func (p *hbPool) get() *hbMsg {
+	p.outstanding++
+	if n := len(p.free); n > 0 {
+		m := p.free[n-1]
+		p.free = p.free[:n-1]
+		return m
+	}
+	return &hbMsg{pool: p}
+}
+
+func (p *hbPool) put(m *hbMsg) {
+	p.outstanding--
+	if p.poison {
+		m.HeartbeatPayload = HeartbeatPayload{Cell: poisonedCell}
+	}
+	p.free = append(p.free, m)
+}

@@ -71,6 +71,17 @@ type Config struct {
 
 func (c Config) timeout() sim.Time { return c.Tc * sim.Time(c.TimeoutMult) }
 
+// peerState is one entry of a node's flattened neighbor ledger: the
+// last-heard heartbeat time, the peer's announced position and cell, and
+// the suspicion flag — the former four per-peer maps in one slice row.
+type peerState struct {
+	id        int
+	lastHeard sim.Time
+	pos       geom.Point
+	cell      int
+	suspected bool
+}
+
 // Node is the actor implementing the DECOR support protocols. Create with
 // NewNode and register on a sim.Engine.
 type Node struct {
@@ -78,10 +89,9 @@ type Node struct {
 	net *network.Network
 	cfg Config
 
-	lastHeard map[int]sim.Time
-	peerPos   map[int]geom.Point
-	peerCell  map[int]int
-	suspected map[int]bool
+	// peers is the heartbeat/failure-detection ledger, ascending by peer
+	// ID: heartbeat rounds and timeout sweeps iterate it in place.
+	peers []peerState
 	// DetectedAt records when each failed neighbor was declared dead —
 	// the observable failure-detection latency.
 	DetectedAt map[int]sim.Time
@@ -91,6 +101,11 @@ type Node struct {
 	// lastLeader is the previous Leader() verdict, to count rotations
 	// (-1 until the first query).
 	lastLeader int
+
+	// pool recycles heartbeat payload boxes (see pool.go); nbScratch is
+	// the neighbor buffer reused across broadcast rounds.
+	pool      hbPool
+	nbScratch []int
 }
 
 // NewNode creates a protocol actor for the sensor with the given ID in
@@ -107,13 +122,22 @@ func NewNode(id int, net *network.Network, cfg Config) *Node {
 		id:         id,
 		net:        net,
 		cfg:        cfg,
-		lastHeard:  map[int]sim.Time{},
-		peerPos:    map[int]geom.Point{},
-		peerCell:   map[int]int{},
-		suspected:  map[int]bool{},
 		DetectedAt: map[int]sim.Time{},
 		lastLeader: -1,
 	}
+}
+
+// peer returns the ledger row for id, inserting a zero row in ID order
+// if the peer is new.
+func (n *Node) peer(id int) *peerState {
+	i := sort.Search(len(n.peers), func(i int) bool { return n.peers[i].id >= id })
+	if i < len(n.peers) && n.peers[i].id == id {
+		return &n.peers[i]
+	}
+	n.peers = append(n.peers, peerState{})
+	copy(n.peers[i+1:], n.peers[i:])
+	n.peers[i] = peerState{id: id, cell: -1}
+	return &n.peers[i]
 }
 
 // OnStart implements sim.Actor.
@@ -131,19 +155,32 @@ func (n *Node) OnTimer(ctx *sim.Context, tag string) {
 	switch tag {
 	case timerHeartbeat:
 		sp := obs.StartSpan(obs.ProtoHeartbeatRoundSeconds)
-		n.broadcast(ctx, MsgHeartbeat, HeartbeatPayload{Pos: n.pos(), Cell: n.cfg.Cell})
+		n.nbScratch = n.net.NeighborsInto(n.id, n.nbScratch)
+		if len(n.nbScratch) > 0 {
+			// One pooled box per round, shared by every neighbor: refs
+			// counts the scheduled deliveries (Send retains extras for
+			// fault-injected duplicates) and the engine releases each as
+			// it resolves, returning the box to the pool.
+			hb := n.pool.get()
+			hb.HeartbeatPayload = HeartbeatPayload{Pos: n.pos(), Cell: n.cfg.Cell}
+			hb.refs = len(n.nbScratch)
+			for _, peer := range n.nbScratch {
+				ctx.Send(peer, MsgHeartbeat, hb)
+			}
+		}
 		sp.End()
 		obsHeartbeats.Inc()
 		ctx.SetTimer(n.cfg.Tc, timerHeartbeat)
 	case timerCheck:
 		now := ctx.Now()
-		for peer, last := range n.lastHeard {
-			if n.suspected[peer] {
+		for i := range n.peers {
+			p := &n.peers[i]
+			if p.suspected {
 				continue
 			}
-			if now-last > n.cfg.timeout() {
-				n.suspected[peer] = true
-				n.DetectedAt[peer] = now
+			if now-p.lastHeard > n.cfg.timeout() {
+				p.suspected = true
+				n.DetectedAt[p.id] = now
 				obsFailuresDetected.Inc()
 			}
 		}
@@ -155,16 +192,22 @@ func (n *Node) OnTimer(ctx *sim.Context, tag string) {
 func (n *Node) OnMessage(ctx *sim.Context, msg sim.Message) {
 	switch msg.Kind {
 	case MsgHeartbeat:
-		hb, ok := msg.Payload.(HeartbeatPayload)
-		if !ok {
+		var hb HeartbeatPayload
+		switch v := msg.Payload.(type) {
+		case *hbMsg:
+			hb = v.HeartbeatPayload // copy the fields, never the box
+		case HeartbeatPayload:
+			hb = v
+		default:
 			return
 		}
-		n.lastHeard[msg.From] = ctx.Now()
-		n.peerPos[msg.From] = hb.Pos
-		n.peerCell[msg.From] = hb.Cell
-		if n.suspected[msg.From] {
+		p := n.peer(msg.From)
+		p.lastHeard = ctx.Now()
+		p.pos = hb.Pos
+		p.cell = hb.Cell
+		if p.suspected {
 			// The peer recovered (or detection was premature): clear it.
-			delete(n.suspected, msg.From)
+			p.suspected = false
 			delete(n.DetectedAt, msg.From)
 		}
 	case MsgPlacement:
@@ -192,12 +235,13 @@ func (n *Node) Cell() int { return n.cfg.Cell }
 // Suspects returns the neighbors this node currently believes failed,
 // ascending.
 func (n *Node) Suspects() []int {
-	out := make([]int, 0, len(n.suspected))
-	for id := range n.suspected {
-		out = append(out, id)
+	out := make([]int, 0, len(n.peers))
+	for i := range n.peers {
+		if n.peers[i].suspected {
+			out = append(out, n.peers[i].id)
+		}
 	}
-	sort.Ints(out)
-	return out
+	return out // peers is sorted, so the filtered view already is
 }
 
 // KnownAliveInCell returns this node's local view of the alive members of
@@ -205,12 +249,13 @@ func (n *Node) Suspects() []int {
 // ascending. This is the electorate for leader election.
 func (n *Node) KnownAliveInCell() []int {
 	out := []int{n.id}
-	for peer, cell := range n.peerCell {
-		if cell == n.cfg.Cell && !n.suspected[peer] {
-			out = append(out, peer)
+	for i := range n.peers {
+		p := &n.peers[i]
+		if p.cell == n.cfg.Cell && !p.suspected {
+			out = append(out, p.id)
 		}
 	}
-	sort.Ints(out)
+	sort.Ints(out) // peers is sorted, but n.id must land in order too
 	return out
 }
 
@@ -243,8 +288,11 @@ func (n *Node) electLeader(now sim.Time) int {
 
 // PeerPos returns the last position heard from peer.
 func (n *Node) PeerPos(peer int) (geom.Point, bool) {
-	p, ok := n.peerPos[peer]
-	return p, ok
+	i := sort.Search(len(n.peers), func(i int) bool { return n.peers[i].id >= peer })
+	if i < len(n.peers) && n.peers[i].id == peer {
+		return n.peers[i].pos, true
+	}
+	return geom.Point{}, false
 }
 
 func (n *Node) pos() geom.Point {
@@ -254,8 +302,11 @@ func (n *Node) pos() geom.Point {
 	return geom.Point{}
 }
 
+// broadcast sends payload (boxed once, at the call) to every current
+// 1-hop neighbor, reusing the node's neighbor scratch buffer.
 func (n *Node) broadcast(ctx *sim.Context, kind string, payload any) {
-	for _, peer := range n.net.NeighborsOf(n.id) {
+	n.nbScratch = n.net.NeighborsInto(n.id, n.nbScratch)
+	for _, peer := range n.nbScratch {
 		ctx.Send(peer, kind, payload)
 	}
 }

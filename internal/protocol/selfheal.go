@@ -110,7 +110,7 @@ func (f *MonitoredField) spawnMonitor(cell int) {
 // between (the paper's detection-latency window).
 func (f *MonitoredField) Fail(id int) {
 	if mon := f.monitorFor(id); mon != nil {
-		mon.failed[id] = true
+		mon.markFailed(id)
 	}
 }
 
@@ -122,37 +122,55 @@ func (f *MonitoredField) monitorFor(id int) *CellMonitor {
 	return f.monitors[f.cellOf(p)]
 }
 
+// member is one heartbeat-ledger entry: the monitor's last-heard time for
+// a sensor plus the ground-truth silence flag Fail sets.
+type member struct {
+	id     int
+	last   sim.Time
+	failed bool
+}
+
 // CellMonitor watches one cell: heartbeat ledger for its sensors plus
-// deficit-driven healing.
+// deficit-driven healing. The ledger is a flat slice sorted by sensor ID
+// (the former failed/lastBeat map pair): beat rounds iterate it in place
+// — already in the deterministic ascending order the detection sweep
+// needs — and allocate nothing.
 type CellMonitor struct {
-	field *MonitoredField
-	cell  int
-	// failed marks sensors that have stopped beating (ground truth);
-	// lastBeat is the monitor's knowledge.
-	failed   map[int]bool
-	lastBeat map[int]sim.Time
-	pts      []int
+	field   *MonitoredField
+	cell    int
+	members []member // ascending by id
+	pts     []int
+}
+
+// markFailed flags a member silent (ground truth; detection happens on a
+// later beat). Unknown IDs are ignored, as the map-based ledger did.
+func (c *CellMonitor) markFailed(id int) {
+	i := sort.Search(len(c.members), func(i int) bool { return c.members[i].id >= id })
+	if i < len(c.members) && c.members[i].id == id {
+		c.members[i].failed = true
+	}
 }
 
 // OnStart implements sim.Actor. It may run more than once (chaos
 // crash/restart revives an actor through a fresh OnStart), so it rebuilds
-// the monitor's ledger from scratch rather than accumulating.
+// the monitor's ledger from scratch rather than accumulating. Knowledge
+// of already-failed-but-undetected members is genuinely lost across a
+// monitor crash — they re-enter the ledger as live and fall silent again.
 func (c *CellMonitor) OnStart(ctx *sim.Context) {
 	f := c.field
-	c.failed = map[int]bool{}
-	c.lastBeat = map[int]sim.Time{}
+	c.members = c.members[:0]
 	c.pts = c.pts[:0]
 	for i := 0; i < f.M.NumPoints(); i++ {
 		if f.cellOf(f.M.Point(i)) == c.cell {
 			c.pts = append(c.pts, i)
 		}
 	}
-	for _, id := range f.M.SensorIDs() {
-		p, _ := f.M.SensorPos(id)
+	now := ctx.Now()
+	f.M.VisitSensors(func(id int, p geom.Point, _ float64) {
 		if f.cellOf(p) == c.cell {
-			c.lastBeat[id] = ctx.Now()
+			c.members = append(c.members, member{id: id, last: now})
 		}
-	}
+	})
 	phase := sim.Time(float64(c.cell%13)/13.0) * f.Tc
 	ctx.SetTimer(phase, timerBeat)
 }
@@ -168,26 +186,24 @@ func (c *CellMonitor) OnTimer(ctx *sim.Context, tag string) {
 		now := ctx.Now()
 		// Heartbeat round: live members refresh their entry; dead ones
 		// stay silent.
-		for id := range c.lastBeat {
-			if !c.failed[id] {
-				c.lastBeat[id] = now
+		for i := range c.members {
+			if !c.members[i].failed {
+				c.members[i].last = now
 			}
 		}
 		// Detection: members silent past the timeout are declared dead
-		// and removed from the coverage state, exposing deficits.
+		// and removed from the coverage state (in ascending ID order),
+		// exposing deficits. Compacting in place keeps the slice sorted.
 		timeout := f.Tc * sim.Time(f.TimeoutMult)
-		ids := make([]int, 0, len(c.lastBeat))
-		for id := range c.lastBeat {
-			ids = append(ids, id)
-		}
-		sort.Ints(ids)
-		for _, id := range ids {
-			if c.failed[id] && now-c.lastBeat[id] > timeout {
-				delete(c.lastBeat, id)
-				delete(c.failed, id)
-				f.M.RemoveSensor(id)
+		kept := c.members[:0]
+		for _, mb := range c.members {
+			if mb.failed && now-mb.last > timeout {
+				f.M.RemoveSensor(mb.id)
+				continue
 			}
+			kept = append(kept, mb)
 		}
+		c.members = kept
 		// Deficit poll: neighbors' failures can expose holes in this
 		// cell without any member of this cell dying, so the heal check
 		// cannot key off own-member detection alone.
@@ -197,13 +213,14 @@ func (c *CellMonitor) OnTimer(ctx *sim.Context, tag string) {
 		ctx.SetTimer(f.Tc, timerBeat)
 	case timerHeal:
 		// Greedy replacement, one sensor per heal tick, until the cell's
-		// points are whole again.
+		// points are whole again. Repair IDs are strictly increasing, so
+		// appending keeps the ledger sorted.
 		if idx, ok := c.bestDeficient(); ok {
 			pos := f.M.Point(idx)
 			id := f.nextID
 			f.nextID++
 			f.M.AddSensor(id, pos)
-			c.lastBeat[id] = ctx.Now()
+			c.members = append(c.members, member{id: id, last: ctx.Now()})
 			f.Repairs = append(f.Repairs, RepairRecord{Time: ctx.Now(), ID: id, Pos: pos, Cell: c.cell})
 			ctx.SetTimer(f.Tc/4, timerHeal)
 		}

@@ -52,6 +52,16 @@ func (r *RNG) Split() *RNG {
 	return child
 }
 
+// State returns the generator's exact 128-bit internal state. Together
+// with FromState it is the snapshot serialization of an RNG: a restored
+// generator continues the original's stream bit-for-bit.
+func (r *RNG) State() (hi, lo uint64) { return r.hi, r.lo }
+
+// FromState reconstructs a generator at an exact state previously
+// captured by State. Unlike New it performs no warm-up: the state is
+// already mid-stream.
+func FromState(hi, lo uint64) *RNG { return &RNG{hi: hi, lo: lo} }
+
 // Clone returns an independent generator with r's exact current state:
 // the clone and the original produce identical streams from here on
 // without affecting each other. This is how Deployment snapshots stay

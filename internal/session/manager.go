@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"hash/fnv"
 	"runtime"
 	"sync"
@@ -39,6 +40,11 @@ type Config struct {
 	// IdleTTL evicts sessions idle longer than this to snapshots (0
 	// disables the janitor; EvictIdle can still be called manually).
 	IdleTTL time.Duration
+	// DisableFastRestore forces every restore through full event-log
+	// replay, ignoring the snapshot's binary fast section. The zero value
+	// (fast restore ON) is the production shape; replay-only mode is the
+	// differential oracle the fast path is tested against.
+	DisableFastRestore bool
 	// Registry receives the decor_session_* instruments (default:
 	// obs.Default()).
 	Registry *obs.Registry
@@ -196,6 +202,7 @@ type op struct {
 	fromSeq uint64
 	sub     chan Delta // subscribe: the delta feed; unsubscribe: identity
 	ttl     time.Duration
+	raw     []byte       // import: the snapshot to install
 	reply   chan opReply // buffered(1): the shard never blocks on delivery
 }
 
@@ -210,6 +217,8 @@ const (
 	opUnsubscribe
 	opEvictIdle
 	opEvict
+	opExport
+	opImport
 )
 
 type opReply struct {
@@ -218,6 +227,7 @@ type opReply struct {
 	cancel  func()
 	err     error
 	evicted int
+	raw     []byte // export: the detached snapshot
 }
 
 // skey is the shard-map key for a session: field IDs are namespaced per
@@ -333,6 +343,52 @@ func (m *Manager) Subscribe(tenant, fieldID string, fromSeq uint64) (<-chan Delt
 func (m *Manager) Evict(tenant, fieldID string) error {
 	o := &op{kind: opEvict, tenant: tenant, id: fieldID, reply: make(chan opReply, 1)}
 	return m.send(m.shardFor(skey(tenant, fieldID)), o).err
+}
+
+// Export detaches the tenant's session — live or evicted — from this
+// manager and returns its portable snapshot, the shard-to-shard (and
+// manager-to-manager) migration primitive: Export here, Import there,
+// and the delta stream continues byte-identically. A live session with
+// active subscribers is not exportable (ErrSubscribed); evict-then-hand-
+// off under a live SSE feed would silently drop its deltas.
+func (m *Manager) Export(tenant, fieldID string) ([]byte, error) {
+	o := &op{kind: opExport, tenant: tenant, id: fieldID, reply: make(chan opReply, 1)}
+	r := m.send(m.shardFor(skey(tenant, fieldID)), o)
+	if r.err != nil {
+		return nil, r.err
+	}
+	m.releaseSession(tenant)
+	m.gLive.Add(-1)
+	return r.raw, nil
+}
+
+// Import installs an exported snapshot under tenant. The session lands
+// in evicted form — the first event or subscribe restores it, taking the
+// snapshot's fast path when enabled — and counts against the tenant's
+// session quota immediately.
+func (m *Manager) Import(tenant string, data []byte) error {
+	var sn Snapshot
+	if err := json.Unmarshal(data, &sn); err != nil {
+		return fmt.Errorf("session: corrupt snapshot: %w", err)
+	}
+	if sn.Tenant != tenant {
+		return ErrTenantMismatch
+	}
+	if sn.ID == "" {
+		return fmt.Errorf("session: snapshot without field id")
+	}
+	if err := m.reserveSession(tenant); err != nil {
+		m.cQuotaRejected.Inc()
+		return err
+	}
+	o := &op{kind: opImport, tenant: tenant, id: sn.ID, raw: data, reply: make(chan opReply, 1)}
+	r := m.send(m.shardFor(skey(tenant, sn.ID)), o)
+	if r.err != nil {
+		m.releaseSession(tenant)
+		return r.err
+	}
+	m.gLive.Add(1)
+	return nil
 }
 
 // EvictIdle snapshots and releases every session idle for at least ttl
@@ -483,7 +539,7 @@ func (sh *shardLoop) lookup(tenant, id string) (*state, error) {
 		return nil, ErrNotFound
 	}
 	t0 := time.Now()
-	st, err := restore(context.Background(), ent.raw, sh.m.cfg.RingDeltas)
+	st, err := restore(context.Background(), ent.raw, sh.m.cfg.RingDeltas, !sh.m.cfg.DisableFastRestore)
 	if err != nil {
 		return nil, err
 	}
@@ -621,9 +677,38 @@ func (sh *shardLoop) handle(o *op) opReply {
 			sh.m.cEvicted.Add(int64(n))
 		}
 		return opReply{evicted: n}
+
+	case opExport:
+		if st, ok := sh.live[k]; ok && st.tenant == o.tenant {
+			if len(st.subs) > 0 {
+				return opReply{err: ErrSubscribed}
+			}
+			raw := st.snapshot()
+			delete(sh.live, k)
+			sh.m.cEvicted.Inc()
+			return opReply{raw: raw}
+		}
+		if ent, ok := sh.snapshot[k]; ok && ent.tenant == o.tenant {
+			delete(sh.snapshot, k)
+			return opReply{raw: ent.raw}
+		}
+		return opReply{err: ErrNotFound}
+
+	case opImport:
+		if _, ok := sh.live[k]; ok {
+			return opReply{err: ErrExists}
+		}
+		if _, ok := sh.snapshot[k]; ok {
+			return opReply{err: ErrExists}
+		}
+		sh.snapshot[k] = snapEntry{tenant: o.tenant, raw: o.raw}
+		return opReply{}
 	}
 	return opReply{err: ErrNotFound}
 }
 
 // ErrSubscribed: eviction refused because live subscribers are attached.
 var ErrSubscribed = errors.New("session: field has active subscribers")
+
+// ErrTenantMismatch: Import of a snapshot owned by a different tenant.
+var ErrTenantMismatch = errors.New("session: snapshot belongs to another tenant")

@@ -159,7 +159,7 @@ func TestDifferentialReplayParity(t *testing.T) {
 		// replay the full history.
 		fresh, err := restore(context.Background(), mustJSON(t, Snapshot{
 			Tenant: "t", ID: "f", Spec: spec, Events: applied,
-		}), 64)
+		}), 64, false)
 		if err != nil {
 			t.Fatalf("step %d replay: %v", step, err)
 		}

@@ -193,7 +193,7 @@ func Budget(m *coverage.Map, max int) Check {
 // just quiescence.
 func Accounting(eng *sim.Engine) Check {
 	return func(now sim.Time) []Violation {
-		st := eng.Stats()
+		st := eng.Totals() // no SentBy copy: this runs on every watchdog tick
 		resolved := st.Delivered + st.Dropped + st.Lost + st.PartitionDropped
 		if st.Sent+st.Duplicated != resolved+eng.PendingMessages() {
 			return []Violation{{

@@ -1,0 +1,63 @@
+package invariant
+
+import (
+	"sort"
+
+	"decor/internal/sim"
+	"decor/internal/snap"
+)
+
+// Checker snapshot support: the recorded violations and the dedup index
+// travel with a checkpoint so a resumed run neither re-reports old
+// breaches nor forgets them. The check functions themselves are code,
+// re-registered by the caller exactly as for a fresh run.
+
+// EncodeState appends the checker's violations and dedup keys to w.
+func (c *Checker) EncodeState(w *snap.Writer) {
+	w.Int(len(c.vs))
+	for _, v := range c.vs {
+		w.Str(v.Invariant)
+		w.F64(float64(v.Time))
+		w.Int(v.Actor)
+		w.Int(v.Subject)
+		w.Str(v.Detail)
+	}
+	keys := make([]string, 0, len(c.seen))
+	for k := range c.seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.Int(len(keys))
+	for _, k := range keys {
+		w.Str(k)
+	}
+}
+
+// RestoreState replaces the checker's violation record with the decoded
+// one. Registered checks are untouched.
+func (c *Checker) RestoreState(r *snap.Reader) {
+	c.vs = c.vs[:0]
+	for n := r.CollectionLen(); n > 0; n-- {
+		var v Violation
+		v.Invariant = r.Str()
+		v.Time = sim.Time(r.F64())
+		v.Actor = r.Int()
+		v.Subject = r.Int()
+		v.Detail = r.Str()
+		c.vs = append(c.vs, v)
+	}
+	c.seen = map[string]bool{}
+	for n := r.CollectionLen(); n > 0; n-- {
+		c.seen[r.Str()] = true
+	}
+}
+
+// WatchRestored re-attaches the periodic watchdog on a restored engine.
+// Unlike Watch it must not schedule the first tick: the watchdog's next
+// timer is already in the restored queue.
+func (c *Checker) WatchRestored(eng *sim.Engine, every sim.Time) {
+	if every <= 0 {
+		panic("invariant: non-positive watch period")
+	}
+	eng.RegisterRestored(WatchdogActor, &watchdog{checker: c, every: every})
+}

@@ -20,6 +20,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strconv"
 
 	"decor/internal/obs"
 	"decor/internal/rng"
@@ -78,10 +79,34 @@ func (c *Context) Send(to int, kind string, payload any) {
 		}
 		if dupJitter, dup := e.faults.duplicate(e.now); dup {
 			e.stats.Duplicated++
+			if pp, ok := payload.(Poolable); ok {
+				pp.Retain() // the duplicate delivery holds its own reference
+			}
 			e.schedule(event{at: e.now + e.latency + dupJitter, kind: evMessage, msg: msg})
 		}
 	}
 	e.schedule(event{at: e.now + e.latency + jitter, kind: evMessage, msg: msg})
+}
+
+// Poolable is implemented by pooled message payloads. The sender hands
+// the payload to Send holding one reference per scheduled delivery (Send
+// itself adds one for each duplicate the fault plan injects via Retain);
+// the engine calls Release exactly once when a delivery resolves —
+// delivered, dropped at a dead actor, lost, or severed by a partition —
+// and the payload returns itself to its pool when the count hits zero.
+// Receivers must copy what they need during OnMessage and never retain
+// the payload: after release the buffer is recycled for a future send
+// (internal/protocol's leak-detecting pool tests enforce this contract).
+type Poolable interface {
+	Retain()
+	Release()
+}
+
+// releasePayload drops the engine's delivery reference on pooled payloads.
+func (e *Engine) releasePayload(p any) {
+	if pp, ok := p.(Poolable); ok {
+		pp.Release()
+	}
 }
 
 // SetTimer schedules OnTimer(tag) after d. Timers are not cancellable;
@@ -110,8 +135,13 @@ type Engine struct {
 	ob      engineObs
 	flushed obsFlushed
 	trace   func(Time, string)
-	flight  *obs.FlightShard
-	obsCtx  context.Context
+	// traceLine is the allocation-free trace hook: full formatted lines
+	// ("%.9f <event>\n") appended into traceBuf, which is reused across
+	// events. See SetTraceLine.
+	traceLine func([]byte)
+	traceBuf  []byte
+	flight    *obs.FlightShard
+	obsCtx    context.Context
 
 	lossRate float64
 	lossRNG  *rng.RNG
@@ -220,6 +250,78 @@ func NewEngine(latency Time) *Engine {
 // SetTrace installs a trace hook invoked with every processed event.
 func (e *Engine) SetTrace(fn func(Time, string)) { e.trace = fn }
 
+// SetTraceLine installs the allocation-free trace hook: fn receives each
+// event as one fully formatted line — `%.9f <event>\n`, byte-identical
+// to composing SetTrace's (time, string) pair with fmt — in a buffer the
+// engine REUSES for the next event. Hash it or copy it inside fn; never
+// retain it. Both hooks may be installed; each event fires both.
+func (e *Engine) SetTraceLine(fn func(line []byte)) { e.traceLine = fn }
+
+// tracing reports whether any trace hook is installed.
+func (e *Engine) tracing() bool { return e.trace != nil || e.traceLine != nil }
+
+// lineHeader begins a trace line in the reusable buffer: the event time
+// formatted exactly as fmt's %.9f plus the separating space.
+func (e *Engine) lineHeader() []byte {
+	b := e.traceBuf[:0]
+	b = strconv.AppendFloat(b, float64(e.now), 'f', 9, 64)
+	return append(b, ' ')
+}
+
+// traceMsg emits a "<verb> <kind> <from>-><to>" trace line (deliver, cut,
+// burst-lose) through whichever hooks are installed.
+func (e *Engine) traceMsg(verb, kind string, from, to int) {
+	if e.traceLine != nil {
+		b := e.lineHeader()
+		b = append(b, verb...)
+		b = append(b, ' ')
+		b = append(b, kind...)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, int64(from), 10)
+		b = append(b, '-', '>')
+		b = strconv.AppendInt(b, int64(to), 10)
+		b = append(b, '\n')
+		e.traceBuf = b
+		e.traceLine(b)
+	}
+	if e.trace != nil {
+		e.trace(e.now, fmt.Sprintf("%s %s %d->%d", verb, kind, from, to))
+	}
+}
+
+// traceAt emits a "<verb> @<id>" trace line (crash, restart).
+func (e *Engine) traceAt(verb string, id int) {
+	if e.traceLine != nil {
+		b := e.lineHeader()
+		b = append(b, verb...)
+		b = append(b, ' ', '@')
+		b = strconv.AppendInt(b, int64(id), 10)
+		b = append(b, '\n')
+		e.traceBuf = b
+		e.traceLine(b)
+	}
+	if e.trace != nil {
+		e.trace(e.now, fmt.Sprintf("%s @%d", verb, id))
+	}
+}
+
+// traceTimer emits a "timer <kind> @<id>" trace line.
+func (e *Engine) traceTimer(kind string, id int) {
+	if e.traceLine != nil {
+		b := e.lineHeader()
+		b = append(b, "timer "...)
+		b = append(b, kind...)
+		b = append(b, ' ', '@')
+		b = strconv.AppendInt(b, int64(id), 10)
+		b = append(b, '\n')
+		e.traceBuf = b
+		e.traceLine(b)
+	}
+	if e.trace != nil {
+		e.trace(e.now, fmt.Sprintf("timer %s @%d", kind, id))
+	}
+}
+
 // SetFlight attaches a flight-recorder shard: every processed event
 // (deliveries, drops, losses, crashes, restarts, timers) is recorded as
 // a structured FlightEvent at its virtual time. The shard's ring bounds
@@ -268,6 +370,16 @@ func (e *Engine) Stats() Stats {
 	for k, v := range e.stats.SentBy {
 		s.SentBy[k] = v
 	}
+	return s
+}
+
+// Totals returns the counters WITHOUT the per-sender breakdown (SentBy is
+// nil): the allocation-free accessor for periodic checks — the invariant
+// watchdog calls it every tick, where Stats()'s map copy would dominate
+// the run's allocation profile.
+func (e *Engine) Totals() Stats {
+	s := e.stats
+	s.SentBy = nil
 	return s
 }
 
@@ -507,8 +619,8 @@ func (e *Engine) Run(until Time) int {
 			e.dead[target] = true
 			e.dropTimers(target)
 			e.stats.Crashes++
-			if e.trace != nil {
-				e.trace(e.now, fmt.Sprintf("crash @%d", target))
+			if e.tracing() {
+				e.traceAt("crash", target)
 			}
 			e.flight.Record(float64(e.now), "crash", target, "")
 			continue
@@ -516,8 +628,8 @@ func (e *Engine) Run(until Time) int {
 		if ev.kind == evRestart {
 			if _, ok := e.actors[target]; ok && e.dead[target] {
 				e.stats.Restarts++
-				if e.trace != nil {
-					e.trace(e.now, fmt.Sprintf("restart @%d", target))
+				if e.tracing() {
+					e.traceAt("restart", target)
 				}
 				e.flight.Record(float64(e.now), "restart", target, "")
 				e.Restart(target)
@@ -529,8 +641,9 @@ func (e *Engine) Run(until Time) int {
 			if ev.kind == evMessage {
 				e.stats.Dropped++
 				if e.flight != nil {
-					e.flight.Record(float64(e.now), "drop", target, fmt.Sprintf("%s %d->%d dead", ev.msg.Kind, ev.msg.From, target))
+					e.flight.RecordMsg(float64(e.now), "drop", target, ev.msg.Kind, ev.msg.From, target, true)
 				}
+				e.releasePayload(ev.msg.Payload)
 			}
 			continue
 		}
@@ -538,45 +651,49 @@ func (e *Engine) Run(until Time) int {
 		case evMessage:
 			if e.faults != nil && e.faults.linkCut(e.now, ev.msg.From, target) {
 				e.stats.PartitionDropped++
-				if e.trace != nil {
-					e.trace(e.now, fmt.Sprintf("cut %s %d->%d", ev.msg.Kind, ev.msg.From, target))
+				if e.tracing() {
+					e.traceMsg("cut", ev.msg.Kind, ev.msg.From, target)
 				}
 				if e.flight != nil {
-					e.flight.Record(float64(e.now), "cut", target, fmt.Sprintf("%s %d->%d", ev.msg.Kind, ev.msg.From, target))
+					e.flight.RecordMsg(float64(e.now), "cut", target, ev.msg.Kind, ev.msg.From, target, false)
 				}
+				e.releasePayload(ev.msg.Payload)
 				continue
 			}
 			if e.lossRate > 0 && e.lossRNG.Bool(e.lossRate) {
 				e.stats.Lost++
 				if e.flight != nil {
-					e.flight.Record(float64(e.now), "lose", target, fmt.Sprintf("%s %d->%d", ev.msg.Kind, ev.msg.From, target))
+					e.flight.RecordMsg(float64(e.now), "lose", target, ev.msg.Kind, ev.msg.From, target, false)
 				}
+				e.releasePayload(ev.msg.Payload)
 				continue
 			}
 			if e.faults != nil && e.faults.burstLost(e.now) {
 				e.stats.Lost++
-				if e.trace != nil {
-					e.trace(e.now, fmt.Sprintf("burst-lose %s %d->%d", ev.msg.Kind, ev.msg.From, target))
+				if e.tracing() {
+					e.traceMsg("burst-lose", ev.msg.Kind, ev.msg.From, target)
 				}
 				if e.flight != nil {
-					e.flight.Record(float64(e.now), "burst-lose", target, fmt.Sprintf("%s %d->%d", ev.msg.Kind, ev.msg.From, target))
+					e.flight.RecordMsg(float64(e.now), "burst-lose", target, ev.msg.Kind, ev.msg.From, target, false)
 				}
+				e.releasePayload(ev.msg.Payload)
 				continue
 			}
 			e.stats.Delivered++
-			if e.trace != nil {
-				e.trace(e.now, fmt.Sprintf("deliver %s %d->%d", ev.msg.Kind, ev.msg.From, target))
+			if e.tracing() {
+				e.traceMsg("deliver", ev.msg.Kind, ev.msg.From, target)
 			}
 			if e.flight != nil {
-				e.flight.Record(float64(e.now), "deliver", target, fmt.Sprintf("%s %d->%d", ev.msg.Kind, ev.msg.From, target))
+				e.flight.RecordMsg(float64(e.now), "deliver", target, ev.msg.Kind, ev.msg.From, target, false)
 			}
 			ctx := e.getCtx(target)
 			actor.OnMessage(ctx, ev.msg)
 			e.putCtx(ctx)
+			e.releasePayload(ev.msg.Payload)
 		case evTimer:
 			e.stats.Timers++
-			if e.trace != nil {
-				e.trace(e.now, fmt.Sprintf("timer %s @%d", ev.msg.Kind, target))
+			if e.tracing() {
+				e.traceTimer(ev.msg.Kind, target)
 			}
 			if e.flight != nil {
 				e.flight.Record(float64(e.now), "timer", target, ev.msg.Kind)

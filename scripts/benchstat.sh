@@ -20,7 +20,15 @@
 #    than the microsecond-scale micro-benches, which flap on shared
 #    hosts.
 #
-# 3. Field sessions: run the session delta benches fresh, compare
+# 3. Selfheal allocations: gate BenchmarkChaosScenario/selfheal's
+#    allocs/op against the committed baseline with a tight band
+#    (BENCH_SELFHEAL_ALLOC_PCT, default 10). Allocs are deterministic
+#    (pooled heartbeat boxes, flattened ledgers, reused scratch), so a
+#    structural regression — a new per-round map, an unpooled payload
+#    box — shows up as a jump here long before the wide ns/op gates
+#    (noisy single-CPU host) could catch anything.
+#
+# 4. Field sessions: run the session delta benches fresh, compare
 #    against BENCH_session.json, gate BenchmarkSessionDelta's ns/op
 #    regression (wide band: single-iteration millisecond ops on a
 #    noisy single-CPU host), and HARD-gate the structural acceptance
@@ -79,6 +87,27 @@ END {
 		printf "tracing overhead: recorder on %.0f ns/op vs off %.0f ns/op (%.2fx) [report only]\n",
 			recorded, disabled, recorded / disabled
 }' "$FRESH"
+
+# Selfheal alloc section: the protocol-layer alloc purge, pinned. The
+# fresh numbers come from the sim run above, so no extra bench time.
+awk -v pct="${BENCH_SELFHEAL_ALLOC_PCT:-10}" '
+/"name":/ { name = $0; sub(/.*: "/, "", name); sub(/".*/, "", name) }
+/"allocs_per_op":/ { a = $0; sub(/.*: /, "", a); sub(/[^0-9.].*/, "", a)
+	if (name == "BenchmarkChaosScenario/selfheal") {
+		if (NR == FNR) base = a + 0; else fresh = a + 0
+	}
+}
+END {
+	if (base <= 0 || fresh <= 0) {
+		print "selfheal alloc gate: BenchmarkChaosScenario/selfheal missing from baseline or fresh run" > "/dev/stderr"
+		exit 1
+	}
+	printf "selfheal allocs/op: baseline %d, fresh %d\n", base, fresh
+	if (fresh > base * (1 + pct / 100)) {
+		printf "selfheal alloc gate: FAIL %d allocs/op over baseline %d (+%d%% allowed)\n", fresh, base, pct > "/dev/stderr"
+		exit 1
+	}
+}' "$BASELINE" "$FRESH"
 
 # Core placement section: micro-benches are reported, the 1e5-point
 # deployments are gated (flat seed path AND the tiled engines, so
