@@ -28,6 +28,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -36,9 +37,13 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"decor/internal/obs"
 )
 
 func main() {
@@ -144,13 +149,65 @@ func bodies(cfg config) [][]byte {
 	return bs
 }
 
+// sampleCap sizes each worker's local sample buffer so steady-state
+// appends never reallocate mid-run (reallocation pauses pollute latency
+// tails): a closed-loop worker tops out around two requests per
+// millisecond on the pure cache path.
+func sampleCap(d time.Duration) int {
+	c := int(d.Milliseconds()) * 2
+	if c < 1024 {
+		c = 1024
+	}
+	if c > 1<<18 {
+		c = 1 << 18
+	}
+	return c
+}
+
+// drain empties a response body into the caller's reusable buffer.
+// io.Copy(io.Discard, ...) hides its buffering; this keeps one buffer
+// per worker for the whole run.
+func drain(r io.Reader, buf []byte) {
+	for {
+		if _, err := r.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+// scrapeMallocs reads the server's cumulative heap-allocation counter
+// (decor_serve_go_mallocs_total) from /metrics. ok is false when the
+// target does not expose the gauge (older server, metrics disabled);
+// callers then skip the allocs_per_request derivation.
+func scrapeMallocs(client *http.Client, base string) (float64, bool) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		return 0, false
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		if rest, ok := strings.CutPrefix(sc.Text(), obs.ServeHeapAllocs+" "); ok {
+			if v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64); err == nil {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
 func measure(cfg config) (*summary, error) {
 	client := &http.Client{Timeout: cfg.timeout}
 	planURL := cfg.url + "/v1/plan"
 	payloads := bodies(cfg)
 
 	// One warm-up request validates the target before unleashing workers.
-	if s := doOne(client, planURL, payloads[0]); s.status == 0 {
+	if s := doOne(client, planURL, payloads[0], bytes.NewReader(nil), make([]byte, 32<<10)); s.status == 0 {
 		return nil, fmt.Errorf("target %s unreachable", planURL)
 	}
 
@@ -161,16 +218,21 @@ func measure(cfg config) (*summary, error) {
 		seq     atomic.Int64
 		wg      sync.WaitGroup
 	)
+	mallocs0, haveMallocs := scrapeMallocs(client, cfg.url)
 	start := time.Now()
 	time.AfterFunc(cfg.dur, func() { stop.Store(true) })
 	wg.Add(cfg.c)
 	for w := 0; w < cfg.c; w++ {
 		go func() {
 			defer wg.Done()
-			local := make([]sample, 0, 1024)
+			// Per-worker reusables: the sample buffer sized for the whole
+			// run, one body reader, one read buffer.
+			local := make([]sample, 0, sampleCap(cfg.dur))
+			rd := bytes.NewReader(nil)
+			buf := make([]byte, 32<<10)
 			for !stop.Load() {
 				body := payloads[int(seq.Add(1))%len(payloads)]
-				local = append(local, doOne(client, planURL, body))
+				local = append(local, doOne(client, planURL, body, rd, buf))
 			}
 			mu.Lock()
 			samples = append(samples, local...)
@@ -182,18 +244,24 @@ func measure(cfg config) (*summary, error) {
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("no requests completed in %s", cfg.dur)
 	}
-	return summarize(cfg, samples, elapsed), nil
+	s := summarize(cfg, samples, elapsed)
+	if mallocs1, ok := scrapeMallocs(client, cfg.url); ok && haveMallocs {
+		s.AllocsPerReq = (mallocs1 - mallocs0) / float64(len(samples))
+	}
+	return s, nil
 }
 
-// doOne issues a single plan request; transport failures come back as
-// status 0 and count as errors.
-func doOne(client *http.Client, url string, body []byte) sample {
+// doOne issues a single plan request, reusing the caller's body reader
+// and read buffer; transport failures come back as status 0 and count
+// as errors.
+func doOne(client *http.Client, url string, body []byte, rd *bytes.Reader, buf []byte) sample {
+	rd.Reset(body)
 	t0 := time.Now()
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	resp, err := client.Post(url, "application/json", rd)
 	if err != nil {
 		return sample{latency: time.Since(t0)}
 	}
-	io.Copy(io.Discard, resp.Body)
+	drain(resp.Body, buf)
 	resp.Body.Close()
 	return sample{
 		latency: time.Since(t0),
@@ -235,6 +303,13 @@ type summary struct {
 		P99  float64 `json:"p99"`
 		Max  float64 `json:"max"`
 	} `json:"latency_ms"`
+	// AllocsPerReq is the server-side heap-allocation cost of the run:
+	// the delta of decor_serve_go_mallocs_total between two /metrics
+	// scrapes divided by requests issued. It includes everything the
+	// server did during the window (GC bookkeeping, other handlers), so
+	// it is an upper bound on the request path itself. Zero when the
+	// target does not expose the gauge.
+	AllocsPerReq float64 `json:"allocs_per_request,omitempty"`
 }
 
 func summarize(cfg config, samples []sample, elapsed time.Duration) *summary {
@@ -301,6 +376,10 @@ func (s *summary) print(w io.Writer) {
 		s.Cache.Hit, s.Cache.Miss, s.Cache.Coalesced)
 	fmt.Fprintf(w, "  latency ms: mean %.2f, p50 %.2f, p90 %.2f, p99 %.2f, max %.2f\n",
 		s.LatencyMS.Mean, s.LatencyMS.P50, s.LatencyMS.P90, s.LatencyMS.P99, s.LatencyMS.Max)
+	if s.AllocsPerReq > 0 {
+		fmt.Fprintf(w, "  allocs:     %.1f server-side allocs/request (from %s)\n",
+			s.AllocsPerReq, obs.ServeHeapAllocs)
+	}
 }
 
 func (s *summary) writeJSON(path string) error {

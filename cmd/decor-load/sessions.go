@@ -15,7 +15,6 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -35,6 +34,7 @@ type sessionDriver struct {
 	tenant string
 	id     string
 	cfg    config
+	buf    []byte // reusable response read buffer
 }
 
 func measureSessions(cfg config) (*summary, error) {
@@ -42,7 +42,7 @@ func measureSessions(cfg config) (*summary, error) {
 
 	// Validate the target before unleashing drivers: create and drop a
 	// probe session so an unreachable or mis-versioned server fails fast.
-	probe := sessionDriver{client: client, base: cfg.url, tenant: "load-probe", id: "probe", cfg: cfg}
+	probe := sessionDriver{client: client, base: cfg.url, tenant: "load-probe", id: "probe", cfg: cfg, buf: make([]byte, 32<<10)}
 	if _, s := probe.create(0); s.status != http.StatusCreated {
 		return nil, fmt.Errorf("target %s: probe session create got status %d", cfg.url, s.status)
 	}
@@ -54,6 +54,7 @@ func measureSessions(cfg config) (*summary, error) {
 		stop    atomic.Bool
 		wg      sync.WaitGroup
 	)
+	mallocs0, haveMallocs := scrapeMallocs(client, cfg.url)
 	start := time.Now()
 	time.AfterFunc(cfg.dur, func() { stop.Store(true) })
 	wg.Add(cfg.sessions)
@@ -64,6 +65,7 @@ func measureSessions(cfg config) (*summary, error) {
 			tenant: fmt.Sprintf("tenant-%d", i%cfg.tenants),
 			id:     fmt.Sprintf("load-%d", i),
 			cfg:    cfg,
+			buf:    make([]byte, 32<<10),
 		}
 		go func(i int) {
 			defer wg.Done()
@@ -82,6 +84,9 @@ func measureSessions(cfg config) (*summary, error) {
 	s.Mode = "sessions"
 	s.Sessions = cfg.sessions
 	s.Tenants = cfg.tenants
+	if mallocs1, ok := scrapeMallocs(client, cfg.url); ok && haveMallocs {
+		s.AllocsPerReq = (mallocs1 - mallocs0) / float64(len(samples))
+	}
 	return s, nil
 }
 
@@ -92,7 +97,7 @@ func measureSessions(cfg config) (*summary, error) {
 // lifecycle overhead and failures there surface as transport samples so
 // they still fail -max-errors gates.
 func (d sessionDriver) drive(seed uint64, stop *atomic.Bool) []sample {
-	local := make([]sample, 0, 1024)
+	local := make([]sample, 0, sampleCap(d.cfg.dur))
 	for gen := 0; !stop.Load(); gen++ {
 		total, cs := d.create(seed + uint64(gen)*1000)
 		if cs.status != http.StatusCreated {
@@ -146,7 +151,7 @@ func (d sessionDriver) create(seed uint64) (int, sample) {
 	defer resp.Body.Close()
 	var delta session.Delta
 	json.NewDecoder(resp.Body).Decode(&delta)
-	io.Copy(io.Discard, resp.Body)
+	drain(resp.Body, d.buf)
 	return delta.TotalSensors, sample{latency: time.Since(t0), status: resp.StatusCode}
 }
 
@@ -154,7 +159,7 @@ func (d sessionDriver) drop() {
 	req, _ := http.NewRequest("DELETE", d.base+"/v1/fields/"+d.id, nil)
 	req.Header.Set(tenantHeader, d.tenant)
 	if resp, err := d.client.Do(req); err == nil {
-		io.Copy(io.Discard, resp.Body)
+		drain(resp.Body, d.buf)
 		resp.Body.Close()
 	}
 }
@@ -173,7 +178,7 @@ func (d sessionDriver) do(method, path string, body []byte) sample {
 	if err != nil {
 		return sample{latency: time.Since(t0)}
 	}
-	io.Copy(io.Discard, resp.Body)
+	drain(resp.Body, d.buf)
 	resp.Body.Close()
 	return sample{latency: time.Since(t0), status: resp.StatusCode}
 }

@@ -1,0 +1,230 @@
+package jsonx
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func stdString(t *testing.T, s string) string {
+	t.Helper()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("json.Marshal(%q): %v", s, err)
+	}
+	return string(b)
+}
+
+func TestAppendStringParity(t *testing.T) {
+	cases := []string{
+		"",
+		"plain ascii",
+		`quotes " and \ backslash`,
+		"controls \x00\x01\x1f\b\f\n\r\t",
+		"html <b>&amp;</b>",
+		"unicode: héllo, 世界, emoji 🎉",
+		"line seps   and   embedded",
+		"invalid utf8: \xff\xfe trailing",
+		"lone continuation \x80 byte",
+		"truncated rune \xe2\x82",
+		strings.Repeat("a", 300) + "\"" + strings.Repeat("b", 300),
+		"� literal replacement char",
+	}
+	for _, s := range cases {
+		got := string(AppendString(nil, s))
+		want := stdString(t, s)
+		if got != want {
+			t.Errorf("AppendString(%q) = %s, want %s", s, got, want)
+		}
+	}
+}
+
+func TestAppendFloatParity(t *testing.T) {
+	cases := []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.5, -0.5, 3.14159,
+		1e-6, 9.999e-7, 1e-7, 1e20, 1e21, 1.5e21, -2.25e22,
+		1e-21, 5e-324, math.MaxFloat64, -math.MaxFloat64,
+		123456789.123456789, 2, 100, 2000, 0.1, 1.0 / 3.0,
+		6.62607015e-34, 2.718281828459045,
+	}
+	for _, f := range cases {
+		want, err := json.Marshal(f)
+		if err != nil {
+			t.Fatalf("json.Marshal(%v): %v", f, err)
+		}
+		got, ok := AppendFloat(nil, f)
+		if !ok {
+			t.Errorf("AppendFloat(%v) refused a finite value", f)
+			continue
+		}
+		if string(got) != string(want) {
+			t.Errorf("AppendFloat(%v) = %s, want %s", f, got, want)
+		}
+	}
+}
+
+func TestAppendFloatRejectsNonFinite(t *testing.T) {
+	for _, f := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		b, ok := AppendFloat([]byte("prefix"), f)
+		if ok {
+			t.Errorf("AppendFloat(%v) ok=true, want rejection", f)
+		}
+		if string(b) != "prefix" {
+			t.Errorf("AppendFloat(%v) mutated the buffer: %q", f, b)
+		}
+	}
+}
+
+func TestAppendIntBool(t *testing.T) {
+	if got := string(AppendInt(nil, -42)); got != "-42" {
+		t.Errorf("AppendInt = %s", got)
+	}
+	if got := string(AppendUint(nil, 18446744073709551615)); got != "18446744073709551615" {
+		t.Errorf("AppendUint = %s", got)
+	}
+	if got := string(AppendBool(AppendBool(nil, true), false)); got != "truefalse" {
+		t.Errorf("AppendBool = %s", got)
+	}
+}
+
+func FuzzAppendStringParity(f *testing.F) {
+	f.Add("")
+	f.Add("hello")
+	f.Add("a\"b\\c\nd<e>&\x00\x1f")
+	f.Add("\xff\x80ut 8")
+	f.Fuzz(func(t *testing.T, s string) {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Skip()
+		}
+		got := AppendString(nil, s)
+		if string(got) != string(want) {
+			t.Errorf("AppendString(%q) = %s, want %s", s, got, want)
+		}
+	})
+}
+
+func FuzzAppendFloatParity(f *testing.F) {
+	f.Add(0.0)
+	f.Add(1e-6)
+	f.Add(1e21)
+	f.Add(-123.456)
+	f.Fuzz(func(t *testing.T, v float64) {
+		want, err := json.Marshal(v)
+		got, ok := AppendFloat(nil, v)
+		if (err == nil) != ok {
+			t.Fatalf("AppendFloat(%v) ok=%v, json err=%v", v, ok, err)
+		}
+		if ok && string(got) != string(want) {
+			t.Errorf("AppendFloat(%v) = %s, want %s", v, got, want)
+		}
+	})
+}
+
+func TestDecPrimitives(t *testing.T) {
+	d := &Dec{Data: []byte(` { "field_side" : 32.5 , "k":2, "name":"halton", "neg":-7 } `)}
+	if !d.Consume('{') {
+		t.Fatal("expected {")
+	}
+	key, ok := d.Key()
+	if !ok || string(key) != "field_side" {
+		t.Fatalf("Key = %q, %v", key, ok)
+	}
+	f, ok := d.Float()
+	if !ok || f != 32.5 {
+		t.Fatalf("Float = %v, %v", f, ok)
+	}
+	if !d.Consume(',') {
+		t.Fatal("expected ,")
+	}
+	if key, ok = d.Key(); !ok || string(key) != "k" {
+		t.Fatalf("Key = %q, %v", key, ok)
+	}
+	n, ok := d.Int()
+	if !ok || n != 2 {
+		t.Fatalf("Int = %v, %v", n, ok)
+	}
+	d.Consume(',')
+	if key, ok = d.Key(); !ok || string(key) != "name" {
+		t.Fatalf("Key = %q, %v", key, ok)
+	}
+	s, ok := d.Str()
+	if !ok || string(s) != "halton" {
+		t.Fatalf("Str = %q, %v", s, ok)
+	}
+	d.Consume(',')
+	if key, ok = d.Key(); !ok || string(key) != "neg" {
+		t.Fatalf("Key = %q, %v", key, ok)
+	}
+	if n, ok = d.Int(); !ok || n != -7 {
+		t.Fatalf("Int = %v, %v", n, ok)
+	}
+	if !d.Consume('}') {
+		t.Fatal("expected }")
+	}
+	if !d.AtEnd() {
+		t.Fatal("expected end")
+	}
+}
+
+func TestDecBails(t *testing.T) {
+	bails := []struct {
+		name string
+		run  func() bool
+	}{
+		{"key with uppercase", func() bool { _, ok := (&Dec{Data: []byte(`"Kk":`)}).Key(); return ok }},
+		{"key with escape", func() bool { _, ok := (&Dec{Data: []byte(`"a\"b":`)}).Key(); return ok }},
+		{"key missing colon", func() bool { _, ok := (&Dec{Data: []byte(`"k" 1`)}).Key(); return ok }},
+		{"string with escape", func() bool { _, ok := (&Dec{Data: []byte(`"a\"b"`)}).Str(); return ok }},
+		{"string non-ascii", func() bool { _, ok := (&Dec{Data: []byte(`"héllo"`)}).Str(); return ok }},
+		{"string unterminated", func() bool { _, ok := (&Dec{Data: []byte(`"abc`)}).Str(); return ok }},
+		{"int with fraction", func() bool { _, ok := (&Dec{Data: []byte(`3.0`)}).Int(); return ok }},
+		{"int with exponent", func() bool { _, ok := (&Dec{Data: []byte(`1e2`)}).Int(); return ok }},
+		{"int overflow", func() bool { _, ok := (&Dec{Data: []byte(`99999999999999999999`)}).Int(); return ok }},
+		{"uint negative", func() bool { _, ok := (&Dec{Data: []byte(`-1`)}).Uint(); return ok }},
+		{"number bare minus", func() bool { _, ok := (&Dec{Data: []byte(`-`)}).Float(); return ok }},
+		{"number bare dot", func() bool { _, ok := (&Dec{Data: []byte(`1.`)}).Float(); return ok }},
+		{"number bare exp", func() bool { _, ok := (&Dec{Data: []byte(`1e`)}).Float(); return ok }},
+		{"not a number", func() bool { _, ok := (&Dec{Data: []byte(`null`)}).Float(); return ok }},
+	}
+	for _, c := range bails {
+		if c.run() {
+			t.Errorf("%s: ok=true, want bail", c.name)
+		}
+	}
+}
+
+func TestDecNumberForms(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want float64
+	}{
+		{"0", 0}, {"-0", math.Copysign(0, -1)}, {"0.5", 0.5}, {"1e2", 100},
+		{"1E+2", 100}, {"2.5e-3", 0.0025}, {"123456", 123456},
+	} {
+		d := &Dec{Data: []byte(c.in)}
+		f, ok := d.Float()
+		if !ok || f != c.want || !d.AtEnd() {
+			t.Errorf("Float(%q) = %v, ok=%v", c.in, f, ok)
+		}
+	}
+	// Leading-zero trailing garbage must not be silently swallowed: "01"
+	// scans "0" then leaves "1" — callers always check structure after.
+	d := &Dec{Data: []byte(`01`)}
+	if f, ok := d.Float(); ok && d.AtEnd() {
+		t.Errorf("Float(01) consumed all input as %v", f)
+	}
+}
+
+func TestBufPool(t *testing.T) {
+	p := GetBuf()
+	if len(*p) != 0 {
+		t.Fatalf("GetBuf returned non-empty buffer len=%d", len(*p))
+	}
+	*p = append(*p, "data"...)
+	PutBuf(p)
+	big := make([]byte, 0, maxPooledBuf+1)
+	PutBuf(&big) // must not retain; nothing observable, just must not panic
+	PutBuf(nil)
+}

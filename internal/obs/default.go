@@ -64,6 +64,11 @@ const (
 	ServeCoalesced      = "decor_serve_coalesced_total" // singleflight followers
 	ServeQueueDepth     = "decor_serve_queue_depth"
 	ServeInflight       = "decor_serve_inflight_plans"
+	// ServeHeapAllocs exposes the process's cumulative heap allocation
+	// count (runtime/metrics /gc/heap/allocs:objects), refreshed on each
+	// /metrics scrape. decor-load divides its before/after difference by
+	// the request count to report allocs_per_request.
+	ServeHeapAllocs = "decor_serve_go_mallocs_total"
 
 	// internal/session field-session subsystem (DESIGN.md §14): owned
 	// sessions (live + evicted snapshots), lifecycle counters, delta
@@ -160,6 +165,7 @@ func RegisterServe(r *Registry) {
 	}
 	r.Gauge(ServeQueueDepth)
 	r.Gauge(ServeInflight)
+	r.Gauge(ServeHeapAllocs)
 	r.Histogram(ServePlanSeconds, DefLatencyBuckets)
 	r.Histogram(ServeRequestSeconds, DefLatencyBuckets)
 }

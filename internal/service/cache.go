@@ -2,22 +2,28 @@ package service
 
 import (
 	"container/list"
+	"strconv"
 	"sync"
 )
 
 // planCache is a fixed-capacity LRU over canonical request keys. Values
 // are the finished response bodies — immutable byte slices served
 // verbatim, so a hit is byte-identical to the miss that populated it.
+// Keys are fixed-size digests (reqKey), so the map probes without
+// hashing a string and Get allocates nothing.
 type planCache struct {
 	mu    sync.Mutex
 	max   int
 	order *list.List // front = most recently used
-	items map[string]*list.Element
+	items map[reqKey]*list.Element
 }
 
 type cacheEntry struct {
-	key  string
+	key  reqKey
 	body []byte
+	// clen is the pre-rendered Content-Length header value, shared by
+	// every hit so serving one assigns a slice instead of allocating it.
+	clen []string
 }
 
 // newPlanCache returns a cache holding up to max entries; max <= 0
@@ -26,30 +32,33 @@ func newPlanCache(max int) *planCache {
 	return &planCache{
 		max:   max,
 		order: list.New(),
-		items: make(map[string]*list.Element),
+		items: make(map[reqKey]*list.Element),
 	}
 }
 
-// Get returns the cached body for key, refreshing its recency.
-func (c *planCache) Get(key string) ([]byte, bool) {
+// Get returns the cached body and its shared Content-Length value for
+// key, refreshing the entry's recency.
+func (c *planCache) Get(key reqKey) ([]byte, []string, bool) {
 	if c.max <= 0 {
-		return nil, false
+		return nil, nil, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		return nil, false
+		return nil, nil, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).body, true
+	e := el.Value.(*cacheEntry)
+	return e.body, e.clen, true
 }
 
 // Put stores body under key, evicting the least recently used entry when
-// full. Callers must never mutate body afterwards.
-func (c *planCache) Put(key string, body []byte) {
+// full. Callers must never mutate body afterwards. The returned slice is
+// the entry's shared Content-Length value (nil when caching is off).
+func (c *planCache) Put(key reqKey, body []byte) []string {
 	if c.max <= 0 {
-		return
+		return nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -57,14 +66,16 @@ func (c *planCache) Put(key string, body []byte) {
 		// A singleflight leader already stored this key; keep the
 		// existing bytes (identical by determinism) and just refresh.
 		c.order.MoveToFront(el)
-		return
+		return el.Value.(*cacheEntry).clen
 	}
-	c.items[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+	e := &cacheEntry{key: key, body: body, clen: []string{strconv.Itoa(len(body))}}
+	c.items[key] = c.order.PushFront(e)
 	for c.order.Len() > c.max {
 		el := c.order.Back()
 		c.order.Remove(el)
 		delete(c.items, el.Value.(*cacheEntry).key)
 	}
+	return e.clen
 }
 
 // Len returns the current entry count.
@@ -80,7 +91,7 @@ func (c *planCache) Len() int {
 // exact response bytes and status.
 type flightGroup struct {
 	mu    sync.Mutex
-	calls map[string]*flightCall
+	calls map[reqKey]*flightCall
 }
 
 type flightCall struct {
@@ -92,12 +103,12 @@ type flightCall struct {
 }
 
 func newFlightGroup() *flightGroup {
-	return &flightGroup{calls: make(map[string]*flightCall)}
+	return &flightGroup{calls: make(map[reqKey]*flightCall)}
 }
 
 // begin joins the in-flight computation for key, creating it when
 // absent. leader reports whether the caller must compute and finish.
-func (g *flightGroup) begin(key string) (call *flightCall, leader bool) {
+func (g *flightGroup) begin(key reqKey) (call *flightCall, leader bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if call, ok := g.calls[key]; ok {
@@ -110,7 +121,7 @@ func (g *flightGroup) begin(key string) (call *flightCall, leader bool) {
 
 // finish publishes the leader's outcome to all followers and retires the
 // key; later requests start a fresh flight (or hit the cache).
-func (g *flightGroup) finish(key string, call *flightCall, body []byte, status int, err error) {
+func (g *flightGroup) finish(key reqKey, call *flightCall, body []byte, status int, err error) {
 	call.body, call.status, call.err = body, status, err
 	g.mu.Lock()
 	delete(g.calls, key)

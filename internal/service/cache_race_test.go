@@ -2,10 +2,17 @@ package service
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"fmt"
 	"sync"
 	"testing"
 )
+
+// testKey derives a distinct reqKey from an arbitrary label, standing in
+// for the canonical request digest in cache/flight unit tests.
+func testKey(label string) reqKey {
+	return sha256.Sum256([]byte(label))
+}
 
 // TestSingleflightSurvivesEvictionChurn is a regression test for the
 // interaction between the LRU byte-cache and singleflight coalescing
@@ -39,13 +46,13 @@ func TestSingleflightSurvivesEvictionChurn(t *testing.T) {
 				case <-stop:
 					return
 				default:
-					cache.Put(fmt.Sprintf("junk-%d-%d", g, i%8), []byte("junk"))
+					cache.Put(testKey(fmt.Sprintf("junk-%d-%d", g, i%8)), []byte("junk"))
 				}
 			}
 		}(g)
 	}
 
-	hot := "hot-key"
+	hot := testKey("hot-key")
 	for r := 0; r < rounds; r++ {
 		want := []byte(fmt.Sprintf("round-%d-body", r))
 
@@ -63,7 +70,7 @@ func TestSingleflightSurvivesEvictionChurn(t *testing.T) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				if body, ok := cache.Get(hot); ok {
+				if body, _, ok := cache.Get(hot); ok {
 					// Only this round's leader ever stores the hot key
 					// (the previous round's entry was flushed), so a hit
 					// must be this round's exact bytes — anything else is
@@ -105,7 +112,7 @@ func TestSingleflightSurvivesEvictionChurn(t *testing.T) {
 		// Evict the hot key so the next round's Get misses and the
 		// leader-election path is exercised again.
 		for i := 0; i <= capacity; i++ {
-			cache.Put(fmt.Sprintf("flush-%d-%d", r, i), []byte("junk"))
+			cache.Put(testKey(fmt.Sprintf("flush-%d-%d", r, i)), []byte("junk"))
 		}
 	}
 	close(stop)

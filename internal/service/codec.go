@@ -1,0 +1,755 @@
+package service
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"decor/internal/jsonx"
+)
+
+// This file is the serving layer's hand-rolled codec (DESIGN.md §16):
+// append-based encoders whose bytes are identical to encoding/json's,
+// and fast-path request parsers that bail to encoding/json on anything
+// outside the common grammar. Byte parity is a hard invariant — the
+// plan cache, the flight group, and X-Decor-Cache all promise that one
+// request body maps to one response byte string regardless of which
+// path (miss, hit, coalesced, replayed delta) produced it.
+
+// reqKey is the canonical request hash used by the plan cache and the
+// flight group: sha256 over endpoint + 0x00 + the canonical JSON of the
+// normalized request. A fixed-size array key costs no allocation per
+// lookup, unlike the old hex string.
+type reqKey [32]byte
+
+var zeroReqKey reqKey
+
+// ---------------------------------------------------------------------
+// Response encoders
+// ---------------------------------------------------------------------
+
+// appendErrorBody appends {"error":"msg"} followed by a newline — the
+// exact bytes json.Marshal of the error struct plus '\n' produced.
+func appendErrorBody(b []byte, msg string) []byte {
+	b = append(b, `{"error":`...)
+	b = jsonx.AppendString(b, msg)
+	return append(b, '}', '\n')
+}
+
+// appendPlanResponse appends resp exactly as json.Marshal renders it
+// (no trailing newline). The only failure mode is a non-finite float,
+// which json.Marshal also refuses.
+func appendPlanResponse(b []byte, resp *PlanResponse) ([]byte, error) {
+	var ok bool
+	b = append(b, `{"method":`...)
+	b = jsonx.AppendString(b, resp.Method)
+	b = append(b, `,"k":`...)
+	b = jsonx.AppendInt(b, int64(resp.K))
+	b = append(b, `,"placed":`...)
+	b = jsonx.AppendInt(b, int64(resp.Placed))
+	b = append(b, `,"total_sensors":`...)
+	b = jsonx.AppendInt(b, int64(resp.TotalSensors))
+	b = append(b, `,"messages":`...)
+	b = jsonx.AppendInt(b, int64(resp.Messages))
+	b = append(b, `,"messages_per_cell":`...)
+	if b, ok = jsonx.AppendFloat(b, resp.MessagesPerCell); !ok {
+		return b, errNonFinite("messages_per_cell", resp.MessagesPerCell)
+	}
+	b = append(b, `,"rounds":`...)
+	b = jsonx.AppendInt(b, int64(resp.Rounds))
+	b = append(b, `,"seeded":`...)
+	b = jsonx.AppendInt(b, int64(resp.Seeded))
+	if resp.Failed != 0 {
+		b = append(b, `,"failed":`...)
+		b = jsonx.AppendInt(b, int64(resp.Failed))
+	}
+	b = append(b, `,"placements":`...)
+	if resp.Placements == nil {
+		b = append(b, "null"...)
+	} else {
+		b = append(b, '[')
+		for i := range resp.Placements {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			var err error
+			if b, err = appendPointSpec(b, &resp.Placements[i]); err != nil {
+				return b, err
+			}
+		}
+		b = append(b, ']')
+	}
+	b = append(b, `,"coverage_k":`...)
+	if b, ok = jsonx.AppendFloat(b, resp.CoverageK); !ok {
+		return b, errNonFinite("coverage_k", resp.CoverageK)
+	}
+	b = append(b, `,"coverage_1":`...)
+	if b, ok = jsonx.AppendFloat(b, resp.Coverage1); !ok {
+		return b, errNonFinite("coverage_1", resp.Coverage1)
+	}
+	b = append(b, `,"fully_covered":`...)
+	b = jsonx.AppendBool(b, resp.Covered)
+	return append(b, '}'), nil
+}
+
+func appendPointSpec(b []byte, p *PointSpec) ([]byte, error) {
+	var ok bool
+	b = append(b, `{"x":`...)
+	if b, ok = jsonx.AppendFloat(b, p.X); !ok {
+		return b, errNonFinite("placement x", p.X)
+	}
+	b = append(b, `,"y":`...)
+	if b, ok = jsonx.AppendFloat(b, p.Y); !ok {
+		return b, errNonFinite("placement y", p.Y)
+	}
+	return append(b, '}'), nil
+}
+
+func errNonFinite(field string, v float64) error {
+	return fmt.Errorf("service: response %s %v is not a valid JSON number", field, v)
+}
+
+// ---------------------------------------------------------------------
+// Canonical request encoding (cache-key input)
+// ---------------------------------------------------------------------
+
+// appendPlanRequest appends pr exactly as json.Marshal renders it. The
+// request is already normalized (finite floats everywhere), so there is
+// no error path; a non-finite float would have been rejected upstream.
+func appendPlanRequest(b []byte, pr *PlanRequest) []byte {
+	b = append(b, `{"field_side":`...)
+	b = mustAppendFloat(b, pr.FieldSide)
+	b = append(b, `,"k":`...)
+	b = jsonx.AppendInt(b, int64(pr.K))
+	b = append(b, `,"rs":`...)
+	b = mustAppendFloat(b, pr.Rs)
+	if pr.Rc != 0 {
+		b = append(b, `,"rc":`...)
+		b = mustAppendFloat(b, pr.Rc)
+	}
+	if pr.NumPoints != 0 {
+		b = append(b, `,"num_points":`...)
+		b = jsonx.AppendInt(b, int64(pr.NumPoints))
+	}
+	if pr.Generator != "" {
+		b = append(b, `,"generator":`...)
+		b = jsonx.AppendString(b, pr.Generator)
+	}
+	if pr.Seed != 0 {
+		b = append(b, `,"seed":`...)
+		b = jsonx.AppendUint(b, pr.Seed)
+	}
+	if len(pr.Sensors) > 0 {
+		b = append(b, `,"sensors":[`...)
+		for i := range pr.Sensors {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			s := &pr.Sensors[i]
+			b = append(b, '{')
+			if s.ID != nil {
+				b = append(b, `"id":`...)
+				b = jsonx.AppendInt(b, int64(*s.ID))
+				b = append(b, ',')
+			}
+			b = append(b, `"x":`...)
+			b = mustAppendFloat(b, s.X)
+			b = append(b, `,"y":`...)
+			b = mustAppendFloat(b, s.Y)
+			b = append(b, '}')
+		}
+		b = append(b, ']')
+	}
+	if pr.Scatter != 0 {
+		b = append(b, `,"scatter":`...)
+		b = jsonx.AppendInt(b, int64(pr.Scatter))
+	}
+	if pr.Method != "" {
+		b = append(b, `,"method":`...)
+		b = jsonx.AppendString(b, pr.Method)
+	}
+	if pr.TimeoutMS != 0 {
+		b = append(b, `,"timeout_ms":`...)
+		b = jsonx.AppendInt(b, int64(pr.TimeoutMS))
+	}
+	return append(b, '}')
+}
+
+// appendRepairRequest appends rr exactly as json.Marshal renders it:
+// the embedded PlanRequest fields inline, then "failed" (not omitempty,
+// so nil renders null and empty renders []).
+func appendRepairRequest(b []byte, rr *RepairRequest) []byte {
+	b = appendPlanRequest(b, &rr.PlanRequest)
+	b = b[:len(b)-1] // reopen the object to add the repair field
+	b = append(b, `,"failed":`...)
+	if rr.Failed == nil {
+		b = append(b, "null"...)
+	} else {
+		b = append(b, '[')
+		for i, id := range rr.Failed {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = jsonx.AppendInt(b, int64(id))
+		}
+		b = append(b, ']')
+	}
+	return append(b, '}')
+}
+
+// mustAppendFloat is for already-validated finite values.
+func mustAppendFloat(b []byte, f float64) []byte {
+	b, ok := jsonx.AppendFloat(b, f)
+	if !ok {
+		panic(fmt.Sprintf("service: canonical encode of non-finite %v", f))
+	}
+	return b
+}
+
+// keyPlan hashes the normalized plan request into its cache key
+// (timeout excluded — see the key() doc in request.go).
+func keyPlan(pr *PlanRequest) reqKey {
+	buf := jsonx.GetBuf()
+	b := append((*buf)[:0], "plan\x00"...)
+	save := pr.TimeoutMS
+	pr.TimeoutMS = 0
+	b = appendPlanRequest(b, pr)
+	pr.TimeoutMS = save
+	*buf = b
+	k := sha256.Sum256(b)
+	jsonx.PutBuf(buf)
+	return k
+}
+
+func keyRepair(rr *RepairRequest) reqKey {
+	buf := jsonx.GetBuf()
+	b := append((*buf)[:0], "repair\x00"...)
+	save := rr.TimeoutMS
+	rr.TimeoutMS = 0
+	b = appendRepairRequest(b, rr)
+	rr.TimeoutMS = save
+	*buf = b
+	k := sha256.Sum256(b)
+	jsonx.PutBuf(buf)
+	return k
+}
+
+// ---------------------------------------------------------------------
+// Request body reading
+// ---------------------------------------------------------------------
+
+// readBody drains r into the pooled buffer *buf and returns the bytes.
+// A MaxBytesReader limit trip maps to the same 413 apiError decodeJSON
+// produced; any other read failure wraps exactly as the stream decoder
+// used to surface it.
+func readBody(r io.Reader, buf *[]byte) ([]byte, error) {
+	b := (*buf)[:0]
+	for {
+		if len(b) == cap(b) {
+			b = append(b, 0)[:len(b)]
+		}
+		n, err := r.Read(b[len(b):cap(b)])
+		b = b[:len(b)+n]
+		if err == io.EOF {
+			*buf = b
+			return b, nil
+		}
+		if err != nil {
+			*buf = b
+			var maxErr *http.MaxBytesError
+			if errors.As(err, &maxErr) {
+				return nil, &apiError{status: http.StatusRequestEntityTooLarge,
+					msg: fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit)}
+			}
+			return nil, badRequest("invalid JSON: %v", err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Fast-path request decoding
+// ---------------------------------------------------------------------
+
+// internName returns a copy of b as a string, reusing the static name
+// for the generator/method vocabulary so the hot path never allocates
+// for a name the server actually recognizes.
+func internName(b []byte) string {
+	switch string(b) { // compiled to an alloc-free comparison
+	case "halton":
+		return "halton"
+	case "hammersley":
+		return "hammersley"
+	case "sobol":
+		return "sobol"
+	case "uniform":
+		return "uniform"
+	case "jittered":
+		return "jittered"
+	case "lhs":
+		return "lhs"
+	case "faure":
+		return "faure"
+	case "halton-scrambled":
+		return "halton-scrambled"
+	case "centralized":
+		return "centralized"
+	case "random":
+		return "random"
+	case "grid-small":
+		return "grid-small"
+	case "grid-big":
+		return "grid-big"
+	case "voronoi-small":
+		return "voronoi-small"
+	case "voronoi-big":
+		return "voronoi-big"
+	case "lattice":
+		return "lattice"
+	}
+	return string(b)
+}
+
+// decInt narrows a fast-parsed integer into int, bailing on platforms
+// where it would not round-trip.
+func decInt(d *jsonx.Dec) (int, bool) {
+	v, ok := d.Int()
+	if !ok || int64(int(v)) != v {
+		return 0, false
+	}
+	return int(v), true
+}
+
+// fastParsePlanFields parses one JSON object's worth of PlanRequest
+// fields into pr. Keys outside the plan vocabulary go to extra (nil
+// extra means bail); any grammar the fast path cannot prove equivalent
+// to encoding/json's reading — escapes, nulls, case-folded keys,
+// unknown fields — reports false, and the caller MUST rerun the stdlib
+// decoder over the same bytes for exact acceptance and error parity.
+func fastParsePlanFields(d *jsonx.Dec, pr *PlanRequest, extra func(key []byte, d *jsonx.Dec) bool) bool {
+	if !d.Consume('{') {
+		return false
+	}
+	if d.Consume('}') {
+		return true
+	}
+	for {
+		key, ok := d.Key()
+		if !ok {
+			return false
+		}
+		switch string(key) {
+		case "field_side":
+			if pr.FieldSide, ok = d.Float(); !ok {
+				return false
+			}
+		case "k":
+			if pr.K, ok = decInt(d); !ok {
+				return false
+			}
+		case "rs":
+			if pr.Rs, ok = d.Float(); !ok {
+				return false
+			}
+		case "rc":
+			if pr.Rc, ok = d.Float(); !ok {
+				return false
+			}
+		case "num_points":
+			if pr.NumPoints, ok = decInt(d); !ok {
+				return false
+			}
+		case "generator":
+			s, ok := d.Str()
+			if !ok {
+				return false
+			}
+			pr.Generator = internName(s)
+		case "seed":
+			if pr.Seed, ok = d.Uint(); !ok {
+				return false
+			}
+		case "sensors":
+			if pr.Sensors, ok = fastParseSensors(d); !ok {
+				return false
+			}
+		case "scatter":
+			if pr.Scatter, ok = decInt(d); !ok {
+				return false
+			}
+		case "method":
+			s, ok := d.Str()
+			if !ok {
+				return false
+			}
+			pr.Method = internName(s)
+		case "timeout_ms":
+			if pr.TimeoutMS, ok = decInt(d); !ok {
+				return false
+			}
+		default:
+			if extra == nil || !extra(key, d) {
+				return false
+			}
+		}
+		if d.Consume(',') {
+			continue
+		}
+		return d.Consume('}')
+	}
+}
+
+func fastParseSensors(d *jsonx.Dec) ([]SensorSpec, bool) {
+	if !d.Consume('[') {
+		return nil, false
+	}
+	out := []SensorSpec{} // "[]" decodes to a non-nil empty slice, like stdlib
+	if d.Consume(']') {
+		return out, true
+	}
+	for {
+		var s SensorSpec
+		if !d.Consume('{') {
+			return nil, false
+		}
+		if !d.Consume('}') {
+			for {
+				key, ok := d.Key()
+				if !ok {
+					return nil, false
+				}
+				switch string(key) {
+				case "id":
+					v, ok := decInt(d)
+					if !ok {
+						return nil, false
+					}
+					s.ID = intPtr(v)
+				case "x":
+					if s.X, ok = d.Float(); !ok {
+						return nil, false
+					}
+				case "y":
+					if s.Y, ok = d.Float(); !ok {
+						return nil, false
+					}
+				default:
+					return nil, false
+				}
+				if d.Consume(',') {
+					continue
+				}
+				if d.Consume('}') {
+					break
+				}
+				return nil, false
+			}
+		}
+		out = append(out, s)
+		if d.Consume(',') {
+			continue
+		}
+		if d.Consume(']') {
+			return out, true
+		}
+		return nil, false
+	}
+}
+
+// fastParseInts parses a JSON array of integers into scratch's backing
+// array. "[]"-for-empty matches stdlib's non-nil empty slice.
+func fastParseInts(d *jsonx.Dec, scratch []int) ([]int, bool) {
+	if !d.Consume('[') {
+		return nil, false
+	}
+	out := scratch[:0]
+	if out == nil {
+		out = make([]int, 0)
+	}
+	if d.Consume(']') {
+		return out, true
+	}
+	for {
+		v, ok := decInt(d)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, v)
+		if d.Consume(',') {
+			continue
+		}
+		if d.Consume(']') {
+			return out, true
+		}
+		return nil, false
+	}
+}
+
+// finishFast applies decodeJSON's trailing-data rule to a fast-parsed
+// body: trailing whitespace is fine, anything else is the same 400.
+func finishFast(d *jsonx.Dec) error {
+	if !d.AtEnd() {
+		return badRequest("trailing data after request object")
+	}
+	return nil
+}
+
+// decPool recycles decoder state. A stack Dec would be free, but the
+// field-hook closure in fastParsePlanFields makes escape analysis move
+// it to the heap on every call — pooling gets the alloc back.
+var decPool = sync.Pool{New: func() any { return new(jsonx.Dec) }}
+
+func getDec(data []byte) *jsonx.Dec {
+	d := decPool.Get().(*jsonx.Dec)
+	*d = jsonx.Dec{Data: data}
+	return d
+}
+
+func putDec(d *jsonx.Dec) {
+	d.Data = nil // don't pin the (pooled) body buffer
+	decPool.Put(d)
+}
+
+// decodePlanRequest decodes one /v1/plan body: fast path first, stdlib
+// fallback (over the identical bytes, after resetting pr) on any bail.
+func decodePlanRequest(data []byte, pr *PlanRequest) error {
+	d := getDec(data)
+	defer putDec(d)
+	if fastParsePlanFields(d, pr, nil) {
+		return finishFast(d)
+	}
+	*pr = PlanRequest{}
+	return decodeJSON(bytes.NewReader(data), pr)
+}
+
+// decodeRepairRequest decodes one /v1/repair body the same way.
+func decodeRepairRequest(data []byte, rr *RepairRequest) error {
+	d := getDec(data)
+	defer putDec(d)
+	ok := fastParsePlanFields(d, &rr.PlanRequest, func(key []byte, d *jsonx.Dec) bool {
+		if string(key) != "failed" {
+			return false
+		}
+		var ok bool
+		rr.Failed, ok = fastParseInts(d, nil)
+		return ok
+	})
+	if ok {
+		return finishFast(d)
+	}
+	*rr = RepairRequest{}
+	return decodeJSON(bytes.NewReader(data), rr)
+}
+
+// decodeFieldRequest decodes one POST /v1/fields body.
+func decodeFieldRequest(data []byte, fr *FieldRequest) error {
+	d := getDec(data)
+	defer putDec(d)
+	ok := fastParsePlanFields(d, &fr.PlanRequest, func(key []byte, d *jsonx.Dec) bool {
+		if string(key) != "field_id" {
+			return false
+		}
+		s, ok := d.Str()
+		if !ok {
+			return false
+		}
+		fr.FieldID = string(s)
+		return true
+	})
+	if ok {
+		return finishFast(d)
+	}
+	*fr = FieldRequest{}
+	return decodeJSON(bytes.NewReader(data), fr)
+}
+
+// ---------------------------------------------------------------------
+// NDJSON event stream scanning
+// ---------------------------------------------------------------------
+
+// eventScanner reads the whitespace-separated stream of failure-event
+// objects from a request body the way json.Decoder did, without a
+// json.Unmarshal per event: objects are lexed out of a single pooled
+// buffer and fast-parsed into a reused []int. The moment the stream
+// leaves the fast grammar — a non-object value, a mid-object EOF, an
+// escape, an unknown field — the scanner hands the unconsumed bytes to
+// a real json.Decoder and stays there, so every acceptance decision and
+// error string on the slow path is the stdlib's.
+type eventScanner struct {
+	body     io.Reader
+	bufp     *[]byte
+	pos      int
+	eof      bool
+	fallback *json.Decoder
+	scratch  []int
+}
+
+func newEventScanner(body io.Reader) *eventScanner {
+	return &eventScanner{body: body, bufp: jsonx.GetBuf()}
+}
+
+// close releases the pooled buffer. The scanner must not be used after;
+// the []int returned by next is owned by the caller only until the
+// following next call (session.Manager.Apply copies it synchronously).
+func (sc *eventScanner) close() {
+	jsonx.PutBuf(sc.bufp)
+	sc.bufp = nil
+}
+
+// fill reads more body bytes into the buffer; returns false at EOF.
+func (sc *eventScanner) fill() (bool, error) {
+	if sc.eof {
+		return false, nil
+	}
+	b := *sc.bufp
+	if len(b) == cap(b) {
+		b = append(b, 0)[:len(b)]
+	}
+	n, err := sc.body.Read(b[len(b):cap(b)])
+	*sc.bufp = b[: len(b)+n : cap(b)]
+	if err == io.EOF {
+		sc.eof = true
+		return n > 0, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return n > 0 || !sc.eof, nil
+}
+
+// switchToFallback routes everything from the current position on
+// through a stdlib decoder with the stream semantics the old handler
+// used, then serves the next event from it.
+func (sc *eventScanner) switchToFallback() ([]int, error) {
+	rest := (*sc.bufp)[sc.pos:]
+	var r io.Reader = sc.body
+	if sc.eof {
+		r = bytes.NewReader(rest)
+	} else if len(rest) > 0 {
+		r = io.MultiReader(bytes.NewReader(rest), sc.body)
+	}
+	sc.fallback = json.NewDecoder(r)
+	sc.fallback.DisallowUnknownFields()
+	return sc.next()
+}
+
+// next returns the failed-sensor list of the next event, io.EOF at the
+// clean end of the stream, or the error the old json.Decoder loop would
+// have surfaced. The returned slice is valid until the next call.
+func (sc *eventScanner) next() ([]int, error) {
+	if sc.fallback != nil {
+		var ev EventRequest
+		if err := sc.fallback.Decode(&ev); err != nil {
+			return nil, err
+		}
+		return ev.Failed, nil
+	}
+	// Skip inter-value whitespace, filling as needed.
+	for {
+		b := *sc.bufp
+		for sc.pos < len(b) && (b[sc.pos] == ' ' || b[sc.pos] == '\t' || b[sc.pos] == '\r' || b[sc.pos] == '\n') {
+			sc.pos++
+		}
+		if sc.pos < len(b) {
+			break
+		}
+		more, err := sc.fill()
+		if err != nil {
+			return nil, err
+		}
+		if !more && sc.pos >= len(*sc.bufp) {
+			return nil, io.EOF
+		}
+	}
+	if (*sc.bufp)[sc.pos] != '{' {
+		return sc.switchToFallback()
+	}
+	// Lex one balanced object, filling as needed.
+	start := sc.pos
+	depth := 0
+	inStr, esc := false, false
+	i := sc.pos
+	for {
+		b := *sc.bufp
+		for ; i < len(b); i++ {
+			c := b[i]
+			switch {
+			case esc:
+				esc = false
+			case inStr:
+				if c == '\\' {
+					esc = true
+				} else if c == '"' {
+					inStr = false
+				}
+			case c == '"':
+				inStr = true
+			case c == '{':
+				depth++
+			case c == '}':
+				depth--
+				if depth == 0 {
+					i++
+					goto object
+				}
+			}
+		}
+		more, err := sc.fill()
+		if err != nil {
+			return nil, err
+		}
+		if !more && i >= len(*sc.bufp) {
+			// EOF mid-object: the stdlib decoder turns this into
+			// io.ErrUnexpectedEOF (or a syntax error); reproduce it.
+			return sc.switchToFallback()
+		}
+	}
+object:
+	obj := (*sc.bufp)[start:i]
+	sc.pos = i
+	if failed, ok := fastParseEvent(obj, sc.scratch); ok {
+		sc.scratch = failed[:0]
+		return failed, nil
+	}
+	// The object is balanced but outside the fast grammar: decode just
+	// its bytes with the stdlib for exact field/error semantics.
+	dec := json.NewDecoder(bytes.NewReader(obj))
+	dec.DisallowUnknownFields()
+	var ev EventRequest
+	if err := dec.Decode(&ev); err != nil {
+		return nil, err
+	}
+	return ev.Failed, nil
+}
+
+// fastParseEvent parses {"failed":[ints]} into scratch's backing array.
+func fastParseEvent(data []byte, scratch []int) ([]int, bool) {
+	d := jsonx.Dec{Data: data}
+	if !d.Consume('{') {
+		return nil, false
+	}
+	if d.Consume('}') {
+		return scratch[:0], true
+	}
+	var failed []int
+	for {
+		key, ok := d.Key()
+		if !ok || string(key) != "failed" {
+			return nil, false
+		}
+		if failed, ok = fastParseInts(&d, scratch); !ok {
+			return nil, false
+		}
+		if d.Consume(',') {
+			continue
+		}
+		if !d.Consume('}') {
+			return nil, false
+		}
+		return failed, d.AtEnd()
+	}
+}

@@ -51,8 +51,9 @@ func FuzzDecodePlanRequest(f *testing.F) {
 				t.Fatalf("accepted non-finite sensor %d: %+v", i, s)
 			}
 		}
-		// The canonical key must be stable and cheap for anything accepted.
-		if norm.key() == "" {
+		// The canonical key must be stable and cheap for anything accepted
+		// (a sha256 digest is never the zero array).
+		if norm.key() == (reqKey{}) {
 			t.Fatal("empty cache key")
 		}
 	})
@@ -70,7 +71,7 @@ func FuzzDecodeRepairRequest(f *testing.F) {
 			return
 		}
 		if norm, err := rr.normalize(DefaultLimits()); err == nil {
-			if norm.key() == "" {
+			if norm.key() == (reqKey{}) {
 				t.Fatal("empty cache key")
 			}
 		}

@@ -6,9 +6,12 @@ import (
 	"errors"
 	"net/http"
 	"net/http/pprof"
+	"runtime/metrics"
 	"strconv"
+	"sync"
 	"time"
 
+	"decor/internal/jsonx"
 	"decor/internal/obs"
 )
 
@@ -31,6 +34,17 @@ const maxTenantLabels = 64
 // follower). The body is byte-identical across all three — only this
 // header differs, which is why it is a header and not a body field.
 const cacheStatusHeader = "X-Decor-Cache"
+
+// Shared header values, assigned into the header map directly (keys are
+// pre-canonicalized). http.Header.Set allocates a fresh one-element
+// slice per call; these are written by the server and only read by
+// net/http, so sharing is safe and the hot path pays zero allocations.
+var (
+	headerValJSON      = []string{jsonContentType}
+	headerValHit       = []string{"hit"}
+	headerValMiss      = []string{"miss"}
+	headerValCoalesced = []string{"coalesced"}
+)
 
 // Handler returns the service's HTTP API:
 //
@@ -58,7 +72,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/fields/{id}", s.withSessionMetrics("/v1/fields/{id}", s.handleFieldGet))
 	mux.HandleFunc("DELETE /v1/fields/{id}", s.withSessionMetrics("/v1/fields/{id}", s.handleFieldDelete))
 	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.Handle("/metrics", s.cfg.Registry.Handler())
+	metricsH := s.cfg.Registry.Handler()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		s.refreshHeapAllocs()
+		metricsH.ServeHTTP(w, r)
+	})
 	mux.Handle("/debug/traces", s.cfg.Tracer.DebugHandler())
 	mux.HandleFunc("/debug/flight", s.handleFlight)
 	if s.cfg.EnablePprof {
@@ -69,6 +87,17 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return mux
+}
+
+// refreshHeapAllocs updates the cumulative heap-allocation gauge from
+// runtime/metrics just before a /metrics scrape renders it, so a load
+// generator can compute allocs-per-request from two scrapes.
+func (s *Server) refreshHeapAllocs() {
+	sample := []metrics.Sample{{Name: "/gc/heap/allocs:objects"}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() == metrics.KindUint64 {
+		s.gHeapAllocs.Set(float64(sample[0].Value.Uint64()))
+	}
 }
 
 // handleFlight serves the flight recorder: the live ring contents plus
@@ -82,11 +111,17 @@ func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
 	s.dumpMu.Lock()
 	last := s.lastDump
 	s.dumpMu.Unlock()
-	w.Header().Set("Content-Type", jsonContentType)
-	json.NewEncoder(w).Encode(struct {
+	body, err := json.Marshal(struct {
 		Live    []obs.FlightEvent `json:"live"`
 		Last5xx []obs.FlightEvent `json:"last_5xx,omitempty"`
 	}{Live: s.cfg.Flight.Dump(), Last5xx: last})
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "encoding flight dump: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", jsonContentType)
+	w.Write(body)
+	w.Write([]byte{'\n'})
 }
 
 // captureFlight freezes the recorder's current contents for /debug/flight
@@ -118,22 +153,55 @@ func (s *Server) tenantLabel(raw string) string {
 	return raw
 }
 
+// respKey indexes the memoized labeled response counters. The obs
+// Labels/CounterL lookups allocate (joined label strings) on every
+// call even for known series, so the server keeps its own resolved
+// handle per combination — the map stays bounded by routes × statuses ×
+// the capped tenant label set.
+type respKey struct {
+	route  string
+	status int
+	tenant string
+}
+
 // recordResponse bumps the labeled response counter for one request.
 func (s *Server) recordResponse(route string, status int, tenant string) {
-	reg := s.cfg.Registry
-	ls := reg.Labels(
-		"route", route,
-		"status", strconv.Itoa(status),
-		"tenant", s.tenantLabel(tenant),
-	)
-	reg.CounterL(obs.ServeResponses, ls).Inc()
+	k := respKey{route: route, status: status, tenant: s.tenantLabel(tenant)}
+	s.respMu.RLock()
+	c := s.respCounters[k]
+	s.respMu.RUnlock()
+	if c == nil {
+		reg := s.cfg.Registry
+		ls := reg.Labels("route", k.route, "status", strconv.Itoa(k.status), "tenant", k.tenant)
+		c = reg.CounterL(obs.ServeResponses, ls)
+		s.respMu.Lock()
+		s.respCounters[k] = c
+		s.respMu.Unlock()
+	}
+	c.Inc()
 }
 
 // statusWriter captures the status code a handler wrote so the response
-// counter and the 5xx flight capture can see it.
+// counter and the 5xx flight capture can see it. Instances are pooled;
+// nothing retains one past its request (http.MaxBytesReader holds a
+// reference but only type-asserts it, never touching fields).
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+}
+
+var swPool = sync.Pool{New: func() any { return new(statusWriter) }}
+
+func getStatusWriter(w http.ResponseWriter) *statusWriter {
+	sw := swPool.Get().(*statusWriter)
+	sw.ResponseWriter = w
+	sw.status = 0
+	return sw
+}
+
+func putStatusWriter(sw *statusWriter) {
+	sw.ResponseWriter = nil
+	swPool.Put(sw)
 }
 
 func (sw *statusWriter) WriteHeader(code int) {
@@ -171,53 +239,67 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Write([]byte("{\"status\":\"ok\"}\n"))
 }
 
+// planEndpoint selects which request shape servePlanLike decodes.
+type planEndpoint int
+
+const (
+	epPlan planEndpoint = iota
+	epRepair
+)
+
+// planRunner / repairRunner carry a decoded request into the worker
+// pool. They are pooled so the hot path allocates neither a closure nor
+// a heap copy of the request; the leader recycles its runner after the
+// worker's result is consumed (the handler owns it for the whole
+// request — workers never touch a runner after sending the result).
+type planRunner struct{ pr PlanRequest }
+
+func (p *planRunner) runJob(ctx context.Context) ([]byte, error) { return executePlan(ctx, p.pr) }
+
+type repairRunner struct{ rr RepairRequest }
+
+func (p *repairRunner) runJob(ctx context.Context) ([]byte, error) { return executeRepair(ctx, p.rr) }
+
+var (
+	planRunnerPool   = sync.Pool{New: func() any { return new(planRunner) }}
+	repairRunnerPool = sync.Pool{New: func() any { return new(repairRunner) }}
+)
+
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	s.cPlanReqs.Inc()
-	s.servePlanLike(w, r, func(body *http.Request) (key string, timeout time.Duration, run func(context.Context) ([]byte, error), err error) {
-		var pr PlanRequest
-		if err := decodeJSON(body.Body, &pr); err != nil {
-			return "", 0, nil, err
-		}
-		pr, err = pr.normalize(s.cfg.Limits)
-		if err != nil {
-			return "", 0, nil, err
-		}
-		return pr.key(), pr.timeout(s.cfg.Limits), func(ctx context.Context) ([]byte, error) {
-			return executePlan(ctx, pr)
-		}, nil
-	})
+	s.servePlanLike(w, r, epPlan)
 }
 
 func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	s.cRepairReqs.Inc()
-	s.servePlanLike(w, r, func(body *http.Request) (key string, timeout time.Duration, run func(context.Context) ([]byte, error), err error) {
-		var rr RepairRequest
-		if err := decodeJSON(body.Body, &rr); err != nil {
-			return "", 0, nil, err
-		}
-		rr, err = rr.normalize(s.cfg.Limits)
-		if err != nil {
-			return "", 0, nil, err
-		}
-		return rr.key(), rr.timeout(s.cfg.Limits), func(ctx context.Context) ([]byte, error) {
-			return executeRepair(ctx, rr)
-		}, nil
-	})
+	s.servePlanLike(w, r, epRepair)
+}
+
+// setTraceHeader writes the trace ID in TraceID.String's fixed-width
+// hex form without fmt (one string + one slice allocation).
+func setTraceHeader(h http.Header, id obs.TraceID) {
+	const hexDigits = "0123456789abcdef"
+	var hb [16]byte
+	v := uint64(id)
+	for i := 15; i >= 0; i-- {
+		hb[i] = hexDigits[v&0xF]
+		v >>= 4
+	}
+	h[traceHeader] = []string{string(hb[:])}
 }
 
 // servePlanLike is the shared request path of the two planning
 // endpoints: decode+validate, cache lookup, singleflight, admission,
 // deadline, response.
-func (s *Server) servePlanLike(w http.ResponseWriter, r *http.Request,
-	parse func(*http.Request) (string, time.Duration, func(context.Context) ([]byte, error), error)) {
-
+func (s *Server) servePlanLike(w http.ResponseWriter, r *http.Request, ep planEndpoint) {
 	start := time.Now()
 	route := r.URL.Path
 	tctx, root := s.cfg.Tracer.StartTrace(r.Context(), route)
-	sw := &statusWriter{ResponseWriter: w}
+	sw := getStatusWriter(w)
+	defer putStatusWriter(sw) // registered first: runs after the metrics defer reads sw
 	w = sw
 	if root != nil {
-		w.Header().Set(traceHeader, root.TraceID().String())
+		setTraceHeader(w.Header(), root.TraceID())
 	}
 	defer func() {
 		root.End()
@@ -245,8 +327,33 @@ func (s *Server) servePlanLike(w http.ResponseWriter, r *http.Request,
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.Limits.MaxBodyBytes)
-	_, pSpan := obs.StartSpanCtx(tctx, "parse")
-	key, timeout, run, err := parse(r)
+
+	// Decode and normalize into a pooled runner: the fast-path codec
+	// reads the pooled body buffer, so a cache hit allocates nothing
+	// here beyond the parse span itself.
+	var key reqKey
+	var timeout time.Duration
+	var runner jobRunner
+	pSpan := obs.StartChildSpan(tctx, "parse")
+	var err error
+	switch ep {
+	case epPlan:
+		p := planRunnerPool.Get().(*planRunner)
+		defer planRunnerPool.Put(p)
+		p.pr = PlanRequest{}
+		err = s.parseInto(r, &p.pr, nil)
+		if err == nil {
+			key, timeout, runner = p.pr.key(), p.pr.timeout(s.cfg.Limits), p
+		}
+	case epRepair:
+		p := repairRunnerPool.Get().(*repairRunner)
+		defer repairRunnerPool.Put(p)
+		p.rr = RepairRequest{}
+		err = s.parseInto(r, &p.rr.PlanRequest, &p.rr)
+		if err == nil {
+			key, timeout, runner = p.rr.key(), p.rr.timeout(s.cfg.Limits), p
+		}
+	}
 	pSpan.End()
 	if err != nil {
 		s.cBadReqs.Inc()
@@ -259,9 +366,9 @@ func (s *Server) servePlanLike(w http.ResponseWriter, r *http.Request,
 		return
 	}
 
-	if body, ok := s.cache.Get(key); ok {
+	if body, clen, ok := s.cache.Get(key); ok {
 		s.cCacheHits.Inc()
-		s.writePlan(w, body, "hit")
+		s.writePlan(w, body, clen, headerValHit)
 		return
 	}
 
@@ -293,7 +400,7 @@ func (s *Server) servePlanLike(w http.ResponseWriter, r *http.Request,
 	ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
 	defer cancel()
 	ctx = obs.WithSpanContext(ctx, ectx)
-	j := &job{ctx: ctx, run: run, done: make(chan jobResult, 1), tenant: r.Header.Get(tenantHeader)}
+	j := &job{ctx: ctx, runner: runner, done: make(chan jobResult, 1), tenant: r.Header.Get(tenantHeader)}
 	admission := s.cfg.Flight.Shard(s.cfg.Workers)
 	if err := s.submit(j); err != nil {
 		eSpan.End()
@@ -319,9 +426,9 @@ func (s *Server) servePlanLike(w http.ResponseWriter, r *http.Request,
 	switch {
 	case res.err == nil:
 		s.cCacheMisses.Inc()
-		s.cache.Put(key, res.body)
+		clen := s.cache.Put(key, res.body)
 		s.flight.finish(key, call, res.body, http.StatusOK, nil)
-		s.writePlan(w, res.body, "miss")
+		s.writePlan(w, res.body, clen, headerValMiss)
 	case errors.Is(res.err, context.DeadlineExceeded):
 		s.cTimeouts.Inc()
 		s.flight.finish(key, call, nil, http.StatusGatewayTimeout, res.err)
@@ -347,6 +454,31 @@ func (s *Server) servePlanLike(w http.ResponseWriter, r *http.Request,
 	}
 }
 
+// parseInto reads the request body into a pooled buffer and decodes it
+// through the fast-path codec (stdlib fallback on a bail), then
+// normalizes. rr is non-nil for /v1/repair, where the failed-ID list
+// rides along and repair-specific validation applies.
+func (s *Server) parseInto(r *http.Request, pr *PlanRequest, rr *RepairRequest) error {
+	buf := jsonx.GetBuf()
+	defer jsonx.PutBuf(buf)
+	data, err := readBody(r.Body, buf)
+	if err != nil {
+		return err
+	}
+	if rr != nil {
+		if err := decodeRepairRequest(data, rr); err != nil {
+			return err
+		}
+		*rr, err = rr.normalize(s.cfg.Limits)
+		return err
+	}
+	if err := decodePlanRequest(data, pr); err != nil {
+		return err
+	}
+	*pr, err = pr.normalize(s.cfg.Limits)
+	return err
+}
+
 var errOverloaded = errors.New("service overloaded")
 
 // replayFlight serves a follower the leader's exact outcome.
@@ -358,22 +490,44 @@ func (s *Server) replayFlight(w http.ResponseWriter, call *flightCall) {
 		s.writeError(w, call.status, call.err.Error())
 		return
 	}
-	s.writePlan(w, call.body, "coalesced")
+	s.writePlan(w, call.body, nil, headerValCoalesced)
 }
 
-func (s *Server) writePlan(w http.ResponseWriter, body []byte, cacheStatus string) {
-	w.Header().Set("Content-Type", jsonContentType)
-	w.Header().Set(cacheStatusHeader, cacheStatus)
-	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+// writePlan serves the canonical response bytes. clen is the shared
+// pre-rendered Content-Length value stored with the cache entry (nil
+// means render it now — the miss and coalesced paths).
+func (s *Server) writePlan(w http.ResponseWriter, body []byte, clen []string, cacheStatus []string) {
+	h := w.Header()
+	h["Content-Type"] = headerValJSON
+	h[cacheStatusHeader] = cacheStatus
+	if clen == nil {
+		clen = []string{strconv.Itoa(len(body))}
+	}
+	h["Content-Length"] = clen
 	w.WriteHeader(http.StatusOK)
 	w.Write(body)
 }
 
+// Preformatted bodies for the fixed error strings on hot method-check
+// paths; everything else renders through the pooled append encoder.
+// Byte-identical to the json.Marshal construction they replaced.
+var (
+	errBodyUsePost = []byte(`{"error":"use POST"}` + "\n")
+	errBodyUseGet  = []byte(`{"error":"use GET"}` + "\n")
+)
+
 func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
-	body, _ := json.Marshal(struct {
-		Error string `json:"error"`
-	}{Error: msg})
-	w.Header().Set("Content-Type", jsonContentType)
+	w.Header()["Content-Type"] = headerValJSON
 	w.WriteHeader(status)
-	w.Write(append(body, '\n'))
+	switch msg {
+	case "use POST":
+		w.Write(errBodyUsePost)
+	case "use GET":
+		w.Write(errBodyUseGet)
+	default:
+		buf := jsonx.GetBuf()
+		*buf = appendErrorBody((*buf)[:0], msg)
+		w.Write(*buf)
+		jsonx.PutBuf(buf)
+	}
 }

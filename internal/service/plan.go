@@ -2,7 +2,6 @@ package service
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"net/http"
 
@@ -60,15 +59,17 @@ func buildDeployment(pr PlanRequest) (*decor.Deployment, error) {
 	return d, nil
 }
 
-// respond marshals a completed plan into its canonical byte form. One
-// marshal produces the bytes every delivery path (cold worker, cache
-// hit, coalesced follower) serves verbatim.
+// respond encodes a completed plan into its canonical byte form through
+// the append codec (byte-identical to json.Marshal — the parity the
+// codec tests pin). One encode produces the bytes every delivery path
+// (cold worker, cache hit, coalesced follower) serves verbatim; the
+// slice is freshly sized, never pooled, because the cache retains it.
 func respond(pr PlanRequest, rep decor.Report, d *decor.Deployment, failed int) ([]byte, error) {
 	placements := make([]PointSpec, len(rep.Placements))
 	for i, p := range rep.Placements {
 		placements[i] = PointSpec{X: p.X, Y: p.Y}
 	}
-	body, err := json.Marshal(PlanResponse{
+	resp := PlanResponse{
 		Method:          rep.Method,
 		K:               pr.K,
 		Placed:          rep.Placed,
@@ -82,7 +83,9 @@ func respond(pr PlanRequest, rep decor.Report, d *decor.Deployment, failed int) 
 		CoverageK:       d.Coverage(pr.K),
 		Coverage1:       d.Coverage(1),
 		Covered:         d.FullyCovered(),
-	})
+	}
+	body := make([]byte, 0, 256+32*len(placements))
+	body, err := appendPlanResponse(body, &resp)
 	if err != nil {
 		return nil, err
 	}

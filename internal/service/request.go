@@ -1,8 +1,6 @@
 package service
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -163,10 +161,49 @@ func decodeJSON(r io.Reader, dst any) error {
 	return nil
 }
 
-// validGenerators mirrors lowdisc.ByName's accepted names without
-// constructing a generator per validation.
+// validGenSet / validMethodSet memoize the accepted name vocabularies at
+// init (probed through the real constructors, so they can never drift),
+// turning per-request validation into an alloc-free map probe instead of
+// boxing a generator/method value into an interface every time. Names
+// outside the sets still go through the constructor, so a vocabulary
+// addition the init probe missed only costs the old boxing, never a
+// wrong rejection.
+var validGenSet = func() map[string]bool {
+	m := make(map[string]bool)
+	for _, n := range []string{
+		"halton", "hammersley", "sobol", "uniform",
+		"jittered", "lhs", "faure", "halton-scrambled",
+	} {
+		if _, err := lowdisc.ByName(n, 0); err == nil {
+			m[n] = true
+		}
+	}
+	return m
+}()
+
+var validMethodSet = func() map[string]bool {
+	m := make(map[string]bool)
+	for _, n := range append(core.AllMethodNames(), "lattice") {
+		if _, err := core.MethodByName(n, 1); err == nil {
+			m[n] = true
+		}
+	}
+	return m
+}()
+
 func validGenerator(name string) bool {
+	if validGenSet[name] {
+		return true
+	}
 	_, err := lowdisc.ByName(name, 0)
+	return err == nil
+}
+
+func validMethod(name string, rs float64) bool {
+	if validMethodSet[name] {
+		return true
+	}
+	_, err := core.MethodByName(name, rs)
 	return err == nil
 }
 
@@ -219,7 +256,7 @@ func (pr PlanRequest) normalize(lim Limits) (PlanRequest, error) {
 	if pr.Method == "" {
 		pr.Method = "voronoi-big"
 	}
-	if _, err := core.MethodByName(pr.Method, pr.Rs); err != nil {
+	if !validMethod(pr.Method, pr.Rs) {
 		return pr, badRequest("unknown method %q", pr.Method)
 	}
 	if pr.TimeoutMS < 0 {
@@ -229,6 +266,9 @@ func (pr PlanRequest) normalize(lim Limits) (PlanRequest, error) {
 	// Sensors: finite in-field positions; IDs all explicit or all
 	// implicit, non-negative and distinct. Normalizing to explicit IDs
 	// here keeps the request hash and the repair ID space canonical.
+	if len(pr.Sensors) == 0 {
+		return pr, nil
+	}
 	explicit := 0
 	for _, s := range pr.Sensors {
 		if s.ID != nil {
@@ -273,6 +313,10 @@ func (rr RepairRequest) normalize(lim Limits) (RepairRequest, error) {
 		return rr, err
 	}
 	rr.PlanRequest = pr
+	if len(rr.Failed) == 0 {
+		// Nothing to validate against the deployment's ID space.
+		return rr, nil
+	}
 	// Scattered sensors take sequential IDs after the largest explicit
 	// one — the facade's nextID rule.
 	maxID := -1
@@ -311,33 +355,19 @@ func (pr PlanRequest) timeout(lim Limits) time.Duration {
 	return d
 }
 
-// cacheKey hashes the canonical (normalized) request into the plan-cache
+// key hashes the canonical (normalized) request into the plan-cache
 // key. The timeout is excluded: it bounds how long a client waits, never
 // what a completed plan contains, so requests differing only in
 // timeout_ms share one cache entry. The endpoint tag keeps /v1/plan and
-// /v1/repair keys disjoint even for structurally identical bodies.
-func cacheKey(endpoint string, normalized any) string {
-	b, err := json.Marshal(normalized)
-	if err != nil {
-		// The normalized request is a plain struct of finite numbers;
-		// this cannot fail.
-		panic(fmt.Sprintf("service: canonical marshal: %v", err))
-	}
-	h := sha256.New()
-	io.WriteString(h, endpoint)
-	h.Write([]byte{0})
-	h.Write(b)
-	return hex.EncodeToString(h.Sum(nil))
+// /v1/repair keys disjoint even for structurally identical bodies. The
+// canonical bytes are rendered by the append codec (codec.go), which is
+// byte-identical to json.Marshal, so keys survive the codec swap.
+func (pr PlanRequest) key() reqKey {
+	return keyPlan(&pr)
 }
 
-func (pr PlanRequest) key() string {
-	pr.TimeoutMS = 0
-	return cacheKey("plan", pr)
-}
-
-func (rr RepairRequest) key() string {
-	rr.TimeoutMS = 0
-	return cacheKey("repair", rr)
+func (rr RepairRequest) key() reqKey {
+	return keyRepair(&rr)
 }
 
 func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

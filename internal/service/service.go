@@ -96,10 +96,22 @@ func (c Config) normalized() Config {
 	return c
 }
 
+// jobRunner executes one decoded request. An interface (satisfied by
+// the pooled planRunner/repairRunner in handlers.go) instead of a
+// closure keeps the hot path from allocating a func value per request.
+type jobRunner interface {
+	runJob(ctx context.Context) ([]byte, error)
+}
+
+// runnerFunc adapts a plain function to jobRunner.
+type runnerFunc func(context.Context) ([]byte, error)
+
+func (f runnerFunc) runJob(ctx context.Context) ([]byte, error) { return f(ctx) }
+
 // job is one admitted planning request.
 type job struct {
 	ctx    context.Context // carries the request deadline into the planner
-	run    func(context.Context) ([]byte, error)
+	runner jobRunner
 	done   chan jobResult // buffered: the worker never blocks on delivery
 	enq    time.Time      // when submit accepted the job (queue-wait attr)
 	tenant string         // raw tenant header, for the fairness bound
@@ -146,6 +158,11 @@ type Server struct {
 	tenantMu sync.Mutex
 	tenants  map[string]bool
 
+	// respCounters memoizes resolved labeled response-counter handles so
+	// the per-request path is one RLock + map probe (see recordResponse).
+	respMu       sync.RWMutex
+	respCounters map[respKey]*obs.Counter
+
 	// ewmaPlanMS tracks recent plan latency for Retry-After estimates.
 	ewmaPlanMS atomicFloat
 
@@ -153,7 +170,7 @@ type Server struct {
 	cPlanReqs, cRepairReqs, cBadReqs     *obs.Counter
 	cRejected, cTimeouts, cErrors        *obs.Counter
 	cCacheHits, cCacheMisses, cCoalesced *obs.Counter
-	gQueueDepth, gInflight               *obs.Gauge
+	gQueueDepth, gInflight, gHeapAllocs  *obs.Gauge
 	hPlanSeconds, hRequestSeconds        *obs.Histogram
 }
 
@@ -171,6 +188,8 @@ func New(cfg Config) *Server {
 		started: time.Now(),
 		tenants: map[string]bool{},
 		queued:  map[string]int{},
+
+		respCounters: map[respKey]*obs.Counter{},
 	}
 	s.sessions = session.New(cfg.Sessions)
 	r := cfg.Registry
@@ -186,6 +205,7 @@ func New(cfg Config) *Server {
 	s.cCoalesced = r.Counter(obs.ServeCoalesced)
 	s.gQueueDepth = r.Gauge(obs.ServeQueueDepth)
 	s.gInflight = r.Gauge(obs.ServeInflight)
+	s.gHeapAllocs = r.Gauge(obs.ServeHeapAllocs)
 	s.hPlanSeconds = r.Histogram(obs.ServePlanSeconds, obs.DefLatencyBuckets)
 	s.hRequestSeconds = r.Histogram(obs.ServeRequestSeconds, obs.DefLatencyBuckets)
 
@@ -221,7 +241,7 @@ func (s *Server) worker(idx int) {
 			if span != nil {
 				span.SetAttr(fmt.Sprintf("queue_wait_ms=%.2f", start.Sub(j.enq).Seconds()*1000))
 			}
-			body, err := j.run(rctx)
+			body, err := j.runner.runJob(rctx)
 			span.End()
 			res = jobResult{body: body, err: err}
 			if err != nil {

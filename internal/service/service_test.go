@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -219,13 +220,13 @@ func TestBackpressure503WithRetryAfter(t *testing.T) {
 	mk := func(block bool) *job {
 		return &job{
 			ctx: context.Background(),
-			run: func(context.Context) ([]byte, error) {
+			runner: runnerFunc(func(context.Context) ([]byte, error) {
 				if block {
 					close(blocked)
 					<-release
 				}
 				return []byte("{}"), nil
-			},
+			}),
 			done: make(chan jobResult, 1),
 		}
 	}
@@ -269,11 +270,11 @@ func TestDeadlineExceededReturns504(t *testing.T) {
 	blocked := make(chan struct{})
 	blocker := &job{
 		ctx: context.Background(),
-		run: func(context.Context) ([]byte, error) {
+		runner: runnerFunc(func(context.Context) ([]byte, error) {
 			close(blocked)
 			<-release
 			return []byte("{}"), nil
-		},
+		}),
 		done: make(chan jobResult, 1),
 	}
 	if err := s.svc.submit(blocker); err != nil {
@@ -402,11 +403,11 @@ func TestGracefulShutdownDrainsInflight(t *testing.T) {
 	running := make(chan struct{})
 	j := &job{
 		ctx: context.Background(),
-		run: func(context.Context) ([]byte, error) {
+		runner: runnerFunc(func(context.Context) ([]byte, error) {
 			close(running)
 			<-release
 			return []byte(`{"drained":true}`), nil
-		},
+		}),
 		done: make(chan jobResult, 1),
 	}
 	if err := svc.submit(j); err != nil {
@@ -477,17 +478,20 @@ func waitFor(t *testing.T, cond func() bool) {
 
 func TestLRUCacheEvicts(t *testing.T) {
 	c := newPlanCache(2)
-	c.Put("a", []byte("A"))
-	c.Put("b", []byte("B"))
-	if _, ok := c.Get("a"); !ok {
+	ka, kb, kc := testKey("a"), testKey("b"), testKey("c")
+	c.Put(ka, []byte("A"))
+	c.Put(kb, []byte("B"))
+	if _, _, ok := c.Get(ka); !ok {
 		t.Fatal("a evicted too early")
 	}
-	c.Put("c", []byte("C")) // evicts b (a was refreshed)
-	if _, ok := c.Get("b"); ok {
+	c.Put(kc, []byte("C")) // evicts b (a was refreshed)
+	if _, _, ok := c.Get(kb); ok {
 		t.Error("b should have been evicted")
 	}
-	if _, ok := c.Get("a"); !ok {
+	if body, clen, ok := c.Get(ka); !ok {
 		t.Error("a should survive (recently used)")
+	} else if len(clen) != 1 || clen[0] != strconv.Itoa(len(body)) {
+		t.Errorf("cached Content-Length %v, want [%d]", clen, len(body))
 	}
 	if c.Len() != 2 {
 		t.Errorf("len = %d, want 2", c.Len())

@@ -1,14 +1,13 @@
 package service
 
 import (
-	"bufio"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 
+	"decor/internal/jsonx"
 	"decor/internal/session"
 )
 
@@ -98,7 +97,8 @@ func (s *Server) writeSessionError(w http.ResponseWriter, err error) {
 // label (the raw path would explode on field IDs).
 func (s *Server) withSessionMetrics(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		sw := &statusWriter{ResponseWriter: w}
+		sw := getStatusWriter(w)
+		defer putStatusWriter(sw)
 		h(sw, r)
 		status := sw.status
 		if status == 0 {
@@ -115,8 +115,14 @@ func (s *Server) withSessionMetrics(route string, h http.HandlerFunc) http.Handl
 func (s *Server) handleFieldCreate(w http.ResponseWriter, r *http.Request) {
 	tenant := r.Header.Get(tenantHeader)
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.Limits.MaxBodyBytes)
+	buf := jsonx.GetBuf()
+	defer jsonx.PutBuf(buf)
 	var fr FieldRequest
-	if err := decodeJSON(r.Body, &fr); err != nil {
+	data, err := readBody(r.Body, buf)
+	if err == nil {
+		err = decodeFieldRequest(data, &fr)
+	}
+	if err != nil {
 		s.badSessionRequest(w, err)
 		return
 	}
@@ -138,10 +144,19 @@ func (s *Server) handleFieldCreate(w http.ResponseWriter, r *http.Request) {
 		s.writeSessionError(w, err)
 		return
 	}
+	// Encode before writing the status line, so an encode failure can
+	// still surface as a 500 (the old Encoder call silently dropped it).
+	body, err := delta.AppendJSON((*buf)[:0])
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	body = append(body, '\n')
+	*buf = body
 	w.Header().Set("Content-Type", jsonContentType)
 	w.Header().Set("Location", "/v1/fields/"+fr.FieldID)
 	w.WriteHeader(http.StatusCreated)
-	json.NewEncoder(w).Encode(delta)
+	w.Write(body)
 }
 
 // badSessionRequest writes a 4xx for a request that failed validation.
@@ -155,23 +170,38 @@ func (s *Server) badSessionRequest(w http.ResponseWriter, err error) {
 	s.writeError(w, http.StatusBadRequest, err.Error())
 }
 
+// writeInbandError reports a failure after deltas have already been
+// streamed: the status line is gone, so the error travels in-band as the
+// stream's last object. Byte-identical to the json.Encoder construction
+// it replaced.
+func writeInbandError(w http.ResponseWriter, buf *[]byte, msg string) {
+	*buf = appendErrorBody((*buf)[:0], msg)
+	w.Write(*buf)
+}
+
 // handleFieldEvents serves POST /v1/fields/{id}/events: a stream of
 // NDJSON failure events in, one NDJSON delta per event out, flushed as
 // each repair completes. A single JSON object (no trailing newline)
 // works too, so `curl -d '{"failed":[3]}'` behaves as expected.
+//
+// Events pass through the pooled eventScanner: each object is lexed out
+// of a reused read buffer and fast-parsed into a reused failed-ID
+// scratch slice (the session manager copies what it retains), so a
+// steady event stream allocates nothing per event on the decode side.
 func (s *Server) handleFieldEvents(w http.ResponseWriter, r *http.Request) {
 	tenant := r.Header.Get(tenantHeader)
 	id := r.PathValue("id")
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.Limits.MaxBodyBytes)
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
+	sc := newEventScanner(r.Body)
+	defer sc.close()
+	out := jsonx.GetBuf()
+	defer jsonx.PutBuf(out)
 
 	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
 	wrote := false
 	for {
-		var ev EventRequest
-		if err := dec.Decode(&ev); err != nil {
+		failed, err := sc.next()
+		if err != nil {
 			if errors.Is(err, io.EOF) {
 				break
 			}
@@ -181,30 +211,24 @@ func (s *Server) handleFieldEvents(w http.ResponseWriter, r *http.Request) {
 			}
 			// Mid-stream garbage after successful deltas: the status line
 			// is gone, so report in-band and hang up.
-			enc.Encode(struct {
-				Error string `json:"error"`
-			}{Error: fmt.Sprintf("invalid event JSON: %v", err)})
+			writeInbandError(w, out, fmt.Sprintf("invalid event JSON: %v", err))
 			return
 		}
-		if len(ev.Failed) == 0 {
+		if len(failed) == 0 {
 			err := badRequest("event must name at least one failed sensor")
 			if !wrote {
 				s.badSessionRequest(w, err)
 			} else {
-				enc.Encode(struct {
-					Error string `json:"error"`
-				}{Error: err.Error()})
+				writeInbandError(w, out, err.Error())
 			}
 			return
 		}
-		delta, err := s.sessions.Apply(tenant, id, ev.Failed)
+		delta, err := s.sessions.Apply(tenant, id, failed)
 		if err != nil {
 			if !wrote {
 				s.writeSessionError(w, err)
 			} else {
-				enc.Encode(struct {
-					Error string `json:"error"`
-				}{Error: err.Error()})
+				writeInbandError(w, out, err.Error())
 			}
 			return
 		}
@@ -212,7 +236,13 @@ func (s *Server) handleFieldEvents(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/x-ndjson")
 			wrote = true
 		}
-		enc.Encode(delta)
+		body, err := delta.AppendJSON((*out)[:0])
+		if err != nil {
+			return // non-finite delta: unrepresentable, hang up (was Encoder's silent drop)
+		}
+		body = append(body, '\n')
+		*out = body
+		w.Write(body)
 		if flusher != nil {
 			flusher.Flush()
 		}
@@ -257,19 +287,23 @@ func (s *Server) handleFieldStream(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
-	bw := bufio.NewWriter(w)
+	// One pooled frame buffer serves the whole subscription: each delta
+	// renders as a complete SSE frame (byte-identical to the old
+	// Marshal+Fprintf form) and goes out in a single Write.
+	buf := jsonx.GetBuf()
+	defer jsonx.PutBuf(buf)
 	for {
 		select {
 		case delta, open := <-ch:
 			if !open {
 				return // dropped session, lagging subscriber, or shutdown
 			}
-			payload, err := json.Marshal(delta)
+			frame, err := appendSSEFrame((*buf)[:0], &delta)
 			if err != nil {
 				return
 			}
-			fmt.Fprintf(bw, "id: %d\nevent: delta\ndata: %s\n\n", delta.Seq, payload)
-			if bw.Flush() != nil {
+			*buf = frame
+			if _, err := w.Write(frame); err != nil {
 				return
 			}
 			flusher.Flush()
@@ -277,6 +311,19 @@ func (s *Server) handleFieldStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// appendSSEFrame renders one delta as a complete SSE frame:
+// "id: <seq>\nevent: delta\ndata: <json>\n\n".
+func appendSSEFrame(b []byte, delta *session.Delta) ([]byte, error) {
+	b = append(b, "id: "...)
+	b = jsonx.AppendUint(b, delta.Seq)
+	b = append(b, "\nevent: delta\ndata: "...)
+	b, err := delta.AppendJSON(b)
+	if err != nil {
+		return b, err
+	}
+	return append(b, '\n', '\n'), nil
 }
 
 // handleFieldGet serves GET /v1/fields/{id}: session metadata, without
@@ -287,8 +334,17 @@ func (s *Server) handleFieldGet(w http.ResponseWriter, r *http.Request) {
 		s.writeSessionError(w, err)
 		return
 	}
+	buf := jsonx.GetBuf()
+	defer jsonx.PutBuf(buf)
+	body, err := info.AppendJSON((*buf)[:0])
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	body = append(body, '\n')
+	*buf = body
 	w.Header().Set("Content-Type", jsonContentType)
-	json.NewEncoder(w).Encode(info)
+	w.Write(body)
 }
 
 // handleFieldDelete serves DELETE /v1/fields/{id}.

@@ -337,11 +337,11 @@ func TestPlanTenantFairness429(t *testing.T) {
 	blocked := make(chan struct{})
 	blocker := &job{
 		ctx: context.Background(),
-		run: func(ctx context.Context) ([]byte, error) {
+		runner: runnerFunc(func(ctx context.Context) ([]byte, error) {
 			close(blocked)
 			<-release
 			return []byte("{}"), nil
-		},
+		}),
 		done: make(chan jobResult, 1),
 	}
 	if err := s.svc.submit(blocker); err != nil {

@@ -170,13 +170,13 @@ func TestFlightCapturedOn5xx(t *testing.T) {
 	blocker := func(signal bool) *job {
 		return &job{
 			ctx: context.Background(),
-			run: func(context.Context) ([]byte, error) {
+			runner: runnerFunc(func(context.Context) ([]byte, error) {
 				if signal {
 					close(blocked)
 				}
 				<-release
 				return []byte("{}"), nil
-			},
+			}),
 			done: make(chan jobResult, 1),
 		}
 	}

@@ -1,0 +1,105 @@
+package session
+
+import (
+	"fmt"
+
+	"decor/internal/jsonx"
+)
+
+// AppendJSON appends d exactly as json.Marshal(d) would render it (no
+// trailing newline), growing b. The only possible error is a non-finite
+// float, which json.Marshal also refuses; on error b is returned
+// unchanged in content but possibly regrown, so callers must treat the
+// buffer as dirty and reset to the pre-call length. Parity with
+// encoding/json is a hard invariant (DESIGN.md §16): cached and
+// replayed delta streams must stay byte-identical.
+func (d *Delta) AppendJSON(b []byte) ([]byte, error) {
+	b = append(b, `{"field_id":`...)
+	b = jsonx.AppendString(b, d.FieldID)
+	b = append(b, `,"seq":`...)
+	b = jsonx.AppendUint(b, d.Seq)
+	b = append(b, `,"method":`...)
+	b = jsonx.AppendString(b, d.Method)
+	if len(d.Failed) > 0 {
+		b = append(b, `,"failed":[`...)
+		for i, id := range d.Failed {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			b = jsonx.AppendInt(b, int64(id))
+		}
+		b = append(b, ']')
+	}
+	b = append(b, `,"placed":`...)
+	b = jsonx.AppendInt(b, int64(d.Placed))
+	b = append(b, `,"placements":`...)
+	var err error
+	if b, err = appendPoints(b, d.Placements); err != nil {
+		return b, err
+	}
+	b = append(b, `,"total_sensors":`...)
+	b = jsonx.AppendInt(b, int64(d.TotalSensors))
+	if d.Messages != 0 {
+		b = append(b, `,"messages":`...)
+		b = jsonx.AppendInt(b, int64(d.Messages))
+	}
+	if d.Rounds != 0 {
+		b = append(b, `,"rounds":`...)
+		b = jsonx.AppendInt(b, int64(d.Rounds))
+	}
+	b = append(b, `,"coverage_k":`...)
+	b, ok := jsonx.AppendFloat(b, d.CoverageK)
+	if !ok {
+		return b, fmt.Errorf("session: delta coverage_k %v is not a valid JSON number", d.CoverageK)
+	}
+	b = append(b, `,"fully_covered":`...)
+	b = jsonx.AppendBool(b, d.Covered)
+	return append(b, '}'), nil
+}
+
+// appendPoints renders a []Point with encoding/json's nil/empty split:
+// nil encodes as null, empty non-nil as [].
+func appendPoints(b []byte, pts []Point) ([]byte, error) {
+	if pts == nil {
+		return append(b, "null"...), nil
+	}
+	b = append(b, '[')
+	for i := range pts {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"x":`...)
+		var ok bool
+		if b, ok = jsonx.AppendFloat(b, pts[i].X); !ok {
+			return b, fmt.Errorf("session: placement x %v is not a valid JSON number", pts[i].X)
+		}
+		b = append(b, `,"y":`...)
+		if b, ok = jsonx.AppendFloat(b, pts[i].Y); !ok {
+			return b, fmt.Errorf("session: placement y %v is not a valid JSON number", pts[i].Y)
+		}
+		b = append(b, '}')
+	}
+	return append(b, ']'), nil
+}
+
+// AppendJSON appends inf exactly as json.Marshal(inf) would render it.
+func (inf *Info) AppendJSON(b []byte) ([]byte, error) {
+	b = append(b, `{"field_id":`...)
+	b = jsonx.AppendString(b, inf.FieldID)
+	b = append(b, `,"tenant":`...)
+	b = jsonx.AppendString(b, inf.Tenant)
+	b = append(b, `,"seq":`...)
+	b = jsonx.AppendUint(b, inf.Seq)
+	b = append(b, `,"total_sensors":`...)
+	b = jsonx.AppendInt(b, int64(inf.TotalSensors))
+	b = append(b, `,"coverage_k":`...)
+	b, ok := jsonx.AppendFloat(b, inf.CoverageK)
+	if !ok {
+		return b, fmt.Errorf("session: info coverage_k %v is not a valid JSON number", inf.CoverageK)
+	}
+	b = append(b, `,"fully_covered":`...)
+	b = jsonx.AppendBool(b, inf.Covered)
+	b = append(b, `,"evicted":`...)
+	b = jsonx.AppendBool(b, inf.Evicted)
+	return append(b, '}'), nil
+}
